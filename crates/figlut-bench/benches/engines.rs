@@ -1,0 +1,74 @@
+//! Whole-engine GEMM benchmarks: the five datapath models on a fixed
+//! LLM-flavored layer, plus the FIGLUT µ sweep (the software-time analogue
+//! of the paper's complexity column in Table I).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use figlut_gemm::{Engine, EngineConfig, Weights};
+use figlut_num::Mat;
+use figlut_quant::bcq::BcqWeight;
+use figlut_quant::uniform::{rtn, RtnParams};
+
+fn problem(m: usize, n: usize, batch: usize) -> (Mat<f64>, Mat<f64>) {
+    let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
+    let x = Mat::from_fn(batch, n, |b, c| ((b * n + c) as f64 * 0.059).cos());
+    (x, w)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (x, w) = problem(32, 128, 4);
+    let u = rtn(&w, RtnParams::per_row(4));
+    let bcq = BcqWeight::from_uniform(&u);
+    let cfg = EngineConfig::paper_default();
+    let mut g = c.benchmark_group("gemm_32x128_q4");
+    for engine in Engine::ALL {
+        let weights = if engine.supports_bcq() {
+            Weights::Bcq(&bcq)
+        } else {
+            Weights::Uniform(&u)
+        };
+        g.bench_function(engine.name(), |b| {
+            b.iter(|| black_box(engine.run(&x, &weights, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_figlut_mu_sweep(c: &mut Criterion) {
+    let (x, w) = problem(32, 128, 4);
+    let u = rtn(&w, RtnParams::per_row(4));
+    let bcq = BcqWeight::from_uniform(&u);
+    let mut g = c.benchmark_group("figlut_i_mu_sweep");
+    for mu in [1u32, 2, 4, 8] {
+        let cfg = EngineConfig {
+            mu,
+            ..EngineConfig::paper_default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |b, _| {
+            b.iter(|| black_box(Engine::FiglutI.run(&x, &Weights::Bcq(&bcq), &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_weight_precision(c: &mut Criterion) {
+    // Bit-serial software cost scales with q, like the hardware cycles.
+    let (x, w) = problem(32, 128, 4);
+    let mut g = c.benchmark_group("figlut_i_weight_bits");
+    for bits in [2u32, 4, 8] {
+        let u = rtn(&w, RtnParams::per_row(bits));
+        let bcq = BcqWeight::from_uniform(&u);
+        let cfg = EngineConfig::paper_default();
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| black_box(Engine::FiglutI.run(&x, &Weights::Bcq(&bcq), &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_figlut_mu_sweep,
+    bench_weight_precision
+);
+criterion_main!(benches);

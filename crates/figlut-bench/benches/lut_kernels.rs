@@ -1,0 +1,110 @@
+//! LUT-machinery kernel benchmarks: table construction under the two
+//! generator schedules (the Fig. 11 comparison, in software time), half vs
+//! full table reads, and RAC vs MAC inner loops.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use figlut_lut::generator::GenSchedule;
+use figlut_lut::key::Key;
+use figlut_lut::rac::{Mac, Rac};
+use figlut_lut::table::{FullLut, HalfLut, LutRead};
+
+fn activations(mu: u32) -> Vec<f64> {
+    (0..mu).map(|i| 0.37 * (i as f64 + 1.0)).collect()
+}
+
+fn bench_generator_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_generation");
+    for mu in [2u32, 4, 6, 8] {
+        let xs = activations(mu);
+        let opt = GenSchedule::optimized(mu, true);
+        let naive = GenSchedule::straightforward(mu, true);
+        g.bench_with_input(BenchmarkId::new("optimized", mu), &mu, |b, _| {
+            b.iter(|| black_box(opt.apply(&xs, |a, y| a + y)))
+        });
+        g.bench_with_input(BenchmarkId::new("straightforward", mu), &mu, |b, _| {
+            b.iter(|| black_box(naive.apply(&xs, |a, y| a + y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_reads(c: &mut Criterion) {
+    let xs = activations(4);
+    let full = FullLut::build(&xs, |a, b| a + b);
+    let half = HalfLut::build(&xs, |a, b| a + b);
+    let keys: Vec<Key> = (0..16u16).map(|k| Key::new(k, 4)).collect();
+    let mut g = c.benchmark_group("lut_read_16keys");
+    g.bench_function("full", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &k in &keys {
+                acc += full.read(k);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("half_with_decoder", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &k in &keys {
+                acc += half.read(k);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rac_vs_mac(c: &mut Criterion) {
+    // One reduction over 1024 binary weights: 256 RAC reads (µ=4) vs 1024
+    // MACs — the software analogue of the paper's op-count reduction.
+    let n = 1024usize;
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut g = c.benchmark_group("reduction_1024_weights");
+    g.bench_function("rac_mu4", |b| {
+        let luts: Vec<HalfLut<f64>> = xs
+            .chunks(4)
+            .map(|c4| HalfLut::build(c4, |a, y| a + y))
+            .collect();
+        let keys: Vec<Key> = bits
+            .chunks(4)
+            .map(|c4| {
+                let mut v = 0u16;
+                for (j, &s) in c4.iter().enumerate() {
+                    if s {
+                        v |= 1 << j;
+                    }
+                }
+                Key::new(v, 4)
+            })
+            .collect();
+        b.iter(|| {
+            let mut rac = Rac::<f64>::new(4);
+            for (lut, &key) in luts.iter().zip(&keys) {
+                rac.set_key(key);
+                rac.read_accumulate(lut, |a, v| a + v);
+            }
+            black_box(rac.acc())
+        })
+    });
+    g.bench_function("mac", |b| {
+        b.iter(|| {
+            let mut mac = Mac::new();
+            for (&x, &s) in xs.iter().zip(&bits) {
+                let w = if s { 1.0 } else { -1.0 };
+                mac.multiply_accumulate(w, x, |a, y| a * y, |a, y| a + y);
+            }
+            black_box(mac.acc())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generator_schedules,
+    bench_table_reads,
+    bench_rac_vs_mac
+);
+criterion_main!(benches);

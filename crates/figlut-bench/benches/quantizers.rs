@@ -1,0 +1,47 @@
+//! Quantizer benchmarks: RTN vs alternating BCQ vs GPTQ-style on one layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_quant::gptq::{gptq_quantize, GptqParams};
+use figlut_quant::uniform::{rtn, RtnParams};
+
+fn layer(m: usize, n: usize) -> Mat<f64> {
+    Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.291).sin() * 0.3)
+}
+
+fn calib(n: usize, samples: usize) -> Mat<f64> {
+    Mat::from_fn(n, samples, |i, s| {
+        2.0 * ((s as f64) * 0.61).sin() + 0.4 * ((i * 7 + 3 * s) as f64 * 0.23).cos()
+    })
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let w = layer(64, 64);
+    let x = calib(64, 128);
+    let mut g = c.benchmark_group("quantize_64x64_q3");
+    g.bench_function("rtn", |b| {
+        b.iter(|| black_box(rtn(&w, RtnParams::per_row(3))))
+    });
+    g.bench_function("bcq_alternating", |b| {
+        b.iter(|| black_box(BcqWeight::quantize(&w, BcqParams::per_row(3))))
+    });
+    g.bench_function("gptq", |b| {
+        b.iter(|| black_box(gptq_quantize(&w, &x, GptqParams::per_row(3))))
+    });
+    g.finish();
+}
+
+fn bench_bcq_bits(c: &mut Criterion) {
+    let w = layer(64, 64);
+    let mut g = c.benchmark_group("bcq_bits");
+    for bits in [1u32, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| black_box(BcqWeight::quantize(&w, BcqParams::per_row(bits))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantizers, bench_bcq_bits);
+criterion_main!(benches);

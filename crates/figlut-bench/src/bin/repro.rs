@@ -1,0 +1,33 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                # run everything
+//! repro fig16 table5   # run specific experiments
+//! repro calibration    # cost-model calibration report
+//! repro --list         # list experiment ids
+//! ```
+//!
+//! Output: aligned text tables on stdout, CSVs under `results/`.
+
+use figlut_bench::{run, EXPERIMENTS};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = PathBuf::from("results");
+    if args.iter().any(|a| a == "--list") {
+        for e in EXPERIMENTS {
+            println!("{e}");
+        }
+        println!("calibration");
+        return;
+    }
+    if args.is_empty() {
+        run("all", &results);
+        run("calibration", &results);
+    } else {
+        for a in &args {
+            run(a, &results);
+        }
+    }
+}

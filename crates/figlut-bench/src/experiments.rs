@@ -1,0 +1,854 @@
+//! One function per paper table/figure (see DESIGN.md §4).
+//!
+//! Synthetic-model experiments (Tables IV/VI, Fig. 17) run on scaled-down
+//! OPT-proportioned teachers (DESIGN.md §2 documents the substitution);
+//! hardware experiments (Figs. 6–16, Table V) run the cost simulator on the
+//! *real* OPT shape inventories.
+
+use crate::fmt::{f3, ratio, Table};
+use figlut_gemm::{Engine, EngineConfig};
+use figlut_lut::bank::{banked_read_phase, fflut_read_phase, GPU_BANKS};
+use figlut_lut::generator::GenSchedule;
+use figlut_lut::table::symbolic_table;
+use figlut_model::calibrate::{quantize_model, to_bcq, Method};
+use figlut_model::config::{by_name, OPT_FAMILY};
+use figlut_model::corpus::{generate, Corpus};
+use figlut_model::ppl::perplexity;
+use figlut_model::transformer::{Backend, ModelConfig, Transformer};
+use figlut_model::workload::decode_workload;
+use figlut_num::fp::FpFormat;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_quant::uniform::{rtn, RtnParams};
+use figlut_sim::complexity::TABLE1;
+use figlut_sim::engine::evaluate;
+use figlut_sim::gpu::TABLE5_GPUS;
+use figlut_sim::lutcost::{
+    lut_power, optimal_k, pe_power, per_weight_read_power, system_power_per_weight, LutKind,
+    PeParams,
+};
+use figlut_sim::mpu::{mpu_area, EngineSpec, SimEngine};
+use figlut_sim::tech::Tech;
+use std::path::Path;
+
+/// All experiment ids, in paper order, plus the reproduction's extensions
+/// (`ablation`, `ext-node`, `ext-prefill` are not in the paper).
+pub const EXPERIMENTS: [&str; 21] = [
+    "table1", "fig1", "fig2", "table2", "fig6", "fig8", "fig9", "table3", "fig11", "table4",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "table5", "table6", "ablation", "ext-node",
+    "ext-prefill", "ext-quant",
+];
+
+/// Run one experiment (or `"all"`), printing tables and writing CSVs to
+/// `results_dir`.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment id.
+pub fn run(id: &str, results_dir: &Path) {
+    let tables = match id {
+        "all" => EXPERIMENTS.iter().flat_map(|e| dispatch(e)).collect(),
+        "calibration" => calibration(),
+        other => dispatch(other),
+    };
+    for (name, t) in &tables {
+        print!("{}", t.render());
+        if let Err(e) = t.write_csv(results_dir, name) {
+            eprintln!("warning: could not write {name}.csv: {e}");
+        }
+    }
+}
+
+fn dispatch(id: &str) -> Vec<(String, Table)> {
+    match id {
+        "table1" => table1(),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "table2" => table2(),
+        "fig6" => fig6(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "table3" => table3(),
+        "fig11" => fig11(),
+        "table4" => table4(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17" => fig17(),
+        "table5" => table5(),
+        "table6" => table6(),
+        "ablation" => ablation(),
+        "ext-node" => ext_node(),
+        "ext-prefill" => ext_prefill(),
+        "ext-quant" => ext_quant(),
+        other => panic!("unknown experiment '{other}' (try one of {EXPERIMENTS:?} or 'all')"),
+    }
+}
+
+// --------------------------------------------------------------------------
+// Shared synthetic-model setup
+// --------------------------------------------------------------------------
+
+/// Scaled-down stand-ins for the OPT sizes used in the accuracy tables.
+fn synth_family() -> Vec<(&'static str, Transformer)> {
+    vec![
+        (
+            "OPT-350M-synth",
+            Transformer::teacher(ModelConfig::scaled(2, 32, 4), 101),
+        ),
+        (
+            "OPT-1.3B-synth",
+            Transformer::teacher(ModelConfig::scaled(2, 48, 4), 102),
+        ),
+        (
+            "OPT-6.7B-synth",
+            Transformer::teacher(ModelConfig::scaled(3, 64, 4), 103),
+        ),
+    ]
+}
+
+fn corpora(teacher: &Transformer, seed: u64) -> (Corpus, Corpus) {
+    // Large enough that quantization orderings are clear of sampling noise
+    // (180 evaluated positions per model).
+    let calib = generate(teacher, 4, 14, seed);
+    let eval = generate(teacher, 10, 18, seed + 1000);
+    (calib, eval)
+}
+
+// --------------------------------------------------------------------------
+// Experiments
+// --------------------------------------------------------------------------
+
+fn table1() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Table I — comparison of hardware accelerators",
+        &["Platform", "FP-INT op", "Mixed-precision", "BCQ", "Complexity"],
+    );
+    let b = |v: bool| if v { "yes" } else { "no" }.to_string();
+    for row in TABLE1 {
+        t.row(vec![
+            row.name.into(),
+            b(row.fp_int),
+            b(row.mixed_precision),
+            b(row.bcq),
+            row.complexity.into(),
+        ]);
+    }
+    vec![("table1".into(), t)]
+}
+
+fn fig1() -> Vec<(String, Table)> {
+    // A 3-bit uniform grid expressed exactly as BCQ + offset (Eq. 3), next
+    // to a conventional (offset-free) BCQ fit of the same values.
+    let grid: Vec<f64> = (0..8).map(|v| -0.7 + 0.2 * v as f64).collect();
+    let w = Mat::from_vec(1, 8, grid.clone());
+    let u = rtn(&w, RtnParams::per_row(3));
+    let with_offset = BcqWeight::from_uniform(&u);
+    let no_offset = BcqWeight::quantize(
+        &w,
+        BcqParams {
+            bits: 3,
+            group_size: 0,
+            with_offset: false,
+            refine_iters: 20,
+        },
+    );
+    let mut t = Table::new(
+        "Fig. 1 — BCQ with offset represents the uniform grid exactly (q = 3)",
+        &["grid value", "BCQ+offset", "BCQ (no offset)"],
+    );
+    for (c, &g) in grid.iter().enumerate() {
+        t.row(vec![
+            f3(g),
+            f3(with_offset.value(0, c)),
+            f3(no_offset.value(0, c)),
+        ]);
+    }
+    t.note(format!(
+        "offset-BCQ scales α = [{}], z = {} (α_i = s·2^(i-1), z = s(2^q−1)/2 + base)",
+        (0..3).map(|i| f3(with_offset.alpha(i, 0, 0))).collect::<Vec<_>>().join(", "),
+        f3(with_offset.offset(0, 0)),
+    ));
+    vec![("fig1".into(), t)]
+}
+
+fn fig2() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Fig. 2 — shared-memory bank conflicts: LUT-GEMM read phase vs FFLUT (32 threads)",
+        &["structure", "mu", "serialization (cycles per ideal cycle)"],
+    );
+    for mu in [2u32, 4, 8] {
+        let s = banked_read_phase(mu, 32, 2000, GPU_BANKS, 12345);
+        t.row(vec![
+            "GPU shared memory".into(),
+            mu.to_string(),
+            format!("{:.2}", s.serialization()),
+        ]);
+    }
+    let f = fflut_read_phase(2000);
+    t.row(vec![
+        "FFLUT (conflict-free)".into(),
+        "any".into(),
+        format!("{:.2}", f.serialization()),
+    ]);
+    t.note("random weight keys serialize banked reads; dedicated FFLUT muxes never stall");
+    vec![("fig2".into(), t)]
+}
+
+fn table2() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Table II — LUT contents for mu = 3",
+        &["binary pattern {b1,b2,b3}", "key", "value"],
+    );
+    for (k, expr) in symbolic_table(3) {
+        let pat: Vec<&str> = (0..3)
+            .map(|i| if (k >> (2 - i)) & 1 == 1 { "+1" } else { "-1" })
+            .collect();
+        t.row(vec![
+            format!("{{{}}}", pat.join(", ")),
+            format!("{k} (b'{k:03b})"),
+            expr,
+        ]);
+    }
+    vec![("table2".into(), t)]
+}
+
+fn fig6() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut t = Table::new(
+        "Fig. 6 — LUT power per weight vs FP16-adder baseline (= 1.0)",
+        &["structure", "mu", "relative power"],
+    );
+    for mu in [4u32, 8] {
+        t.row(vec![
+            "RFLUT".into(),
+            mu.to_string(),
+            f3(per_weight_read_power(&tech, LutKind::Rflut, mu, FpFormat::Fp16, 1)),
+        ]);
+    }
+    for mu in [2u32, 4, 8] {
+        t.row(vec![
+            "FFLUT".into(),
+            mu.to_string(),
+            f3(per_weight_read_power(&tech, LutKind::Fflut, mu, FpFormat::Fp16, 1)),
+        ]);
+    }
+    for mu in [2u32, 4, 8] {
+        t.row(vec![
+            "hFFLUT".into(),
+            mu.to_string(),
+            f3(per_weight_read_power(&tech, LutKind::Hfflut, mu, FpFormat::Fp16, 1)),
+        ]);
+    }
+    t.note("RFLUT mu=2 is below the memory compiler's minimum macro (paper skips it too)");
+    t.note("FFLUT mu=8 power excludes it from consideration, as in the paper");
+    vec![("fig6".into(), t)]
+}
+
+fn fig8() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut t = Table::new(
+        "Fig. 8 — relative PE power per weight vs k (baseline FP16 adders = 1.0)",
+        &["k", "mu=2", "mu=4"],
+    );
+    for k in [1u32, 2, 4, 8, 16, 32, 64] {
+        let p = |mu| {
+            let params = PeParams {
+                mu,
+                k,
+                ..PeParams::paper_default(FpFormat::Fp16)
+            };
+            system_power_per_weight(&tech, &params)
+        };
+        t.row(vec![k.to_string(), f3(p(2)), f3(p(4))]);
+    }
+    t.note("mu=4 starts worse (bigger LUT) and wins once the LUT is shared — paper §III-C");
+    vec![("fig8".into(), t)]
+}
+
+fn fig9() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let base = pe_power(
+        &tech,
+        &PeParams {
+            k: 1,
+            ..PeParams::paper_default(FpFormat::Fp16)
+        },
+    );
+    let mut t = Table::new(
+        "Fig. 9 — P_PE and P_RAC vs k, normalized to k = 1 (mu = 4)",
+        &["k", "P_PE (norm)", "P_RAC (norm)"],
+    );
+    for k in [1u32, 2, 4, 8, 16, 24, 32, 40, 48, 64] {
+        let p = pe_power(
+            &tech,
+            &PeParams {
+                k,
+                ..PeParams::paper_default(FpFormat::Fp16)
+            },
+        );
+        t.row(vec![
+            k.to_string(),
+            f3(p.total_pj() / base.total_pj()),
+            f3(p.per_rac_pj(k) / base.per_rac_pj(1)),
+        ]);
+    }
+    let kstar = optimal_k(&tech, 4, FpFormat::Fp16, 64);
+    t.note(format!("P_RAC minimum at k = {kstar} (paper selects k = 32)"));
+    vec![("fig9".into(), t)]
+}
+
+fn table3() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let full = lut_power(&tech, LutKind::Fflut, 4, 16, 32);
+    let half = lut_power(&tech, LutKind::Hfflut, 4, 16, 32);
+    let base = full.hold_pj_per_cycle;
+    let mut t = Table::new(
+        "Table III — relative power of LUT vs MUX vs decoder (FFLUT LUT = 1.000)",
+        &["structure", "LUT", "MUX", "decoder", "MUX+decoder"],
+    );
+    t.row(vec![
+        "FFLUT".into(),
+        f3(full.hold_pj_per_cycle / base),
+        f3(full.mux_pj_per_read / base),
+        f3(0.0),
+        f3(full.mux_pj_per_read / base),
+    ]);
+    t.row(vec![
+        "hFFLUT".into(),
+        f3(half.hold_pj_per_cycle / base),
+        f3(half.mux_pj_per_read / base),
+        f3(half.decoder_pj_per_read / base),
+        f3((half.mux_pj_per_read + half.decoder_pj_per_read) / base),
+    ]);
+    t.note("paper reports 1.000 / 0.494 for the LUT column; decode overhead is trivial");
+    vec![("table3".into(), t)]
+}
+
+fn fig11() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Fig. 11 — LUT generator adder counts (half table)",
+        &["mu", "straightforward", "optimized", "saving", "depth (opt)"],
+    );
+    for mu in 2u32..=6 {
+        let s = GenSchedule::straightforward(mu, true);
+        let o = GenSchedule::optimized(mu, true);
+        t.row(vec![
+            mu.to_string(),
+            s.adds().to_string(),
+            o.adds().to_string(),
+            format!("{:.0}%", 100.0 * (1.0 - o.adds() as f64 / s.adds() as f64)),
+            o.depth().to_string(),
+        ]);
+    }
+    t.note("paper: 14 adds at mu = 4, a 42% reduction over 24");
+    vec![("fig11".into(), t)]
+}
+
+fn table4() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Table IV — perplexity parity of GEMM engines (RTN Q4, FP16 act, FP32 accum)",
+        &["model", "GPU (exact)", "FIGLUT-F", "FIGLUT-I"],
+    );
+    for (name, teacher) in synth_family() {
+        let (calib, eval) = corpora(&teacher, 7);
+        let (q, _) = quantize_model(&teacher, &calib, Method::Rtn { bits: 4 });
+        let qb = to_bcq(&q);
+        let cfg = EngineConfig::paper_default();
+        let gpu = perplexity(&q, &eval, &Backend::Exact);
+        let ff = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutF, cfg));
+        let fi = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+        t.row(vec![name.into(), f3(gpu), f3(ff), f3(fi)]);
+    }
+    t.note("identical to ~3 decimals: FP32 accumulation preserves accuracy (paper Table IV)");
+    vec![("table4".into(), t)]
+}
+
+fn accel_engines() -> [SimEngine; 4] {
+    [
+        SimEngine::Fpe,
+        SimEngine::Ifpu,
+        SimEngine::Figna,
+        SimEngine::FiglutI,
+    ]
+}
+
+fn fig13() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut out = Vec::new();
+    for fmt in FpFormat::ALL {
+        for q in [4.0f64, 8.0] {
+            let mut t = Table::new(
+                format!(
+                    "Fig. 13 — TOPS/mm² normalized to FPE ({} activations, Q{})",
+                    fmt,
+                    q as u32
+                ),
+                &["engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B"],
+            );
+            let spec_of = |e: SimEngine| {
+                let s = EngineSpec::paper(e, fmt);
+                if q > 4.0 && !e.is_bit_serial() {
+                    s.q8_variant()
+                } else {
+                    s
+                }
+            };
+            let base: Vec<f64> = OPT_FAMILY
+                .iter()
+                .map(|cfg| {
+                    evaluate(&tech, &spec_of(SimEngine::Fpe), &decode_workload(cfg, 32), q)
+                        .tops_per_mm2()
+                })
+                .collect();
+            for e in accel_engines() {
+                let mut row = vec![e.name().to_string()];
+                for (i, cfg) in OPT_FAMILY.iter().enumerate() {
+                    let r = evaluate(&tech, &spec_of(e), &decode_workload(cfg, 32), q);
+                    row.push(f3(r.tops_per_mm2() / base[i]));
+                }
+                t.row(row);
+            }
+            let tag = format!("fig13_{}_q{}", fmt.name(), q as u32);
+            out.push((tag, t));
+        }
+    }
+    out
+}
+
+fn fig14() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut t = Table::new(
+        "Fig. 14 — MPU area breakdown, normalized to FPE total (same format/precision)",
+        &["variant", "engine", "arithmetic", "flip-flop", "total"],
+    );
+    for fmt in FpFormat::ALL {
+        for q8 in [false, true] {
+            let variant = format!("{}-Q{}", fmt, if q8 { 8 } else { 4 });
+            let spec_of = |e: SimEngine| {
+                let s = EngineSpec::paper(e, fmt);
+                if q8 && !e.is_bit_serial() {
+                    s.q8_variant()
+                } else {
+                    s
+                }
+            };
+            let fpe = mpu_area(&tech, &spec_of(SimEngine::Fpe)).total_um2();
+            for e in accel_engines() {
+                let a = mpu_area(&tech, &spec_of(e));
+                t.row(vec![
+                    variant.clone(),
+                    e.name().into(),
+                    f3(a.arithmetic_um2 / fpe),
+                    f3(a.flipflop_um2 / fpe),
+                    f3(a.total_um2() / fpe),
+                ]);
+            }
+        }
+    }
+    vec![("fig14".into(), t)]
+}
+
+fn fig15() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let cfg = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(cfg, 32);
+    let mut t = Table::new(
+        "Fig. 15 — energy breakdown on OPT-6.7B, normalized to FPE at each precision",
+        &["precision", "engine", "MPU", "SRAM", "DRAM", "VPU", "total"],
+    );
+    for q in [1.0f64, 2.0, 3.0, 4.0, 8.0] {
+        let spec_of = |e: SimEngine| {
+            let s = EngineSpec::paper(e, FpFormat::Fp16);
+            if q > 4.0 && !e.is_bit_serial() {
+                s.q8_variant()
+            } else {
+                s
+            }
+        };
+        let fpe_total = evaluate(&tech, &spec_of(SimEngine::Fpe), &wl, q)
+            .energy
+            .total_pj();
+        for e in accel_engines() {
+            let r = evaluate(&tech, &spec_of(e), &wl, q);
+            t.row(vec![
+                format!("Q{}", q as u32),
+                e.name().into(),
+                f3(r.energy.mpu_pj / fpe_total),
+                f3(r.energy.sram_pj / fpe_total),
+                f3(r.energy.dram_pj / fpe_total),
+                f3(r.energy.vpu_pj / fpe_total),
+                f3(r.energy.total_pj() / fpe_total),
+            ]);
+        }
+    }
+    t.note("bit-serial engines shrink with precision; FPE/FIGNA pad sub-4-bit to Q4");
+    vec![("fig15".into(), t)]
+}
+
+fn fig16() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut out = Vec::new();
+    for q in [2.0f64, 3.0, 4.0] {
+        let mut t = Table::new(
+            format!("Fig. 16 — TOPS/W normalized to FPE (FP16, Q{})", q as u32),
+            &["engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B"],
+        );
+        let base: Vec<f64> = OPT_FAMILY
+            .iter()
+            .map(|cfg| {
+                evaluate(
+                    &tech,
+                    &EngineSpec::paper(SimEngine::Fpe, FpFormat::Fp16),
+                    &decode_workload(cfg, 32),
+                    q,
+                )
+                .tops_per_w()
+            })
+            .collect();
+        for e in [SimEngine::Ifpu, SimEngine::Figna, SimEngine::FiglutI] {
+            let mut row = vec![e.name().to_string()];
+            for (i, cfg) in OPT_FAMILY.iter().enumerate() {
+                let r = evaluate(
+                    &tech,
+                    &EngineSpec::paper(e, FpFormat::Fp16),
+                    &decode_workload(cfg, 32),
+                    q,
+                );
+                row.push(f3(r.tops_per_w() / base[i]));
+            }
+            t.row(row);
+        }
+        out.push((format!("fig16_q{}", q as u32), t));
+    }
+    out
+}
+
+fn fig17() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let opt = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(opt, 32);
+    let teacher = Transformer::teacher(ModelConfig::scaled(3, 64, 4), 103);
+    let (calib, eval) = corpora(&teacher, 7);
+    let fp16_ppl = perplexity(&teacher, &eval, &Backend::Exact);
+
+    let mut t = Table::new(
+        "Fig. 17 — TOPS/W vs perplexity, OPT-6.7B(-synth): FIGNA+OPTQ vs FIGLUT+ShiftAddLLM",
+        &["config", "avg bits", "perplexity", "TOPS/W", "rel. model size"],
+    );
+    t.note(format!("FP16 baseline perplexity: {}", f3(fp16_ppl)));
+    let figna = EngineSpec::paper(SimEngine::Figna, FpFormat::Fp16);
+    for bits in [2u32, 3, 4] {
+        let (q, _) = quantize_model(&teacher, &calib, Method::Gptq { bits });
+        let p = perplexity(&q, &eval, &Backend::Exact);
+        let r = evaluate(&tech, &figna, &wl, bits as f64);
+        t.row(vec![
+            format!("FIGNA OPTQ-Q{bits}"),
+            format!("{bits}"),
+            f3(p),
+            f3(r.tops_per_w()),
+            f3(bits as f64 / 4.0),
+        ]);
+    }
+    let figlut = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+    let mut methods: Vec<(String, Method)> = vec![
+        ("FIGLUT ShiftAdd-Q2".into(), Method::ShiftAdd { bits: 2 }),
+        (
+            "FIGLUT ShiftAdd-Q2.4".into(),
+            Method::ShiftAddMixed { avg_bits: 2.4 },
+        ),
+        ("FIGLUT ShiftAdd-Q3".into(), Method::ShiftAdd { bits: 3 }),
+        ("FIGLUT ShiftAdd-Q4".into(), Method::ShiftAdd { bits: 4 }),
+    ];
+    for (label, m) in methods.drain(..) {
+        let (q, _) = quantize_model(&teacher, &calib, m);
+        let avg = q.average_bits();
+        let p = perplexity(&q, &eval, &Backend::Exact);
+        let r = evaluate(&tech, &figlut, &wl, avg);
+        t.row(vec![
+            label,
+            format!("{avg:.2}"),
+            f3(p),
+            f3(r.tops_per_w()),
+            f3(avg / 4.0),
+        ]);
+    }
+    vec![("fig17".into(), t)]
+}
+
+fn table5() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let cfg = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(cfg, 32);
+    let mut t = Table::new(
+        "Table V — cross-platform comparison (OPT-6.7B, batch 32, Q4 weights)",
+        &["hardware", "format", "TOPS", "power (W)", "TOPS/W"],
+    );
+    for g in TABLE5_GPUS {
+        t.row(vec![
+            g.name.into(),
+            g.format.into(),
+            f3(g.tops),
+            f3(g.power_w),
+            f3(g.tops_per_w()),
+        ]);
+    }
+    for e in [SimEngine::Ifpu, SimEngine::Figna, SimEngine::FiglutI] {
+        let r = evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, 4.0);
+        t.row(vec![
+            e.name().into(),
+            "FP16-Q4".into(),
+            f3(r.tops()),
+            f3(r.power_w()),
+            f3(r.tops_per_w()),
+        ]);
+    }
+    t.note("GPU rows are the paper's measured operating points (simulated constants;");
+    t.note("see figlut-sim::gpu for the roofline cross-check). Accelerator rows are");
+    t.note("computed by the cost model at 28nm/100MHz with LPDDR-class DRAM.");
+    vec![("table5".into(), t)]
+}
+
+fn table6() -> Vec<(String, Table)> {
+    let mut t = Table::new(
+        "Table VI — perplexity, FP16 vs ShiftAddLLM BCQ4 / BCQ3",
+        &["model", "FP16", "BCQ4", "BCQ3"],
+    );
+    for (name, teacher) in synth_family() {
+        let (calib, eval) = corpora(&teacher, 13);
+        let base = perplexity(&teacher, &eval, &Backend::Exact);
+        let mut cells = vec![name.to_string(), f3(base)];
+        for bits in [4u32, 3] {
+            let (q, _) = quantize_model(&teacher, &calib, Method::ShiftAdd { bits });
+            cells.push(f3(perplexity(&q, &eval, &Backend::Exact)));
+        }
+        t.row(cells);
+    }
+    t.note("expected shape: FP16 ≤ BCQ4 ≤ BCQ3, with BCQ4 close to FP16 (paper Table VI)");
+    vec![("table6".into(), t)]
+}
+
+fn ablation() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let opt = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(opt, 32);
+    let mut t = Table::new(
+        "Ablation — FIGLUT design choices on OPT-6.7B (Q4 unless noted)",
+        &["configuration", "TOPS/W", "TOPS/mm2", "vs paper point"],
+    );
+    let base_spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+    let base = evaluate(&tech, &base_spec, &wl, 4.0);
+    let mut row = |label: &str, spec: EngineSpec, q: f64| {
+        let r = evaluate(&tech, &spec, &wl, q);
+        t.row(vec![
+            label.into(),
+            f3(r.tops_per_w()),
+            f3(r.tops_per_mm2()),
+            ratio(r.tops_per_w() / base.tops_per_w()),
+        ]);
+    };
+    row("paper point: mu=4, k=32, hFFLUT, INT", base_spec, 4.0);
+    for (mu, k) in [(2u32, 16u32), (2, 32), (4, 8), (4, 64), (8, 32)] {
+        let mut s = base_spec;
+        s.mu = mu;
+        s.k = k;
+        row(&format!("mu={mu}, k={k}"), s, 4.0);
+    }
+    let mut full = base_spec;
+    full.lut_kind = LutKind::Fflut;
+    row("full FFLUT (no halving)", full, 4.0);
+    row(
+        "FP RAC datapath (FIGLUT-F)",
+        EngineSpec::paper(SimEngine::FiglutF, FpFormat::Fp16),
+        4.0,
+    );
+    t.note("mu/hFFLUT/INT choices all confirm the paper's §III-C/D conclusions;");
+    t.note("k=64 is marginally ahead at the whole-engine level (tile-reuse effects");
+    t.note("the paper's PE-level P_RAC analysis excludes) but within noise of k=32");
+
+    // Alignment-mode accuracy ablation (functional, on the synthetic model).
+    let teacher = Transformer::teacher(ModelConfig::scaled(2, 48, 4), 102);
+    let (calib, eval) = corpora(&teacher, 31);
+    let (q, _) = quantize_model(&teacher, &calib, Method::Rtn { bits: 4 });
+    let qb = to_bcq(&q);
+    let mut t2 = Table::new(
+        "Ablation — pre-alignment mode and guard bits (FIGLUT-I, RTN-Q4)",
+        &["alignment", "guard bits", "perplexity"],
+    );
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    t2.row(vec!["exact reference".into(), "-".into(), f3(exact)]);
+    for (mode, name) in [
+        (figlut_num::align::AlignMode::RoundNearestEven, "RNE"),
+        (figlut_num::align::AlignMode::Truncate, "truncate"),
+    ] {
+        for guard in [0u32, 4] {
+            let cfg = EngineConfig {
+                guard_bits: guard,
+                align: mode,
+                ..EngineConfig::paper_default()
+            };
+            let p = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+            t2.row(vec![name.into(), guard.to_string(), f3(p)]);
+        }
+    }
+    t2.note("RNE alignment with guard bits reproduces the exact perplexity (FIGNA's");
+    t2.note("'preserving numerical accuracy' claim); bare truncation drifts slightly");
+    vec![("ablation_hw".into(), t), ("ablation_align".into(), t2)]
+}
+
+fn ext_node() -> Vec<(String, Table)> {
+    // Extension: the paper's closing remark — "the efficiency of FIGLUT
+    // would be even more prominent if evaluated under comparable
+    // fabrication technologies" (A100 = 7nm, H100 = 4nm).
+    let opt = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(opt, 32);
+    let mut t = Table::new(
+        "Extension — FIGLUT-I vs GPU efficiency across fabrication nodes",
+        &["node (nm)", "TOPS/W", "vs A100 (0.21)", "vs H100 (0.22)"],
+    );
+    for node in [28.0f64, 16.0, 7.0, 4.0] {
+        let tech = Tech::cmos28().scaled_to_node(node);
+        let r = evaluate(
+            &tech,
+            &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16),
+            &wl,
+            4.0,
+        );
+        t.row(vec![
+            format!("{node}"),
+            f3(r.tops_per_w()),
+            ratio(r.tops_per_w() / 0.21),
+            ratio(r.tops_per_w() / 0.22),
+        ]);
+    }
+    t.note("first-order node scaling (DRAM energy held constant); quantifies the");
+    t.note("paper's remark that 28nm FIGLUT already beats 7nm/4nm GPUs");
+    vec![("ext_node".into(), t)]
+}
+
+fn ext_prefill() -> Vec<(String, Table)> {
+    // Extension: decode vs prefill operating points (the paper evaluates
+    // the decode/generation phase; prefill shows where the compute-bound
+    // regime moves).
+    use figlut_model::workload::prefill_workload;
+    let tech = Tech::cmos28();
+    let opt = by_name("OPT-6.7B").unwrap();
+    let mut t = Table::new(
+        "Extension — decode vs prefill on FIGLUT-I (OPT-6.7B, batch 32, Q4)",
+        &["phase", "TOPS", "TOPS/W", "memory-bound?"],
+    );
+    let spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+    for (label, wl, batch_rows) in [
+        ("decode (batch 32)", decode_workload(opt, 32), 32usize),
+        ("decode (batch 1)", decode_workload(opt, 1), 1),
+        (
+            "prefill (batch 4 x 128 tokens)",
+            prefill_workload(opt, 4, 128),
+            512,
+        ),
+    ] {
+        let r = evaluate(&tech, &spec, &wl, 4.0);
+        let c = figlut_sim::dataflow::gemm_cycles(
+            &tech,
+            &spec,
+            opt.d_model,
+            opt.d_model,
+            batch_rows,
+            4.0,
+        );
+        t.row(vec![
+            label.into(),
+            f3(r.tops()),
+            f3(r.tops_per_w()),
+            if c.memory_bound() { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t.note("batch-1 decode is DRAM-bound (the paper's LLM-serving motivation);");
+    t.note("prefill saturates compute and pushes efficiency toward the peak");
+    vec![("ext_prefill".into(), t)]
+}
+
+fn ext_quant() -> Vec<(String, Table)> {
+    // Extension: all four quantization stacks head-to-head on one model —
+    // the quantizer landscape the paper's related-work section surveys
+    // (RTN, AWQ [25], OPTQ [10], ShiftAddLLM [36]).
+    let teacher = Transformer::teacher(ModelConfig::scaled(3, 64, 4), 103);
+    let (calib, eval) = corpora(&teacher, 7);
+    let base = perplexity(&teacher, &eval, &Backend::Exact);
+    let mut t = Table::new(
+        "Extension — quantizer comparison on OPT-6.7B-synth (perplexity)",
+        &["method", "Q2", "Q3", "Q4"],
+    );
+    t.note(format!("FP16 baseline perplexity: {}", f3(base)));
+    for (name, mk) in [
+        ("RTN", (|b| Method::Rtn { bits: b }) as fn(u32) -> Method),
+        ("AWQ", |b| Method::Awq { bits: b }),
+        ("OPTQ", |b| Method::Gptq { bits: b }),
+        ("ShiftAddLLM (BCQ)", |b| Method::ShiftAdd { bits: b }),
+    ] {
+        let mut cells = vec![name.to_string()];
+        for bits in [2u32, 3, 4] {
+            let (q, _) = quantize_model(&teacher, &calib, mk(bits));
+            cells.push(f3(perplexity(&q, &eval, &Backend::Exact)));
+        }
+        t.row(cells);
+    }
+    t.note("expected: calibrated methods beat RTN; BCQ's non-uniform grid is the");
+    t.note("most robust at 2 bits (why the paper pairs FIGLUT with ShiftAddLLM)");
+    vec![("ext_quant".into(), t)]
+}
+
+/// `repro calibration` — the achieved values of every calibration target
+/// from DESIGN.md §5, next to the paper's numbers.
+fn calibration() -> Vec<(String, Table)> {
+    let tech = Tech::cmos28();
+    let mut t = Table::new(
+        "Calibration — cost-model targets vs paper",
+        &["quantity", "paper", "this model"],
+    );
+    let full = lut_power(&tech, LutKind::Fflut, 4, 16, 32);
+    let half = lut_power(&tech, LutKind::Hfflut, 4, 16, 32);
+    t.row(vec![
+        "hFFLUT / FFLUT storage power".into(),
+        "0.494".into(),
+        f3(half.hold_pj_per_cycle / full.hold_pj_per_cycle),
+    ]);
+    t.row(vec![
+        "optimal k (mu=4)".into(),
+        "32".into(),
+        optimal_k(&tech, 4, FpFormat::Fp16, 64).to_string(),
+    ]);
+    let o = GenSchedule::optimized(4, true).adds();
+    let s = GenSchedule::straightforward(4, true).adds();
+    t.row(vec![
+        "generator adds mu=4 (opt/naive)".into(),
+        "14 / 24 (42%)".into(),
+        format!("{o} / {s} ({:.0}%)", 100.0 * (1.0 - o as f64 / s as f64)),
+    ]);
+    let wl = decode_workload(by_name("OPT-6.7B").unwrap(), 32);
+    let tw = |e: SimEngine, q: f64| {
+        evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, q).tops_per_w()
+    };
+    t.row(vec![
+        "FIGLUT-I / FIGNA TOPS/W at Q4".into(),
+        "1.2x (Fig. 17) – 1.4x (Table V)".into(),
+        ratio(tw(SimEngine::FiglutI, 4.0) / tw(SimEngine::Figna, 4.0)),
+    ]);
+    t.row(vec![
+        "FIGLUT-I / FIGNA TOPS/W at Q3".into(),
+        "1.6x".into(),
+        ratio(tw(SimEngine::FiglutI, 3.0) / tw(SimEngine::Figna, 3.0)),
+    ]);
+    t.row(vec![
+        "FIGLUT-I(Q2.4) / FIGNA(Q3) TOPS/W".into(),
+        "1.98x".into(),
+        ratio(tw(SimEngine::FiglutI, 2.4) / tw(SimEngine::Figna, 3.0)),
+    ]);
+    t.row(vec![
+        "FIGLUT-I(Q2) / FIGNA(Q2) TOPS/W".into(),
+        "up to 2.4x".into(),
+        ratio(tw(SimEngine::FiglutI, 2.0) / tw(SimEngine::Figna, 2.0)),
+    ]);
+    vec![("calibration".into(), t)]
+}

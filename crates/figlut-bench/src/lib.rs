@@ -1,0 +1,18 @@
+//! # figlut-bench — reproduction harness for every table and figure
+//!
+//! The `repro` binary regenerates each experiment of the paper's evaluation
+//! (see DESIGN.md §4 for the experiment index):
+//!
+//! ```text
+//! cargo run -p figlut-bench --bin repro            # everything
+//! cargo run -p figlut-bench --bin repro -- fig16   # one experiment
+//! ```
+//!
+//! Each experiment prints an aligned text table and writes a CSV to
+//! `results/`. Criterion benches in `benches/` cover the hot kernels
+//! (LUT construction, RAC vs MAC, full engines).
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::{run, EXPERIMENTS};

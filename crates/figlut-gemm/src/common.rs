@@ -1,0 +1,161 @@
+//! Shared engine configuration and helpers.
+
+use figlut_num::align::AlignMode;
+use figlut_num::fp::FpFormat;
+use figlut_num::Mat;
+use figlut_quant::{BcqWeight, UniformWeight};
+
+/// A quantized weight operand, by format.
+///
+/// Mirrors the paper's Table I split: GPUs/FPE/FIGNA consume INT (uniform)
+/// weights, iFPU/FIGLUT consume BCQ bit-planes. Uniform models run on BCQ
+/// hardware losslessly via [`BcqWeight::from_uniform`].
+#[derive(Clone, Copy, Debug)]
+pub enum Weights<'a> {
+    /// Uniformly quantized INT weights.
+    Uniform(&'a UniformWeight),
+    /// Binary-coding-quantized weights.
+    Bcq(&'a BcqWeight),
+}
+
+impl Weights<'_> {
+    /// `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Weights::Uniform(u) => u.shape(),
+            Weights::Bcq(b) => b.shape(),
+        }
+    }
+
+    /// Weight precision in bits (bit-planes for BCQ).
+    pub fn bits(&self) -> u32 {
+        match self {
+            Weights::Uniform(u) => u.bits(),
+            Weights::Bcq(b) => b.bits(),
+        }
+    }
+
+    /// Dequantize to `f64`.
+    pub fn dequantize(&self) -> Mat<f64> {
+        match self {
+            Weights::Uniform(u) => u.dequantize(),
+            Weights::Bcq(b) => b.dequantize(),
+        }
+    }
+}
+
+/// Datapath configuration shared by all engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Activation format delivered by the input buffer (paper sweeps FP16 /
+    /// BF16 / FP32).
+    pub act: FpFormat,
+    /// LUT group size µ for the FIGLUT engines (the paper settles on 4).
+    pub mu: u32,
+    /// Extra mantissa bits kept through pre-alignment (integer engines).
+    /// The paper's engines keep the format's own precision (`0`); a few
+    /// guard bits model FIGNA's "numerical accuracy preserving" headroom.
+    pub guard_bits: u32,
+    /// Disposal of bits shifted out during pre-alignment.
+    pub align: AlignMode,
+}
+
+impl EngineConfig {
+    /// The paper's default operating point: FP16 activations, µ = 4,
+    /// RNE alignment with FIGNA-style guard headroom.
+    pub fn paper_default() -> Self {
+        Self {
+            act: FpFormat::Fp16,
+            mu: 4,
+            guard_bits: 4,
+            align: AlignMode::RoundNearestEven,
+        }
+    }
+
+    /// Same defaults with a different activation format.
+    pub fn with_act(act: FpFormat) -> Self {
+        Self {
+            act,
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Round every activation to the configured format (what the input SRAM
+/// delivers to the MPU).
+pub(crate) fn round_activations(x: &Mat<f64>, fmt: FpFormat) -> Mat<f64> {
+    x.map(|&v| fmt.quantize(v))
+}
+
+/// One FP32-rounded addition (the accumulator datapath all engines share).
+#[inline]
+pub(crate) fn fp32(v: f64) -> f64 {
+    FpFormat::Fp32.quantize(v)
+}
+
+/// FP32-rounded `a + b`.
+#[inline]
+pub(crate) fn add32(a: f64, b: f64) -> f64 {
+    fp32(a + b)
+}
+
+/// FP32-rounded `a × b`.
+#[inline]
+pub(crate) fn mul32(a: f64, b: f64) -> f64 {
+    fp32(a * b)
+}
+
+/// Validate `x (B×n)` against `w` of `m × n`, returning `(batch, m, n)`.
+///
+/// # Panics
+///
+/// Panics on mismatch.
+pub(crate) fn check_shapes(x: &Mat<f64>, w_shape: (usize, usize)) -> (usize, usize, usize) {
+    let (batch, n) = x.shape();
+    let (m, wn) = w_shape;
+    assert_eq!(
+        n, wn,
+        "activation width {n} does not match weight reduction dim {wn}"
+    );
+    (batch, m, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    #[test]
+    fn weights_enum_delegates() {
+        let w = Mat::from_fn(3, 8, |r, c| (r as f64 - c as f64) * 0.1);
+        let u = rtn(&w, RtnParams::per_row(4));
+        let b = BcqWeight::from_uniform(&u);
+        let wu = Weights::Uniform(&u);
+        let wb = Weights::Bcq(&b);
+        assert_eq!(wu.shape(), (3, 8));
+        assert_eq!(wb.shape(), (3, 8));
+        assert_eq!(wu.bits(), 4);
+        assert_eq!(wb.bits(), 4);
+        assert!(wu.dequantize().max_abs_diff(&wb.dequantize()) < 1e-12);
+    }
+
+    #[test]
+    fn config_defaults_match_paper() {
+        let cfg = EngineConfig::paper_default();
+        assert_eq!(cfg.mu, 4);
+        assert_eq!(cfg.act, FpFormat::Fp16);
+    }
+
+    #[test]
+    fn fp32_rounding_is_idempotent() {
+        let v = 0.1f64;
+        assert_eq!(fp32(fp32(v)), fp32(v));
+        assert_eq!(fp32(0.5), 0.5);
+    }
+}

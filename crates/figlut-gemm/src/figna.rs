@@ -1,0 +1,126 @@
+//! FIGNA: the pre-aligned integer MAC engine (HPCA'24).
+//!
+//! FIGNA removes iFPU's bit-serial overhead by multiplying the aligned
+//! integer mantissa directly with the multi-bit INT weight code — one
+//! INT×INT MAC per weight instead of q add/sub passes. The cost is
+//! inflexibility: the multiplier width is fixed at design time, so sub-4-bit
+//! models run padded to 4 bits and BCQ formats are unsupported (Table I).
+//!
+//! With the affine grid `w = s·v + base` (codes `v ∈ [0, 2^q)`), a group's
+//! contribution is `s·(Σ m_c·v_c)·λ + base·(Σ m_c)·λ`; both integer sums
+//! accumulate exactly, then two FP32-rounded scaling steps each.
+
+use crate::common::{add32, check_shapes, mul32, round_activations, EngineConfig};
+use figlut_num::align::AlignedVector;
+use figlut_num::Mat;
+use figlut_quant::UniformWeight;
+
+/// FIGNA GEMM: `y = x·Wᵀ` over uniform INT weights.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[allow(clippy::needless_range_loop)] // g indexes gsum and column offsets together
+pub fn gemm(x: &Mat<f64>, w: &UniformWeight, cfg: &EngineConfig) -> Mat<f64> {
+    let (batch, m, _n) = check_shapes(x, w.shape());
+    let xa = round_activations(x, cfg.act);
+    let gs = w.group_size();
+    let groups = w.groups();
+    let mut y = Mat::zeros(batch, m);
+    for b in 0..batch {
+        let aligned = AlignedVector::align(xa.row(b), cfg.act, cfg.guard_bits, cfg.align);
+        let lambda = aligned.scale();
+        let mant = aligned.mantissas();
+        let gsum: Vec<i128> = (0..groups)
+            .map(|g| {
+                mant[g * gs..(g + 1) * gs]
+                    .iter()
+                    .map(|&v| v as i128)
+                    .sum()
+            })
+            .collect();
+        for r in 0..m {
+            let mut acc = 0.0;
+            for g in 0..groups {
+                let c0 = g * gs;
+                // INT×INT multiply-accumulate over the group.
+                let mut iacc: i128 = 0;
+                for (j, &mv) in mant[c0..c0 + gs].iter().enumerate() {
+                    iacc += mv as i128 * w.code(r, c0 + j) as i128;
+                }
+                let real = mul32(iacc as f64, lambda);
+                acc = add32(acc, mul32(w.scale(r, c0), real));
+                let sum_real = mul32(gsum[g] as f64, lambda);
+                acc = add32(acc, mul32(w.base(r, c0), sum_real));
+            }
+            y[(b, r)] = acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Weights;
+    use crate::{ifpu, reference};
+    use figlut_quant::bcq::BcqWeight;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    fn setup(m: usize, n: usize, bits: u32) -> (Mat<f64>, UniformWeight) {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.177).sin() * 0.6);
+        let u = rtn(&w, RtnParams::per_row(bits));
+        let x = Mat::from_fn(2, n, |b, c| ((b * n + c) as f64 * 0.049).cos());
+        (x, u)
+    }
+
+    #[test]
+    fn close_to_reference() {
+        let (x, u) = setup(5, 64, 4);
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &u, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Uniform(&u), &cfg);
+        for b in 0..2 {
+            for r in 0..5 {
+                let denom = oracle[(b, r)].abs().max(1.0);
+                assert!(
+                    ((y[(b, r)] - oracle[(b, r)]) / denom).abs() < 1e-2,
+                    "({b},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_ifpu_on_uniform_weights() {
+        // Same pre-alignment, same integers; only the scaling algebra
+        // differs (per-plane α vs single s), so results agree tightly.
+        let (x, u) = setup(6, 32, 4);
+        let bq = BcqWeight::from_uniform(&u);
+        let cfg = EngineConfig::paper_default();
+        let yf = gemm(&x, &u, &cfg);
+        let yi = ifpu::gemm(&x, &bq, &cfg);
+        for b in 0..2 {
+            for r in 0..6 {
+                let denom = yf[(b, r)].abs().max(1.0);
+                assert!(
+                    ((yf[(b, r)] - yi[(b, r)]) / denom).abs() < 1e-5,
+                    "({b},{r}): FIGNA {} vs iFPU {}",
+                    yf[(b, r)],
+                    yi[(b, r)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_grid() {
+        let w = Mat::from_fn(3, 24, |r, c| ((r * 24 + c) as f64 * 0.271).sin());
+        let u = rtn(&w, RtnParams::grouped(4, 8));
+        let x = Mat::from_fn(1, 24, |_, c| (c as f64 * 0.13).cos());
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &u, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Uniform(&u), &cfg);
+        assert!(y.max_abs_diff(&oracle) < 0.05);
+    }
+}

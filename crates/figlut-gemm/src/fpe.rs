@@ -1,0 +1,95 @@
+//! FPE: the dequantize-then-FP-MAC baseline engine.
+//!
+//! The paper's baseline (§IV-B "configuration setup"): each PE dequantizes
+//! the INT weight back to the activation's FP format, multiplies two
+//! FP values, and accumulates in FP32. This is what a GPU effectively does
+//! for weight-only-quantized models — all the arithmetic is still floating
+//! point, so weight quantization saves bandwidth but no compute energy.
+//!
+//! Datapath rounding points modeled here, per output element:
+//! 1. weight dequantized and rounded to the activation format,
+//! 2. FP×FP product rounded directly into FP32 (a fused format-widening
+//!    multiplier, as DesignWare provides),
+//! 3. FP32 accumulation, one rounded add per reduction step.
+
+use crate::common::{add32, check_shapes, mul32, round_activations, EngineConfig};
+use figlut_num::Mat;
+use figlut_quant::UniformWeight;
+
+/// FPE GEMM: `y = x·Wᵀ` with dequantization + FP MAC.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemm(x: &Mat<f64>, w: &UniformWeight, cfg: &EngineConfig) -> Mat<f64> {
+    let (batch, m, n) = check_shapes(x, w.shape());
+    let xa = round_activations(x, cfg.act);
+    // Dequantize once: value rounded to the activation format (the
+    // INT→FP converter output register).
+    let wd = Mat::from_fn(m, n, |r, c| cfg.act.quantize(w.value(r, c)));
+    Mat::from_fn(batch, m, |b, r| {
+        let xrow = xa.row(b);
+        let wrow = wd.row(r);
+        let mut acc = 0.0;
+        for c in 0..n {
+            acc = add32(acc, mul32(xrow[c], wrow[c]));
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Weights;
+    use crate::reference;
+    use figlut_num::fp::FpFormat;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    fn setup(m: usize, n: usize, bits: u32) -> (Mat<f64>, UniformWeight) {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.193).sin() * 0.5);
+        let u = rtn(&w, RtnParams::per_row(bits));
+        let x = Mat::from_fn(3, n, |b, c| ((b * n + c) as f64 * 0.071).cos());
+        (x, u)
+    }
+
+    #[test]
+    fn close_to_reference() {
+        let (x, u) = setup(6, 64, 4);
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &u, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Uniform(&u), &cfg);
+        // fp16 weight-rounding + fp32 accumulation over n=64: relative
+        // error well below 1e-2.
+        for b in 0..x.rows() {
+            for r in 0..u.shape().0 {
+                let denom = oracle[(b, r)].abs().max(1.0);
+                assert!(
+                    ((y[(b, r)] - oracle[(b, r)]) / denom).abs() < 1e-2,
+                    "({b},{r}): {} vs {}",
+                    y[(b, r)],
+                    oracle[(b, r)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_activations_are_near_exact() {
+        let (x, u) = setup(4, 32, 8);
+        let cfg = EngineConfig::with_act(FpFormat::Fp32);
+        let y = gemm(&x, &u, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Uniform(&u), &cfg);
+        assert!(y.max_abs_diff(&oracle) < 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, u) = setup(4, 32, 4);
+        let cfg = EngineConfig::paper_default();
+        assert_eq!(
+            gemm(&x, &u, &cfg).as_slice(),
+            gemm(&x, &u, &cfg).as_slice()
+        );
+    }
+}

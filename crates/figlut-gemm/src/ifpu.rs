@@ -1,0 +1,144 @@
+//! iFPU: the bit-serial pre-aligned adder engine (ICLR'23).
+//!
+//! iFPU aligns activation mantissas to the vector-maximum exponent, after
+//! which the inner product against one binary weight plane is a chain of
+//! integer additions/subtractions. Each bit-plane costs a full pass, so a
+//! q-bit model takes q passes — the `O(mnkq)` complexity row of Table I.
+//!
+//! Per (batch, output row):
+//! 1. pre-align the activation row (shared with FIGNA / FIGLUT-I),
+//! 2. for each scale group and each plane `i`: integer sum `Σ_c ±m_c`,
+//! 3. scale by `αᵢ` (two FP32-rounded multiplies: mantissa-to-real, then
+//!    α), accumulate in FP32,
+//! 4. offset term: `z · Σ_c x_c`, same scaling path.
+
+use crate::common::{add32, check_shapes, mul32, round_activations, EngineConfig};
+use figlut_num::align::AlignedVector;
+use figlut_num::Mat;
+use figlut_quant::BcqWeight;
+
+/// Fold one integer plane partial `p` into the FP32 accumulator:
+/// `acc + α·(p·λ)` with every operation FP32-rounded. Shared verbatim with
+/// FIGLUT-I so the two engines are bit-identical (they produce the same
+/// integer `p` by associativity of integer addition).
+#[inline]
+pub(crate) fn fold_partial(acc: f64, alpha: f64, p: i128, lambda: f64) -> f64 {
+    let real = mul32(p as f64, lambda);
+    add32(acc, mul32(alpha, real))
+}
+
+/// iFPU GEMM: `y = x·Wᵀ` over BCQ weights.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[allow(clippy::needless_range_loop)] // g indexes gsum and column offsets together
+pub fn gemm(x: &Mat<f64>, w: &BcqWeight, cfg: &EngineConfig) -> Mat<f64> {
+    let (batch, m, _n) = check_shapes(x, w.shape());
+    let xa = round_activations(x, cfg.act);
+    let q = w.bits() as usize;
+    let gs = w.group_size();
+    let groups = w.groups();
+    let mut y = Mat::zeros(batch, m);
+    for b in 0..batch {
+        let aligned = AlignedVector::align(xa.row(b), cfg.act, cfg.guard_bits, cfg.align);
+        let lambda = aligned.scale();
+        let mant = aligned.mantissas();
+        // Group-wise mantissa sums for the offset term (computed once per
+        // batch row, reused by every output row).
+        let gsum: Vec<i128> = (0..groups)
+            .map(|g| {
+                mant[g * gs..(g + 1) * gs]
+                    .iter()
+                    .map(|&v| v as i128)
+                    .sum()
+            })
+            .collect();
+        for r in 0..m {
+            let mut acc = 0.0;
+            for g in 0..groups {
+                let c0 = g * gs;
+                for i in 0..q {
+                    let plane = w.plane(i);
+                    let mut p: i128 = 0;
+                    for (j, &mv) in mant[c0..c0 + gs].iter().enumerate() {
+                        let mv = mv as i128;
+                        if plane.get(r, c0 + j) {
+                            p += mv;
+                        } else {
+                            p -= mv;
+                        }
+                    }
+                    acc = fold_partial(acc, w.alpha(i, r, c0), p, lambda);
+                }
+                if w.has_offset() {
+                    acc = fold_partial(acc, w.offset(r, c0), gsum[g], lambda);
+                }
+            }
+            y[(b, r)] = acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Weights;
+    use crate::reference;
+    use figlut_quant::bcq::BcqParams;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    fn setup(m: usize, n: usize, bits: u32) -> (Mat<f64>, BcqWeight) {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.219).sin() * 0.4);
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(bits));
+        let x = Mat::from_fn(2, n, |bb, c| ((bb * n + c) as f64 * 0.057).cos());
+        (x, b)
+    }
+
+    #[test]
+    fn close_to_reference() {
+        let (x, b) = setup(5, 48, 3);
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &b, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Bcq(&b), &cfg);
+        for bb in 0..x.rows() {
+            for r in 0..5 {
+                let denom = oracle[(bb, r)].abs().max(1.0);
+                assert!(
+                    ((y[(bb, r)] - oracle[(bb, r)]) / denom).abs() < 1e-2,
+                    "({bb},{r}): {} vs {}",
+                    y[(bb, r)],
+                    oracle[(bb, r)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_uniform_grid_weights() {
+        // Weights exactly on a 4-bit unit-step grid (every row spans the
+        // full 0..15 code range, so the RTN scale is exactly 1.0) and
+        // power-of-two-ish inputs: every datapath value is dyadic with few
+        // significant bits, so iFPU equals the oracle exactly.
+        let w = Mat::from_fn(3, 16, |r, c| ((r + c) % 16) as f64 - 7.5);
+        let u = rtn(&w, RtnParams::per_row(4));
+        let b = BcqWeight::from_uniform(&u);
+        let x = Mat::from_fn(1, 16, |_, c| ((c % 8) as f64 + 1.0) * 0.25);
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &b, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Bcq(&b), &cfg);
+        assert!(y.max_abs_diff(&oracle) < 1e-9, "{}", y.max_abs_diff(&oracle));
+    }
+
+    #[test]
+    fn handles_grouped_scales() {
+        let w = Mat::from_fn(4, 32, |r, c| ((r * 32 + c) as f64 * 0.143).sin());
+        let bq = BcqWeight::quantize(&w, BcqParams::grouped(3, 8));
+        let x = Mat::from_fn(2, 32, |b, c| ((b + c) as f64 * 0.081).cos());
+        let cfg = EngineConfig::paper_default();
+        let y = gemm(&x, &bq, &cfg);
+        let oracle = reference::gemm(&x, &Weights::Bcq(&bq), &cfg);
+        assert!(y.max_abs_diff(&oracle) < 0.05 * oracle.frob_norm().max(1.0));
+    }
+}

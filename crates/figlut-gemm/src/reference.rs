@@ -1,0 +1,50 @@
+//! Exact-arithmetic reference engine (the oracle).
+//!
+//! Rounds activations to the configured format (that much any engine sees),
+//! dequantizes weights to `f64`, and computes the GEMM exactly in `f64`.
+//! Every hardware engine's output is compared against this; Table IV's
+//! "GPU" row plays the same role in the paper.
+
+use crate::common::{check_shapes, round_activations, EngineConfig, Weights};
+use figlut_num::Mat;
+
+/// `y (B×m) = x (B×n) · Wᵀ (n×m)` in exact `f64` arithmetic.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemm(x: &Mat<f64>, w: &Weights<'_>, cfg: &EngineConfig) -> Mat<f64> {
+    let (batch, m, n) = check_shapes(x, w.shape());
+    let xa = round_activations(x, cfg.act);
+    let wd = w.dequantize();
+    Mat::from_fn(batch, m, |b, r| {
+        let xrow = xa.row(b);
+        let wrow = wd.row(r);
+        let mut acc = 0.0;
+        for c in 0..n {
+            acc += xrow[c] * wrow[c];
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    #[test]
+    fn matches_mat_matmul() {
+        let w = Mat::from_fn(4, 8, |r, c| ((r * 8 + c) as f64 * 0.17).sin());
+        let u = rtn(&w, RtnParams::per_row(8));
+        let x = Mat::from_fn(2, 8, |b, c| ((b + c) as f64 * 0.31).cos());
+        let cfg = EngineConfig {
+            act: figlut_num::fp::FpFormat::Fp32,
+            ..EngineConfig::paper_default()
+        };
+        let y = gemm(&x, &Weights::Uniform(&u), &cfg);
+        let xa = x.map(|&v| cfg.act.quantize(v));
+        let oracle = xa.matmul(&u.dequantize().transposed());
+        assert!(y.max_abs_diff(&oracle) < 1e-12);
+    }
+}

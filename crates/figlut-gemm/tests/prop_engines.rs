@@ -1,0 +1,144 @@
+//! Cross-engine property tests: every hardware datapath must track the
+//! exact-arithmetic reference on arbitrary inputs, and the paper's
+//! equivalence structure (FIGLUT-I ≡ iFPU) must hold bit-for-bit.
+
+use figlut_gemm::{Engine, EngineConfig, Weights};
+use figlut_num::fp::FpFormat;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_quant::uniform::{rtn, RtnParams};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Problem {
+    x: Mat<f64>,
+    w: Mat<f64>,
+    bits: u32,
+}
+
+fn problem() -> impl Strategy<Value = Problem> {
+    (1usize..=4, 1usize..=6, 1usize..=48, 1u32..=4).prop_flat_map(|(batch, m, n, bits)| {
+        (
+            prop::collection::vec(-4.0f64..4.0, batch * n),
+            prop::collection::vec(-1.0f64..1.0, m * n),
+        )
+            .prop_map(move |(xv, wv)| Problem {
+                x: Mat::from_vec(batch, n, xv),
+                w: Mat::from_vec(m, n, wv),
+                bits,
+            })
+    })
+}
+
+fn assert_close(got: &Mat<f64>, want: &Mat<f64>, scale_rows: &Mat<f64>, tol: f64, tag: &str) {
+    for b in 0..got.rows() {
+        for r in 0..got.cols() {
+            // Scale-aware tolerance: |x|·|w| row magnitudes.
+            let denom = scale_rows[(b, r)].max(1e-6);
+            let err = (got[(b, r)] - want[(b, r)]).abs() / denom;
+            assert!(
+                err < tol,
+                "{tag} ({b},{r}): got {} want {} rel {err}",
+                got[(b, r)],
+                want[(b, r)]
+            );
+        }
+    }
+}
+
+/// Row-magnitude scale: Σ|x_c|·max|w| per (batch, row) — the natural error
+/// scale of a dot product.
+fn magnitude(x: &Mat<f64>, wd: &Mat<f64>) -> Mat<f64> {
+    Mat::from_fn(x.rows(), wd.rows(), |b, r| {
+        let xs: f64 = x.row(b).iter().map(|v| v.abs()).sum();
+        let wmax = wd.row(r).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        xs * wmax
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bcq_engines_track_reference(p in problem()) {
+        let bq = BcqWeight::quantize(&p.w, BcqParams::per_row(p.bits));
+        let cfg = EngineConfig::paper_default();
+        let wref = Weights::Bcq(&bq);
+        let oracle = Engine::Reference.run(&p.x, &wref, &cfg);
+        let mag = magnitude(&p.x, &bq.dequantize());
+        for e in [Engine::Ifpu, Engine::FiglutF, Engine::FiglutI] {
+            let y = e.run(&p.x, &wref, &cfg);
+            // fp16 activations: alignment + fp32 accumulation error stays
+            // within ~2⁻¹⁰ of the dot-product magnitude.
+            assert_close(&y, &oracle, &mag, 2e-3, e.name());
+        }
+    }
+
+    #[test]
+    fn uniform_engines_track_reference(p in problem()) {
+        let u = rtn(&p.w, RtnParams::per_row(p.bits));
+        let cfg = EngineConfig::paper_default();
+        let wref = Weights::Uniform(&u);
+        let oracle = Engine::Reference.run(&p.x, &wref, &cfg);
+        let mag = magnitude(&p.x, &u.dequantize());
+        for e in [Engine::Fpe, Engine::Figna] {
+            let y = e.run(&p.x, &wref, &cfg);
+            assert_close(&y, &oracle, &mag, 2e-3, e.name());
+        }
+    }
+
+    #[test]
+    fn figlut_i_equals_ifpu_bitexact(p in problem(), mu in 1u32..=8) {
+        let bq = BcqWeight::quantize(&p.w, BcqParams::per_row(p.bits));
+        let cfg = EngineConfig { mu, ..EngineConfig::paper_default() };
+        let wref = Weights::Bcq(&bq);
+        let yl = Engine::FiglutI.run(&p.x, &wref, &cfg);
+        let yi = Engine::Ifpu.run(&p.x, &wref, &cfg);
+        prop_assert_eq!(yl.as_slice(), yi.as_slice());
+    }
+
+    #[test]
+    fn uniform_via_bcq_is_value_preserving(p in problem()) {
+        // Running a uniform model on BCQ hardware (Eq. 3 conversion) gives
+        // the same results as running it natively, up to FP32 accumulation
+        // association.
+        let u = rtn(&p.w, RtnParams::per_row(p.bits));
+        let bq = BcqWeight::from_uniform(&u);
+        let cfg = EngineConfig::with_act(FpFormat::Fp32);
+        let y_native = Engine::Fpe.run(&p.x, &Weights::Uniform(&u), &cfg);
+        let y_bcq = Engine::FiglutF.run(&p.x, &Weights::Bcq(&bq), &cfg);
+        let mag = magnitude(&p.x, &u.dequantize());
+        assert_close(&y_bcq, &y_native, &mag, 1e-5, "uniform-via-bcq");
+    }
+
+    #[test]
+    fn engines_are_deterministic(p in problem()) {
+        // Same inputs → same bits, across repeated runs (no hidden state).
+        let bq = BcqWeight::quantize(&p.w, BcqParams::per_row(p.bits));
+        let wref = Weights::Bcq(&bq);
+        let cfg = EngineConfig::with_act(FpFormat::Fp16);
+        for e in [Engine::Ifpu, Engine::FiglutF, Engine::FiglutI] {
+            let a = e.run(&p.x, &wref, &cfg);
+            let b = e.run(&p.x, &wref, &cfg);
+            prop_assert_eq!(a.as_slice(), b.as_slice(), "{}", e.name());
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "does not support BCQ")]
+fn figna_rejects_bcq() {
+    let w = Mat::from_fn(2, 8, |r, c| (r + c) as f64 * 0.1);
+    let bq = BcqWeight::quantize(&w, BcqParams::per_row(2));
+    let x = Mat::from_fn(1, 8, |_, c| c as f64);
+    let _ = Engine::Figna.run(&x, &Weights::Bcq(&bq), &EngineConfig::paper_default());
+}
+
+#[test]
+#[should_panic(expected = "does not support uniform")]
+fn ifpu_rejects_uniform() {
+    let w = Mat::from_fn(2, 8, |r, c| (r + c) as f64 * 0.1);
+    let u = rtn(&w, RtnParams::per_row(2));
+    let x = Mat::from_fn(1, 8, |_, c| c as f64);
+    let _ = Engine::Ifpu.run(&x, &Weights::Uniform(&u), &EngineConfig::paper_default());
+}

@@ -1,0 +1,139 @@
+//! GPU shared-memory bank-conflict model (paper §II-C, Fig. 2).
+//!
+//! LUT-GEMM keeps its tables in GPU shared memory, which is striped across
+//! 32 banks. During the *read* phase the keys are weight bits — effectively
+//! random — so several of a warp's threads regularly hit the same bank and
+//! the hardware serializes them. This module quantifies that serialization,
+//! reproducing the paper's motivation for a conflict-free FFLUT: the FFLUT
+//! gives every reader a dedicated multiplexer, so its "serialization factor"
+//! is identically 1.
+
+/// Number of shared-memory banks on contemporary NVIDIA GPUs.
+pub const GPU_BANKS: usize = 32;
+
+/// Aggregate statistics of a simulated read phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictStats {
+    /// Cycles actually consumed.
+    pub cycles: u64,
+    /// Cycles an ideal conflict-free memory would need.
+    pub ideal_cycles: u64,
+}
+
+impl ConflictStats {
+    /// Slowdown versus conflict-free access (≥ 1).
+    pub fn serialization(&self) -> f64 {
+        self.cycles as f64 / self.ideal_cycles as f64
+    }
+}
+
+/// Cycles to service one wavefront of concurrent accesses: the maximum
+/// number of accesses landing in any one bank (GPU semantics: conflicting
+/// accesses replay serially; an idle wavefront costs one cycle).
+pub fn wavefront_cycles(bank_of_access: &[usize], banks: usize) -> u64 {
+    assert!(banks > 0, "need at least one bank");
+    let mut load = vec![0u64; banks];
+    for &b in bank_of_access {
+        load[b % banks] += 1;
+    }
+    load.into_iter().max().unwrap_or(0).max(1)
+}
+
+/// Simulate the LUT-GEMM read phase: `threads` parallel readers issue
+/// `lookups` rounds of reads with pseudo-random µ-bit keys into a table
+/// striped entry-per-bank. Deterministic in `seed`.
+pub fn banked_read_phase(
+    mu: u32,
+    threads: usize,
+    lookups: usize,
+    banks: usize,
+    seed: u64,
+) -> ConflictStats {
+    assert!((1..=16).contains(&mu), "µ = {mu} unsupported");
+    let entries = 1u64 << mu;
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = || {
+        // xorshift64*: plenty for conflict statistics.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut cycles = 0u64;
+    let mut wave = vec![0usize; threads];
+    for _ in 0..lookups {
+        for slot in wave.iter_mut() {
+            *slot = (next() % entries) as usize;
+        }
+        cycles += wavefront_cycles(&wave, banks);
+    }
+    ConflictStats {
+        cycles,
+        ideal_cycles: lookups as u64,
+    }
+}
+
+/// The FFLUT equivalent: every reader has a dedicated multiplexer port, so
+/// each round always completes in one cycle regardless of key distribution.
+pub fn fflut_read_phase(lookups: usize) -> ConflictStats {
+    ConflictStats {
+        cycles: lookups as u64,
+        ideal_cycles: lookups as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavefront_no_conflicts() {
+        // All different banks → 1 cycle.
+        assert_eq!(wavefront_cycles(&[0, 1, 2, 3], 32), 1);
+    }
+
+    #[test]
+    fn wavefront_worst_case_serializes() {
+        // Paper Fig. 2 worst case: all threads on one bank.
+        assert_eq!(wavefront_cycles(&[5; 32], 32), 32);
+    }
+
+    #[test]
+    fn wavefront_partial_conflict() {
+        assert_eq!(wavefront_cycles(&[0, 0, 1, 2], 32), 2);
+        assert_eq!(wavefront_cycles(&[], 32), 1, "idle wave still ticks");
+    }
+
+    #[test]
+    fn small_tables_conflict_badly() {
+        // µ=2 → 4 distinct entries across 32 threads: at least 8-way
+        // conflicts every cycle.
+        let s = banked_read_phase(2, 32, 500, GPU_BANKS, 7);
+        assert!(s.serialization() >= 8.0, "got {}", s.serialization());
+    }
+
+    #[test]
+    fn conflicts_shrink_with_table_size() {
+        let s2 = banked_read_phase(2, 32, 400, GPU_BANKS, 11).serialization();
+        let s4 = banked_read_phase(4, 32, 400, GPU_BANKS, 11).serialization();
+        let s8 = banked_read_phase(8, 32, 400, GPU_BANKS, 11).serialization();
+        assert!(s2 > s4 && s4 > s8, "{s2} {s4} {s8}");
+        // Even µ=8 (256 entries over 32 banks) still conflicts noticeably
+        // with random keys — the birthday effect the paper highlights.
+        assert!(s8 > 1.5, "µ=8 serialization {s8}");
+    }
+
+    #[test]
+    fn fflut_never_serializes() {
+        let s = fflut_read_phase(1000);
+        assert_eq!(s.serialization(), 1.0);
+        assert_eq!(s.cycles, 1000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = banked_read_phase(4, 32, 100, GPU_BANKS, 42);
+        let b = banked_read_phase(4, 32, 100, GPU_BANKS, 42);
+        assert_eq!(a, b);
+    }
+}

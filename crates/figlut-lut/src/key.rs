@@ -1,0 +1,197 @@
+//! µ-bit weight-pattern keys.
+//!
+//! A key encodes the signs of `µ` consecutive binary weights: bit `j` set
+//! means weight `j` is `+1`, clear means `−1`. Bit 0 corresponds to the
+//! *first* weight of the group (the lowest input index), matching the
+//! packing order of `figlut_quant::BitMatrix::key`.
+//!
+//! The paper's Table II prints keys with x₁ as the MSB; use
+//! [`Key::from_msb_first`] / [`Key::to_msb_first`] when matching its layout.
+//!
+//! The hFFLUT decoder (paper Fig. 10) relies on *vertical symmetry*:
+//! complementing every bit of a key negates the table value. [`Key::fold`]
+//! performs the decoder's index transform: the MSB selects whether to pass
+//! the low `µ−1` bits through or complement them, and tells the reader to
+//! flip the sign of the fetched value.
+
+/// A weight-pattern key for a LUT over `µ` inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Key {
+    value: u16,
+    mu: u32,
+}
+
+impl Key {
+    /// Maximum supported group size (table sizes stay ≤ 2¹⁶).
+    pub const MAX_MU: u32 = 16;
+
+    /// Create a key for a µ-input LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is 0 or exceeds [`Key::MAX_MU`], or if `value` has
+    /// bits above `mu`.
+    pub fn new(value: u16, mu: u32) -> Self {
+        assert!((1..=Self::MAX_MU).contains(&mu), "µ = {mu} unsupported");
+        assert!(
+            mu == 16 || value < (1 << mu),
+            "key {value:#b} out of range for µ = {mu}"
+        );
+        Self { value, mu }
+    }
+
+    /// Build from MSB-first sign flags (`true` = `+1`), as the paper's
+    /// Table II lists binary patterns `{b₁, …, b_µ}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs` is empty or longer than [`Key::MAX_MU`].
+    pub fn from_msb_first(signs: &[bool]) -> Self {
+        let mu = signs.len() as u32;
+        assert!((1..=Self::MAX_MU).contains(&mu), "µ = {mu} unsupported");
+        let mut v = 0u16;
+        for (i, &s) in signs.iter().enumerate() {
+            if s {
+                v |= 1 << (mu as usize - 1 - i);
+            }
+        }
+        Self { value: v, mu }
+    }
+
+    /// Sign flags MSB-first (Table II layout).
+    pub fn to_msb_first(self) -> Vec<bool> {
+        (0..self.mu)
+            .rev()
+            .map(|j| (self.value >> j) & 1 == 1)
+            .collect()
+    }
+
+    /// The raw key value (bit `j` ↔ input `j`).
+    #[inline]
+    pub fn value(self) -> u16 {
+        self.value
+    }
+
+    /// Group size µ.
+    #[inline]
+    pub fn mu(self) -> u32 {
+        self.mu
+    }
+
+    /// Sign of input `j` as `±1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ µ`.
+    #[inline]
+    pub fn sign(self, j: u32) -> i32 {
+        assert!(j < self.mu, "input {j} out of range for µ = {}", self.mu);
+        if (self.value >> j) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The complementary key (all bits flipped). By vertical symmetry,
+    /// `lut[complement(k)] == −lut[k]`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        let mask = if self.mu == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.mu) - 1
+        };
+        Self {
+            value: self.value ^ mask,
+            mu: self.mu,
+        }
+    }
+
+    /// The key's MSB (the select signal of the hFFLUT decoder).
+    #[inline]
+    pub fn msb(self) -> bool {
+        (self.value >> (self.mu - 1)) & 1 == 1
+    }
+
+    /// hFFLUT decoder transform: returns `(negate, index)` such that
+    /// `full[k] == if negate { −half[index] } else { half[index] }`, where
+    /// `half` stores the `2^(µ−1)` entries whose MSB is 0.
+    ///
+    /// Matches paper Fig. 10: the MSB selects the (µ−1)-bit index (possibly
+    /// complemented) and drives the sign flip.
+    #[inline]
+    pub fn fold(self) -> (bool, usize) {
+        let low_mask = (1u16 << (self.mu - 1)) - 1;
+        if self.msb() {
+            (true, ((self.value ^ u16::MAX) & low_mask) as usize)
+        } else {
+            (false, (self.value & low_mask) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_lsb_first() {
+        let k = Key::new(0b011, 3); // inputs 0,1 = +1; input 2 = −1
+        assert_eq!(k.sign(0), 1);
+        assert_eq!(k.sign(1), 1);
+        assert_eq!(k.sign(2), -1);
+    }
+
+    #[test]
+    fn msb_first_matches_paper_table2() {
+        // Paper Table II row: {−1, −1, +1} ↔ key 1 (b'001), meaning b₁ = −1
+        // is the MSB.
+        let k = Key::from_msb_first(&[false, false, true]);
+        assert_eq!(k.value(), 0b001);
+        assert_eq!(k.to_msb_first(), vec![false, false, true]);
+        // {+1, +1, −1} ↔ key 6.
+        let k = Key::from_msb_first(&[true, true, false]);
+        assert_eq!(k.value(), 0b110);
+    }
+
+    #[test]
+    fn complement_flips_all() {
+        let k = Key::new(0b0101, 4);
+        assert_eq!(k.complement().value(), 0b1010);
+        assert_eq!(k.complement().complement(), k);
+    }
+
+    #[test]
+    fn fold_low_half_passthrough() {
+        for v in 0..8u16 {
+            let k = Key::new(v, 4); // MSB clear
+            assert_eq!(k.fold(), (false, v as usize));
+        }
+    }
+
+    #[test]
+    fn fold_high_half_complements() {
+        // Key 0b1101 (µ=4): MSB set → negate, index = complement of low
+        // bits 0b101 → 0b010.
+        let k = Key::new(0b1101, 4);
+        assert_eq!(k.fold(), (true, 0b010));
+        // fold(k) and fold(complement(k)) address the same entry.
+        let (n1, i1) = k.fold();
+        let (n2, i2) = k.complement().fold();
+        assert_eq!(i1, i2);
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn mu_one_folds() {
+        assert_eq!(Key::new(0, 1).fold(), (false, 0));
+        assert_eq!(Key::new(1, 1).fold(), (true, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_value() {
+        let _ = Key::new(0b100, 2);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # figlut-lut — look-up-table machinery (the paper's functional core)
+//!
+//! FIGLUT replaces the inner arithmetic of FP-INT GEMM with table reads:
+//! for a group of `µ` binary weights, the partial sum `±x₁ ±x₂ … ±x_µ` can
+//! take only `2^µ` values, all precomputed per input vector. This crate
+//! implements that machinery exactly as the paper describes it:
+//!
+//! * [`key`] — µ-bit weight-pattern keys, including the MSB fold used by the
+//!   half-table decoder (paper Fig. 10).
+//! * [`table`] — [`FullLut`] (the FFLUT contents, paper Table II) and
+//!   [`HalfLut`] (the hFFLUT exploiting vertical symmetry, §III-D).
+//! * [`generator`] — the LUT-generator adder-tree scheduler (§III-E,
+//!   Fig. 11): shared-subexpression schedules whose add counts reproduce the
+//!   "14 additions for µ = 4, 42% fewer than straightforward" claim.
+//! * [`rac`] — the read-accumulate (RAC) unit that replaces the MAC.
+//! * [`bank`] — a GPU shared-memory bank-conflict model reproducing the
+//!   motivation of Fig. 2 (why LUT-GEMM stalls and the FFLUT does not).
+//!
+//! Everything is generic over the table scalar so the same structures serve
+//! FIGLUT-F (floating-point entries) and FIGLUT-I (pre-aligned integer
+//! entries).
+
+pub mod bank;
+pub mod generator;
+pub mod key;
+pub mod rac;
+pub mod table;
+
+pub use generator::GenSchedule;
+pub use key::Key;
+pub use rac::Rac;
+pub use table::{FullLut, HalfLut, LutRead, LutValue};

@@ -1,0 +1,295 @@
+//! LUT containers: the FFLUT ([`FullLut`]) and the hFFLUT ([`HalfLut`]).
+//!
+//! A µ-input LUT holds all `2^µ` signed combinations `±x₀ ±x₁ … ±x_{µ−1}`
+//! of the current activation group (paper Table II). The hFFLUT stores only
+//! the `2^(µ−1)` entries whose key MSB is 0; vertical symmetry
+//! (`lut[~k] = −lut[k]`) recovers the rest through the decoder of paper
+//! Fig. 10 — halving flip-flop count and power for a trivial
+//! complement-and-negate cost.
+//!
+//! Tables are built by executing a `GenSchedule` (see [`crate::generator`]),
+//! so entry values carry exactly the rounding order of the hardware
+//! generator's adder tree (this matters for the FP datapath of FIGLUT-F).
+
+use crate::generator::GenSchedule;
+use crate::key::Key;
+
+/// Scalars that can live in a LUT: negation must be exact (a sign flip).
+pub trait LutValue: Copy {
+    /// Exact negation.
+    fn neg(self) -> Self;
+}
+
+impl LutValue for f64 {
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+impl LutValue for i64 {
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+/// Read access shared by full and half tables (and by the RAC unit).
+pub trait LutRead<T> {
+    /// Group size µ.
+    fn mu(&self) -> u32;
+    /// The partial sum stored for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's µ differs from the table's.
+    fn read(&self, key: Key) -> T;
+}
+
+/// The full `2^µ`-entry FFLUT.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FullLut<T> {
+    mu: u32,
+    entries: Vec<T>,
+}
+
+impl<T: LutValue> FullLut<T> {
+    /// Build from the µ activations of the current group using the
+    /// optimized generator schedule and the supplied datapath adder.
+    pub fn build(xs: &[T], add: impl FnMut(T, T) -> T) -> Self {
+        let mu = xs.len() as u32;
+        let sched = GenSchedule::optimized(mu, false);
+        Self {
+            mu,
+            entries: sched.apply(xs, add),
+        }
+    }
+
+    /// Build with a caller-provided schedule (must be a full-table schedule
+    /// of matching µ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is a half schedule or µ mismatches.
+    pub fn build_with(sched: &GenSchedule, xs: &[T], add: impl FnMut(T, T) -> T) -> Self {
+        assert!(!sched.is_half(), "half schedule used for a full table");
+        assert_eq!(sched.mu() as usize, xs.len(), "µ mismatch");
+        Self {
+            mu: sched.mu(),
+            entries: sched.apply(xs, add),
+        }
+    }
+
+    /// Raw entries, indexed by key value.
+    pub fn entries(&self) -> &[T] {
+        &self.entries
+    }
+}
+
+impl<T: LutValue> LutRead<T> for FullLut<T> {
+    fn mu(&self) -> u32 {
+        self.mu
+    }
+
+    #[inline]
+    fn read(&self, key: Key) -> T {
+        assert_eq!(key.mu(), self.mu, "key µ mismatch");
+        self.entries[key.value() as usize]
+    }
+}
+
+/// The half-size hFFLUT: `2^(µ−1)` stored entries plus the MSB decoder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HalfLut<T> {
+    mu: u32,
+    entries: Vec<T>,
+}
+
+impl<T: LutValue> HalfLut<T> {
+    /// Build the stored half (keys with MSB = 0) from the µ activations.
+    pub fn build(xs: &[T], add: impl FnMut(T, T) -> T) -> Self {
+        let mu = xs.len() as u32;
+        let sched = GenSchedule::optimized(mu, true);
+        Self {
+            mu,
+            entries: sched.apply(xs, add),
+        }
+    }
+
+    /// Build with a caller-provided half schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is not a half schedule or µ mismatches.
+    pub fn build_with(sched: &GenSchedule, xs: &[T], add: impl FnMut(T, T) -> T) -> Self {
+        assert!(sched.is_half(), "full schedule used for a half table");
+        assert_eq!(sched.mu() as usize, xs.len(), "µ mismatch");
+        Self {
+            mu: sched.mu(),
+            entries: sched.apply(xs, add),
+        }
+    }
+
+    /// Derive the half table from a full table (hardware never does this —
+    /// it is a test/verification convenience).
+    pub fn from_full(full: &FullLut<T>) -> Self {
+        Self {
+            mu: full.mu,
+            entries: full.entries[..full.entries.len() / 2].to_vec(),
+        }
+    }
+
+    /// The stored (MSB-clear) entries.
+    pub fn entries(&self) -> &[T] {
+        &self.entries
+    }
+
+    /// Stored flip-flop payload relative to a full table: exactly half.
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<T: LutValue> LutRead<T> for HalfLut<T> {
+    fn mu(&self) -> u32 {
+        self.mu
+    }
+
+    /// Decoder of paper Fig. 10: MSB selects pass-through vs complemented
+    /// index and drives the output sign flip.
+    #[inline]
+    fn read(&self, key: Key) -> T {
+        assert_eq!(key.mu(), self.mu, "key µ mismatch");
+        let (negate, index) = key.fold();
+        let v = self.entries[index];
+        if negate {
+            v.neg()
+        } else {
+            v
+        }
+    }
+}
+
+/// Render the symbolic LUT contents for µ inputs named `x1 … xµ`, one row
+/// per key in paper Table II order (x₁ is the key MSB). Used by the `repro
+/// table2` harness.
+pub fn symbolic_table(mu: u32) -> Vec<(u16, String)> {
+    assert!((1..=8).contains(&mu), "symbolic table for µ = {mu}");
+    (0..(1u16 << mu))
+        .map(|k| {
+            let mut s = String::new();
+            for i in 0..mu {
+                // Paper order: x1 is the MSB of the displayed key.
+                let plus = (k >> (mu - 1 - i)) & 1 == 1;
+                s.push_str(if plus { "+x" } else { "-x" });
+                s.push_str(&(i + 1).to_string());
+                if i + 1 < mu {
+                    s.push(' ');
+                }
+            }
+            (k, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acts(mu: u32) -> Vec<f64> {
+        (0..mu).map(|i| 0.5 + i as f64).collect()
+    }
+
+    /// Direct reference: Σ ±x by key bits (LSB-first).
+    fn reference(xs: &[f64], key: u16) -> f64 {
+        xs.iter()
+            .enumerate()
+            .map(|(j, &x)| if (key >> j) & 1 == 1 { x } else { -x })
+            .sum()
+    }
+
+    #[test]
+    fn full_table_matches_definition() {
+        for mu in 1..=6u32 {
+            let xs = acts(mu);
+            let lut = FullLut::build(&xs, |a, b| a + b);
+            for k in 0..(1u16 << mu) {
+                let want = reference(&xs, k);
+                let got = lut.read(Key::new(k, mu));
+                assert!((got - want).abs() < 1e-12, "µ={mu} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_table_equals_full_for_every_key() {
+        for mu in 1..=6u32 {
+            let xs = acts(mu);
+            let full = FullLut::build(&xs, |a, b| a + b);
+            let half = HalfLut::build(&xs, |a, b| a + b);
+            assert_eq!(half.stored_entries() * 2, full.entries().len());
+            for k in 0..(1u16 << mu) {
+                let key = Key::new(k, mu);
+                assert!(
+                    (half.read(key) - full.read(key)).abs() < 1e-12,
+                    "µ={mu} k={k}: half {} vs full {}",
+                    half.read(key),
+                    full.read(key)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_table_integer_is_exact() {
+        let xs = [13i64, -7, 29, 5];
+        let full = FullLut::build(&xs, |a, b| a + b);
+        let half = HalfLut::build(&xs, |a, b| a + b);
+        for k in 0..16u16 {
+            let key = Key::new(k, 4);
+            assert_eq!(half.read(key), full.read(key), "k={k}");
+        }
+    }
+
+    #[test]
+    fn vertical_symmetry_holds_even_with_rounded_adds() {
+        // With a lossy adder (fp16-ish rounding) the absolute values differ
+        // from exact, but read(k) == −read(~k) holds *by construction*.
+        let xs = [0.1f64, 0.2, 0.3, 0.4];
+        let round = |v: f64| (v * 64.0).round() / 64.0;
+        let half = HalfLut::build(&xs, |a, b| round(a + b));
+        for k in 0..16u16 {
+            let key = Key::new(k, 4);
+            assert_eq!(half.read(key), -half.read(key.complement()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn from_full_matches_built_half() {
+        let xs = acts(5);
+        let full = FullLut::build(&xs, |a, b| a + b);
+        let derived = HalfLut::from_full(&full);
+        let built = HalfLut::build(&xs, |a, b| a + b);
+        for k in 0..32u16 {
+            let key = Key::new(k, 5);
+            assert!((derived.read(key) - built.read(key)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symbolic_table_mu3_matches_paper() {
+        // Paper Table II: key 0 → −x1 −x2 −x3; key 5 → +x1 −x2 +x3.
+        let t = symbolic_table(3);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].1, "-x1 -x2 -x3");
+        assert_eq!(t[5].1, "+x1 -x2 +x3");
+        assert_eq!(t[7].1, "+x1 +x2 +x3");
+    }
+
+    #[test]
+    #[should_panic(expected = "key µ mismatch")]
+    fn read_checks_mu() {
+        let lut = FullLut::build(&[1.0, 2.0], |a, b| a + b);
+        let _ = lut.read(Key::new(0, 3));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the LUT machinery.
+//!
+//! The load-bearing invariant is hFFLUT ≡ FFLUT for *every* key and *any*
+//! activation values — the paper's §III-D halving argument. We also check
+//! generator-schedule correctness against the direct Σ± definition on random
+//! inputs, and the bank model's bounds.
+
+use figlut_lut::bank::{banked_read_phase, wavefront_cycles, GPU_BANKS};
+use figlut_lut::generator::GenSchedule;
+use figlut_lut::key::Key;
+use figlut_lut::table::{FullLut, HalfLut, LutRead};
+use proptest::prelude::*;
+
+fn signed_sum(xs: &[f64], key: u16) -> f64 {
+    xs.iter()
+        .enumerate()
+        .map(|(j, &x)| if (key >> j) & 1 == 1 { x } else { -x })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn half_equals_full_everywhere(
+        mu in 1u32..=8,
+        raw in prop::collection::vec(-1e6f64..1e6, 8),
+    ) {
+        let xs = &raw[..mu as usize];
+        let full = FullLut::build(xs, |a, b| a + b);
+        let half = HalfLut::build(xs, |a, b| a + b);
+        for k in 0..(1u16 << mu) {
+            let key = Key::new(k, mu);
+            let f = full.read(key);
+            let h = half.read(key);
+            prop_assert!((f - h).abs() <= 1e-9 * (1.0 + f.abs()),
+                "µ={} k={} full={} half={}", mu, k, f, h);
+        }
+    }
+
+    #[test]
+    fn half_symmetry_is_exact_for_integers(
+        mu in 1u32..=8,
+        raw in prop::collection::vec(-1_000_000i64..1_000_000, 8),
+    ) {
+        let xs = &raw[..mu as usize];
+        let half = HalfLut::build(xs, |a, b| a + b);
+        for k in 0..(1u16 << mu) {
+            let key = Key::new(k, mu);
+            prop_assert_eq!(half.read(key), -half.read(key.complement()));
+        }
+    }
+
+    #[test]
+    fn schedules_match_direct_definition(
+        mu in 1u32..=8,
+        raw in prop::collection::vec(-1e3f64..1e3, 8),
+        half in any::<bool>(),
+    ) {
+        let xs = &raw[..mu as usize];
+        for sched in [GenSchedule::optimized(mu, half), GenSchedule::straightforward(mu, half)] {
+            let table = sched.apply(xs, |a, b| a + b);
+            for (p, &v) in table.iter().enumerate() {
+                let want = signed_sum(xs, p as u16);
+                prop_assert!((v - want).abs() < 1e-9,
+                    "µ={} half={} p={}: {} vs {}", mu, half, p, v, want);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_tables_are_bit_exact(
+        mu in 1u32..=8,
+        raw in prop::collection::vec(-1_000_000i64..1_000_000, 8),
+    ) {
+        let xs = &raw[..mu as usize];
+        let full = FullLut::build(xs, |a, b| a + b);
+        for (p, &v) in full.entries().iter().enumerate() {
+            let want: i64 = xs.iter().enumerate()
+                .map(|(j, &x)| if (p >> j) & 1 == 1 { x } else { -x })
+                .sum();
+            prop_assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn key_fold_is_involution_compatible(value in 0u16.., mu in 1u32..=16) {
+        let value = if mu == 16 { value } else { value & ((1 << mu) - 1) };
+        let key = Key::new(value, mu);
+        // fold(k) and fold(~k) hit the same slot with opposite signs.
+        if mu >= 2 {
+            let (n1, i1) = key.fold();
+            let (n2, i2) = key.complement().fold();
+            prop_assert_eq!(i1, i2);
+            prop_assert_ne!(n1, n2);
+            prop_assert!(i1 < (1usize << (mu - 1)));
+        }
+    }
+
+    #[test]
+    fn wavefront_cycles_bounds(accesses in prop::collection::vec(0usize..64, 0..64)) {
+        let c = wavefront_cycles(&accesses, GPU_BANKS);
+        prop_assert!(c >= 1);
+        prop_assert!(c as usize <= accesses.len().max(1));
+    }
+
+    #[test]
+    fn banked_serialization_at_least_pigeonhole(mu in 1u32..=5, seed in any::<u64>()) {
+        // 32 threads into 2^µ distinct entries: every round conflicts at
+        // least ⌈32/2^µ⌉ deep.
+        let s = banked_read_phase(mu, 32, 64, GPU_BANKS, seed);
+        let floor = (32.0 / (1u64 << mu) as f64).ceil().max(1.0);
+        prop_assert!(s.serialization() >= floor - 1e-9,
+            "µ={} got {} < {}", mu, s.serialization(), floor);
+    }
+}

@@ -1,0 +1,148 @@
+//! The OPT model family (Zhang et al., 2022) architecture table.
+//!
+//! These are the *real* configurations of the models the paper evaluates;
+//! they drive the GEMM shape inventories behind Figs. 13/15/16 and Table V.
+//! (The synthetic transformer in [`crate::transformer`] uses scaled-down
+//! instances of the same architecture.)
+
+/// One OPT model configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Model name, e.g. `"OPT-6.7B"`.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN inner width (4 × d_model for OPT).
+    pub ffn: usize,
+    /// Vocabulary size (GPT-2 BPE).
+    pub vocab: usize,
+}
+
+impl OptConfig {
+    /// Decoder-only parameter count (embeddings + per-layer weights),
+    /// ignoring biases/LayerNorm (sub-percent).
+    pub fn params(&self) -> f64 {
+        let per_layer = 4.0 * (self.d_model * self.d_model) as f64
+            + 2.0 * (self.d_model * self.ffn) as f64;
+        self.layers as f64 * per_layer + (self.vocab * self.d_model) as f64
+    }
+
+    /// GEMM-weight parameter count only (what weight-only quantization
+    /// compresses).
+    pub fn gemm_params(&self) -> f64 {
+        let per_layer = 4.0 * (self.d_model * self.d_model) as f64
+            + 2.0 * (self.d_model * self.ffn) as f64;
+        self.layers as f64 * per_layer
+    }
+}
+
+/// The OPT sizes the paper evaluates (Figs. 13/16, Tables IV/VI).
+pub const OPT_FAMILY: [OptConfig; 7] = [
+    OptConfig {
+        name: "OPT-125M",
+        layers: 12,
+        d_model: 768,
+        heads: 12,
+        ffn: 3072,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-350M",
+        layers: 24,
+        d_model: 1024,
+        heads: 16,
+        ffn: 4096,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-1.3B",
+        layers: 24,
+        d_model: 2048,
+        heads: 32,
+        ffn: 8192,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-2.7B",
+        layers: 32,
+        d_model: 2560,
+        heads: 32,
+        ffn: 10240,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-6.7B",
+        layers: 32,
+        d_model: 4096,
+        heads: 32,
+        ffn: 16384,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-13B",
+        layers: 40,
+        d_model: 5120,
+        heads: 40,
+        ffn: 20480,
+        vocab: 50272,
+    },
+    OptConfig {
+        name: "OPT-30B",
+        layers: 48,
+        d_model: 7168,
+        heads: 56,
+        ffn: 28672,
+        vocab: 50272,
+    },
+];
+
+/// Look up a family member by name.
+pub fn by_name(name: &str) -> Option<&'static OptConfig> {
+    OPT_FAMILY.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_billing_names() {
+        // Within 20% of the nominal size (embeddings and rounding account
+        // for the slack).
+        let expect = [
+            ("OPT-125M", 0.125e9),
+            ("OPT-350M", 0.35e9),
+            ("OPT-1.3B", 1.3e9),
+            ("OPT-2.7B", 2.7e9),
+            ("OPT-6.7B", 6.7e9),
+            ("OPT-13B", 13e9),
+            ("OPT-30B", 30e9),
+        ];
+        for (name, want) in expect {
+            let cfg = by_name(name).unwrap();
+            let got = cfg.params();
+            assert!(
+                (got / want - 1.0).abs() < 0.20,
+                "{name}: {got:.3e} vs {want:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn ffn_is_4x() {
+        for c in OPT_FAMILY {
+            assert_eq!(c.ffn, 4 * c.d_model, "{}", c.name);
+            assert_eq!(c.d_model % c.heads, 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(by_name("opt-6.7b").is_some());
+        assert!(by_name("OPT-66B").is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Teacher-forced perplexity evaluation (the paper's accuracy metric).
+
+use crate::corpus::Corpus;
+use crate::transformer::{Backend, Transformer};
+
+/// Perplexity of `model` on `corpus` with linear layers executed by
+/// `backend`: `exp(mean NLL)` over all next-token predictions.
+///
+/// # Panics
+///
+/// Panics if the corpus is empty.
+pub fn perplexity(model: &Transformer, corpus: &Corpus, backend: &Backend) -> f64 {
+    let mut nll = 0.0;
+    let mut count = 0usize;
+    for seq in &corpus.sequences {
+        let logits = model.logits(&seq[..seq.len() - 1], backend);
+        for t in 0..seq.len() - 1 {
+            let target = seq[t + 1];
+            let row = logits.row(t);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let logsum: f64 = row.iter().map(|&l| (l - max).exp()).sum::<f64>().ln() + max;
+            nll += logsum - row[target];
+            count += 1;
+        }
+    }
+    assert!(count > 0, "empty corpus");
+    (nll / count as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate;
+    use crate::transformer::ModelConfig;
+
+    #[test]
+    fn teacher_beats_chance_on_own_text() {
+        let t = Transformer::teacher(ModelConfig::tiny(), 3);
+        let c = generate(&t, 4, 12, 7);
+        let ppl = perplexity(&t, &c, &Backend::Exact);
+        assert!(ppl.is_finite() && ppl > 1.0);
+        assert!(
+            ppl < 96.0 / 2.0,
+            "teacher ppl {ppl} should be far below chance (96)"
+        );
+    }
+
+    #[test]
+    fn perturbed_model_has_higher_ppl() {
+        // Any weight damage must raise perplexity on teacher-generated text.
+        let t = Transformer::teacher(ModelConfig::tiny(), 3);
+        let c = generate(&t, 4, 12, 7);
+        let base = perplexity(&t, &c, &Backend::Exact);
+        let mut hurt = t.clone();
+        hurt.map_linears(|_, lin| {
+            if let crate::transformer::LinearWeights::Fp(w) = &mut lin.weights {
+                // Crude 1-bit-style damage: keep sign × mean magnitude.
+                let mean = w.as_slice().iter().map(|v| v.abs()).sum::<f64>()
+                    / (w.rows() * w.cols()) as f64;
+                *w = w.map(|&v| v.signum() * mean);
+            }
+        });
+        let damaged = perplexity(&hurt, &c, &Backend::Exact);
+        assert!(
+            damaged > base * 1.05,
+            "damaged {damaged} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Transformer::teacher(ModelConfig::tiny(), 9);
+        let c = generate(&t, 2, 10, 1);
+        let a = perplexity(&t, &c, &Backend::Exact);
+        let b = perplexity(&t, &c, &Backend::Exact);
+        assert_eq!(a, b);
+    }
+}

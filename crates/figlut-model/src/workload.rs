@@ -1,0 +1,141 @@
+//! OPT GEMM inventories as simulator workloads.
+//!
+//! The paper's TOPS/W and TOPS/mm² figures are computed on the GEMM
+//! workload of OPT decoding at batch 32 (Table V, Figs. 13/15/16). Each
+//! decoder layer contributes four `d × d` projections and two `d × 4d` FFN
+//! matmuls per token; non-GEMM work (LayerNorm, softmax, residuals) goes to
+//! the VPU and is a rounding error at these shapes — exactly the paper's
+//! "non-GEMM operations … impact is minimal".
+
+use crate::config::OptConfig;
+use figlut_sim::{GemmShape, Workload};
+
+/// The GEMM workload of decoding one token-batch through every layer.
+///
+/// `batch` is the number of concurrent sequences (the paper uses 32; each
+/// generated token costs one pass at that batch).
+pub fn decode_workload(cfg: &OptConfig, batch: usize) -> Workload {
+    let d = cfg.d_model;
+    let layers = cfg.layers as f64;
+    let gemms = vec![
+        // Q, K, V, and output projections: four d×d GEMMs per layer.
+        GemmShape {
+            m: d,
+            n: d,
+            batch,
+            repeat: 4.0 * layers,
+        },
+        // FFN up-projection.
+        GemmShape {
+            m: cfg.ffn,
+            n: d,
+            batch,
+            repeat: layers,
+        },
+        // FFN down-projection.
+        GemmShape {
+            m: d,
+            n: cfg.ffn,
+            batch,
+            repeat: layers,
+        },
+    ];
+    // Non-GEMM per layer per token: 2 LayerNorms (~8d), softmax+attention
+    // bookkeeping (~4d at decode), residuals (~2d), GELU (~4·4d).
+    let nongemm_flops = layers * batch as f64 * (8.0 + 4.0 + 2.0 + 16.0) * d as f64;
+    Workload {
+        gemms,
+        nongemm_flops,
+    }
+}
+
+/// The GEMM workload of *prefilling* a prompt of `prompt_len` tokens for
+/// `batch` sequences: identical weight matrices, but every token position
+/// is a batch row, so arithmetic intensity is `prompt_len×` higher than
+/// decode — the regime where even GPUs become compute-bound. (Attention's
+/// activation-activation GEMMs are FP-FP and go to the VPU bucket here;
+/// weight-only quantization does not touch them.)
+pub fn prefill_workload(cfg: &OptConfig, batch: usize, prompt_len: usize) -> Workload {
+    let d = cfg.d_model;
+    let layers = cfg.layers as f64;
+    let rows = batch * prompt_len;
+    let gemms = vec![
+        GemmShape {
+            m: d,
+            n: d,
+            batch: rows,
+            repeat: 4.0 * layers,
+        },
+        GemmShape {
+            m: cfg.ffn,
+            n: d,
+            batch: rows,
+            repeat: layers,
+        },
+        GemmShape {
+            m: d,
+            n: cfg.ffn,
+            batch: rows,
+            repeat: layers,
+        },
+    ];
+    // Attention score/context products: 2 × L² × d per layer per sequence,
+    // plus the elementwise work.
+    let attn_flops = layers * batch as f64 * 2.0 * (prompt_len * prompt_len * d) as f64;
+    let elementwise = layers * rows as f64 * 30.0 * d as f64;
+    Workload {
+        gemms,
+        nongemm_flops: attn_flops + elementwise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{by_name, OPT_FAMILY};
+
+    #[test]
+    fn ops_match_parameter_count() {
+        // Decode GEMM ops = 2 × GEMM-params × batch.
+        for cfg in &OPT_FAMILY {
+            let wl = decode_workload(cfg, 32);
+            let want = 2.0 * cfg.gemm_params() * 32.0;
+            assert!(
+                (wl.ops() / want - 1.0).abs() < 1e-12,
+                "{}: {} vs {}",
+                cfg.name,
+                wl.ops(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn nongemm_is_negligible() {
+        let cfg = by_name("OPT-6.7B").unwrap();
+        let wl = decode_workload(cfg, 32);
+        assert!(wl.nongemm_flops < 0.01 * wl.ops());
+    }
+
+    #[test]
+    fn prefill_scales_with_prompt_length() {
+        let cfg = by_name("OPT-1.3B").unwrap();
+        let decode = decode_workload(cfg, 32);
+        let prefill = prefill_workload(cfg, 32, 128);
+        assert!((prefill.ops() / decode.ops() - 128.0).abs() < 1e-9);
+        // Attention grows quadratically, so non-GEMM share rises with L but
+        // stays minor at these lengths.
+        assert!(prefill.nongemm_flops > decode.nongemm_flops * 128.0);
+        assert!(prefill.nongemm_flops < 0.2 * prefill.ops());
+    }
+
+    #[test]
+    fn larger_models_more_ops() {
+        let mut last = 0.0;
+        for cfg in &OPT_FAMILY {
+            let ops = decode_workload(cfg, 32).ops();
+            assert!(ops > last, "{}", cfg.name);
+            last = ops;
+        }
+    }
+}

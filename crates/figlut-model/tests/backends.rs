@@ -1,0 +1,107 @@
+//! Backend-consistency tests: the transformer must produce equivalent
+//! results whichever execution backend carries its linear layers.
+
+use figlut_gemm::{Engine, EngineConfig};
+use figlut_model::calibrate::{quantize_model, to_bcq, Method};
+use figlut_model::corpus::generate;
+use figlut_model::ppl::perplexity;
+use figlut_model::transformer::{Backend, ModelConfig, Transformer};
+
+fn setup() -> (Transformer, figlut_model::corpus::Corpus, figlut_model::corpus::Corpus) {
+    let t = Transformer::teacher(ModelConfig::tiny(), 55);
+    let calib = generate(&t, 2, 10, 3);
+    let eval = generate(&t, 3, 12, 4);
+    (t, calib, eval)
+}
+
+#[test]
+fn reference_engine_backend_equals_exact() {
+    // Backend::Engine(Reference) rounds activations to the format but does
+    // exact math — with FP32 activations it must match Backend::Exact to
+    // fp32-rounding precision.
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::Rtn { bits: 4 });
+    let cfg = EngineConfig::with_act(figlut_num::fp::FpFormat::Fp32);
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    let via_engine = perplexity(&q, &eval, &Backend::Engine(Engine::Reference, cfg));
+    assert!(
+        (via_engine / exact - 1.0).abs() < 1e-4,
+        "{via_engine} vs {exact}"
+    );
+}
+
+#[test]
+fn all_bcq_engines_agree_on_quantized_model() {
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::ShiftAdd { bits: 3 });
+    let cfg = EngineConfig::paper_default();
+    let ppls: Vec<f64> = [Engine::Ifpu, Engine::FiglutF, Engine::FiglutI]
+        .iter()
+        .map(|&e| perplexity(&q, &eval, &Backend::Engine(e, cfg)))
+        .collect();
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    for (i, p) in ppls.iter().enumerate() {
+        assert!(
+            (p / exact - 1.0).abs() < 5e-3,
+            "engine {i}: ppl {p} vs exact {exact}"
+        );
+    }
+    // iFPU and FIGLUT-I are bit-identical, so their perplexities are equal
+    // to the last bit.
+    assert_eq!(ppls[0], ppls[2], "iFPU vs FIGLUT-I perplexity");
+}
+
+#[test]
+fn uniform_engines_agree_on_rtn_model() {
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::Rtn { bits: 4 });
+    let qb = to_bcq(&q);
+    let cfg = EngineConfig::paper_default();
+    let p_fpe = perplexity(&q, &eval, &Backend::Engine(Engine::Fpe, cfg));
+    let p_figna = perplexity(&q, &eval, &Backend::Engine(Engine::Figna, cfg));
+    let p_lut = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    for (name, p) in [("FPE", p_fpe), ("FIGNA", p_figna), ("FIGLUT-I", p_lut)] {
+        assert!(
+            (p / exact - 1.0).abs() < 5e-3,
+            "{name}: {p} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn kv_cache_decoding_with_engine_backend() {
+    // Incremental decoding must also hold under a hardware-engine backend
+    // (the serving path FIGLUT actually runs).
+    let (t, calib, _) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::Rtn { bits: 4 });
+    let qb = to_bcq(&q);
+    let backend = Backend::Engine(Engine::FiglutI, EngineConfig::paper_default());
+    let toks = [0usize, 9, 33, 5];
+    let full = qb.logits(&toks, &backend);
+    let mut cache = qb.new_cache();
+    for (pos, &tok) in toks.iter().enumerate() {
+        let step = qb.decode_step(tok, &mut cache, &backend);
+        for v in 0..step.len() {
+            assert!(
+                (step[v] - full[(pos, v)]).abs() < 1e-6,
+                "pos={pos} v={v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_precision_model_serves_on_figlut() {
+    let (t, calib, eval) = setup();
+    let (q, bits) = quantize_model(&t, &calib, Method::ShiftAddMixed { avg_bits: 2.5 });
+    assert!(bits.iter().any(|&b| b != bits[0]) || bits[0] != 4);
+    let backend = Backend::Engine(Engine::FiglutI, EngineConfig::paper_default());
+    let p = perplexity(&q, &eval, &backend);
+    assert!(p.is_finite() && p > 1.0);
+    // FIGNA cannot serve this model at all: its layers are BCQ.
+    let err = std::panic::catch_unwind(|| {
+        perplexity(&q, &eval, &Backend::Engine(Engine::Figna, EngineConfig::paper_default()))
+    });
+    assert!(err.is_err(), "FIGNA must reject BCQ layers (Table I)");
+}

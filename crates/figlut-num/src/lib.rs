@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # figlut-num — numeric substrate for the FIGLUT reproduction
+//!
+//! This crate provides the bit-accurate arithmetic that every engine model in
+//! the workspace is built on:
+//!
+//! * [`fp`] — software floating-point formats ([`Fp16`], [`Bf16`], [`Fp32`])
+//!   with IEEE-754 round-to-nearest-even semantics, used to model the FP
+//!   datapaths of the FPE baseline and FIGLUT-F bit-exactly.
+//! * [`align`] — the *pre-alignment* transform of iFPU / FIGNA (HPCA'24):
+//!   activation mantissas are aligned to the vector-maximum exponent so that
+//!   subsequent arithmetic is plain integer arithmetic.
+//! * [`fixed`] — wide integer accumulators with bit-width tracking, used both
+//!   functionally (engine models) and by the simulator for register sizing.
+//! * [`mat`] — a minimal row-major matrix container shared across crates.
+//!
+//! Nothing in this crate allocates per-element on hot paths, and every public
+//! operation is deterministic: given the same inputs you get the same bits on
+//! every platform.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use figlut_num::fp::Fp16;
+//!
+//! let a = Fp16::from_f64(1.5);
+//! let b = Fp16::from_f64(0.25);
+//! assert_eq!((a + b).to_f64(), 1.75);
+//! ```
+
+pub mod align;
+pub mod fixed;
+pub mod fp;
+pub mod mat;
+
+pub use align::{AlignMode, AlignedVector};
+pub use fp::{Bf16, Fp16, Fp32, FpFormat};
+pub use mat::Mat;

@@ -1,0 +1,167 @@
+//! Property tests: the soft-float formats must agree with IEEE-754 hardware.
+//!
+//! `Fp32` has a hardware oracle (the host `f32` unit, which is correctly
+//! rounded for add/mul), so we drive it with arbitrary bit patterns —
+//! including subnormals, infinities and NaNs — and demand bit equality.
+//! `Fp16`/`Bf16` are checked for the algebraic properties that don't need an
+//! oracle, plus round-trip invariants.
+
+use figlut_num::align::{AlignMode, AlignedVector};
+use figlut_num::fp::{Bf16, Fp16, Fp32, FpFormat};
+use proptest::prelude::*;
+
+fn f32_from_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn fp32_roundtrip_bits(bits in any::<u32>()) {
+        let x = f32::from_bits(bits);
+        let sf = Fp32::from_f32(x);
+        if x.is_nan() {
+            prop_assert!(sf.is_nan());
+        } else {
+            prop_assert_eq!(sf.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn fp32_add_matches_host(a in f32_from_bits(), b in f32_from_bits()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let host = a + b;
+        let soft = Fp32::from_f32(a) + Fp32::from_f32(b);
+        if host.is_nan() {
+            prop_assert!(soft.is_nan());
+        } else {
+            prop_assert_eq!(soft.to_bits(), host.to_bits(),
+                "a={:e} b={:e} host={:e} soft={:e}", a, b, host, soft.to_f64());
+        }
+    }
+
+    #[test]
+    fn fp32_mul_matches_host(a in f32_from_bits(), b in f32_from_bits()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let host = a * b;
+        let soft = Fp32::from_f32(a) * Fp32::from_f32(b);
+        if host.is_nan() {
+            prop_assert!(soft.is_nan());
+        } else {
+            prop_assert_eq!(soft.to_bits(), host.to_bits(),
+                "a={:e} b={:e}", a, b);
+        }
+    }
+
+    #[test]
+    fn fp16_roundtrip_is_idempotent(bits in any::<u16>()) {
+        // from_f64(to_f64(x)) must be the identity on every encoding.
+        let x = Fp16::from_bits(bits as u32);
+        let back = Fp16::from_f64(x.to_f64());
+        if x.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_is_idempotent(bits in any::<u16>()) {
+        let x = Bf16::from_bits(bits as u32);
+        let back = Bf16::from_f64(x.to_f64());
+        if x.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn bf16_truncation_consistency(x in f32_from_bits()) {
+        // bf16 is f32 with a shorter mantissa: rounding f32→bf16 must agree
+        // with RNE on the top 16 bits of the f32 encoding.
+        prop_assume!(x.is_finite());
+        let soft = Bf16::from_f32(x);
+        // Oracle: round the f32 bits to the nearest multiple of 2^16, ties
+        // to even, then reinterpret the top half (finite cases only).
+        let bits = x.to_bits();
+        let lo = bits & 0xffff;
+        let hi = bits >> 16;
+        let rounded = if lo > 0x8000 || (lo == 0x8000 && hi & 1 == 1) { hi + 1 } else { hi };
+        prop_assume!(f32::from_bits(rounded << 16).is_finite());
+        prop_assert_eq!(soft.to_bits(), rounded, "x={:e}", x);
+    }
+
+    #[test]
+    fn fp16_add_commutes(a in any::<u16>(), b in any::<u16>()) {
+        let x = Fp16::from_bits(a as u32);
+        let y = Fp16::from_bits(b as u32);
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        let l = x + y;
+        let r = y + x;
+        prop_assert!(l == r || (l.is_nan() && r.is_nan()));
+    }
+
+    #[test]
+    fn fp16_mul_by_one_is_identity(a in any::<u16>()) {
+        let x = Fp16::from_bits(a as u32);
+        prop_assume!(!x.is_nan());
+        prop_assert_eq!((x * Fp16::ONE).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn fp16_add_is_exact_on_small_ints(a in -1000i32..1000, b in -1000i32..1000) {
+        // Integers up to 2^11 are exactly representable in fp16 and their
+        // sums within range are exact.
+        prop_assume!((a + b).abs() <= 2048);
+        let x = Fp16::from_f64(a as f64);
+        let y = Fp16::from_f64(b as f64);
+        prop_assert_eq!((x + y).to_f64(), (a + b) as f64);
+    }
+
+    #[test]
+    fn alignment_error_bound(vals in prop::collection::vec(-1e4f64..1e4, 1..64)) {
+        // Pre-rounding to fp16 then aligning at fp16 precision loses at most
+        // half an aligned ulp per element (RNE mode).
+        let rounded: Vec<f64> = vals.iter().map(|&v| Fp16::from_f64(v).to_f64()).collect();
+        let a = AlignedVector::align(&rounded, FpFormat::Fp16, 0, AlignMode::RoundNearestEven);
+        let bound = a.max_element_error(AlignMode::RoundNearestEven) * (1.0 + 1e-12);
+        for (i, &x) in rounded.iter().enumerate() {
+            prop_assert!((a.value(i) - x).abs() <= bound,
+                "i={} x={} got={} bound={}", i, x, a.value(i), bound);
+        }
+    }
+
+    #[test]
+    fn alignment_with_guard_bits_is_lossless_for_fp16(
+        vals in prop::collection::vec(-1e4f64..1e4, 1..32)
+    ) {
+        // fp16 exponents span at most [-24, 15]; keeping 40+10 fractional
+        // bits below e_max preserves every input exactly.
+        let rounded: Vec<f64> = vals.iter().map(|&v| Fp16::from_f64(v).to_f64()).collect();
+        let a = AlignedVector::align(&rounded, FpFormat::Fp16, 40, AlignMode::RoundNearestEven);
+        for (i, &x) in rounded.iter().enumerate() {
+            prop_assert_eq!(a.value(i), x);
+        }
+    }
+
+    #[test]
+    fn alignment_signed_sums_match_f64(
+        vals in prop::collection::vec(-100.0f64..100.0, 1..32),
+        signs in prop::collection::vec(any::<bool>(), 32)
+    ) {
+        // With lossless alignment (guard bits), the integer signed sum times
+        // the scale equals the exact f64 signed sum — the core soundness
+        // property FIGLUT-I relies on.
+        let rounded: Vec<f64> = vals.iter().map(|&v| Fp16::from_f64(v).to_f64()).collect();
+        let a = AlignedVector::align(&rounded, FpFormat::Fp16, 40, AlignMode::RoundNearestEven);
+        let sum_int: i128 = a.mantissas().iter().zip(&signs)
+            .map(|(&m, &s)| if s { m as i128 } else { -(m as i128) })
+            .sum();
+        let exact: f64 = rounded.iter().zip(&signs)
+            .map(|(&x, &s)| if s { x } else { -x })
+            .sum();
+        prop_assert_eq!(sum_int as f64 * a.scale(), exact);
+    }
+}

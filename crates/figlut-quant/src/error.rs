@@ -1,0 +1,97 @@
+//! Quantization error metrics.
+//!
+//! Two views matter in the paper's evaluation: plain weight-space MSE (what
+//! the BCQ objective, Eq. 1, minimizes) and output-space error on a
+//! calibration set (what GPTQ/ShiftAddLLM actually optimize, and what
+//! perplexity responds to).
+
+use figlut_num::Mat;
+
+/// Mean squared error between a reference weight matrix and its
+/// reconstruction.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn weight_mse(w: &Mat<f64>, w_hat: &Mat<f64>) -> f64 {
+    assert_eq!(w.shape(), w_hat.shape(), "shape mismatch");
+    let n = (w.rows() * w.cols()) as f64;
+    w.as_slice()
+        .iter()
+        .zip(w_hat.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / n
+}
+
+/// Output-space MSE: `‖(W − Ŵ)·X‖² / (m·s)` for calibration activations
+/// `X (n × s)` and weights `W (m × n)`.
+///
+/// This is the layer-wise objective of GPTQ and ShiftAddLLM; the paper's
+/// mixed-precision sensitivity ordering is derived from it.
+///
+/// # Panics
+///
+/// Panics on inner-dimension mismatch.
+pub fn output_mse(w: &Mat<f64>, w_hat: &Mat<f64>, x: &Mat<f64>) -> f64 {
+    assert_eq!(w.shape(), w_hat.shape(), "weight shape mismatch");
+    assert_eq!(w.cols(), x.rows(), "calibration activation shape mismatch");
+    let diff = Mat::from_fn(w.rows(), w.cols(), |r, c| w[(r, c)] - w_hat[(r, c)]);
+    let y = diff.matmul(x);
+    let n = (y.rows() * y.cols()) as f64;
+    y.as_slice().iter().map(|v| v * v).sum::<f64>() / n
+}
+
+/// Signal-to-quantization-noise ratio in dB (∞ for exact reconstructions).
+pub fn sqnr_db(w: &Mat<f64>, w_hat: &Mat<f64>) -> f64 {
+    let sig: f64 = w.as_slice().iter().map(|v| v * v).sum();
+    let noise: f64 = w
+        .as_slice()
+        .iter()
+        .zip(w_hat.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let w = Mat::from_fn(2, 3, |r, c| (r + c) as f64);
+        assert_eq!(weight_mse(&w, &w), 0.0);
+        assert_eq!(sqnr_db(&w, &w), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Mat::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Mat::from_vec(1, 2, vec![1.0, 3.0]);
+        assert_eq!(weight_mse(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn output_mse_weighs_active_columns() {
+        let w = Mat::from_vec(1, 2, vec![1.0, 1.0]);
+        // Error on column 0 only vs column 1 only.
+        let e0 = Mat::from_vec(1, 2, vec![0.9, 1.0]);
+        let e1 = Mat::from_vec(1, 2, vec![1.0, 0.9]);
+        // Calibration activations excite column 0 much harder.
+        let x = Mat::from_vec(2, 2, vec![10.0, 10.0, 0.1, 0.1]);
+        assert!(output_mse(&w, &e0, &x) > output_mse(&w, &e1, &x));
+    }
+
+    #[test]
+    fn sqnr_improves_with_smaller_noise() {
+        let w = Mat::from_vec(1, 2, vec![1.0, -1.0]);
+        let n1 = Mat::from_vec(1, 2, vec![1.1, -1.0]);
+        let n2 = Mat::from_vec(1, 2, vec![1.01, -1.0]);
+        assert!(sqnr_db(&w, &n2) > sqnr_db(&w, &n1));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # figlut-quant — weight-only quantization substrate
+//!
+//! FIGLUT (HPCA'25) evaluates weight-only-quantized LLMs whose weights come
+//! from several quantizers. This crate implements all of them from scratch:
+//!
+//! * [`uniform`] — round-to-nearest (RTN) uniform quantization with
+//!   per-tensor / per-row / group-wise scales (the paper's Table IV setup).
+//! * [`awq`] — AWQ-style activation-aware channel scaling before RTN
+//!   (paper reference \[25\]), provided as a quantizer extension.
+//! * [`bcq`] — **binary-coding quantization**: `w ≈ Σᵢ αᵢ·bᵢ + z` with
+//!   `bᵢ ∈ {−1,+1}`, optimized by the greedy + alternating scheme of Xu et
+//!   al. (2018), plus the *exact* uniform→BCQ conversion with offset from
+//!   LUT-GEMM (paper Eq. 3 / Fig. 1).
+//! * [`gptq`] — a GPTQ/OPTQ-style second-order quantizer (calibration
+//!   Hessian, column-by-column quantize-then-compensate via Cholesky), used
+//!   for the FIGNA baseline points of Fig. 17.
+//! * [`shiftadd`] — ShiftAddLLM-style post-training BCQ with
+//!   activation-weighted alternating optimization and sensitivity-based
+//!   **mixed-precision** bit allocation (the paper's Q2.2 / Q2.4 / Q2.6
+//!   configurations).
+//! * [`bitmatrix`] — packed ±1 bit-planes, the storage format every engine
+//!   consumes.
+//! * [`error`] — weight-space and output-space error metrics.
+//! * [`linalg`] — the small dense Cholesky/solve kernels the quantizers need.
+//!
+//! The quantized-weight containers ([`BcqWeight`], [`uniform::UniformWeight`])
+//! are the interchange types consumed by `figlut-gemm`'s engine models.
+
+pub mod awq;
+pub mod bcq;
+pub mod bitmatrix;
+pub mod error;
+pub mod gptq;
+pub mod linalg;
+pub mod shiftadd;
+pub mod uniform;
+
+pub use bcq::{BcqParams, BcqWeight};
+pub use bitmatrix::BitMatrix;
+pub use uniform::{RtnParams, UniformWeight};

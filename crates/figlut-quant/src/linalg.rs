@@ -1,0 +1,199 @@
+//! Small dense linear-algebra kernels used by the quantizers.
+//!
+//! Everything here is plain `f64` and sized for quantizer work: the
+//! alternating-BCQ normal equations are `q×q` (q ≤ 8) and the GPTQ Hessian
+//! is `n×n` for a layer's input dimension (hundreds in our workloads).
+//! Matrices are the row-major [`Mat<f64>`] from `figlut-num`.
+
+use figlut_num::Mat;
+
+/// Solve the symmetric positive (semi-)definite system `A·x = b` in place of
+/// a copy, via Cholesky with diagonal jitter fallback.
+///
+/// Returns `None` if `A` is too ill-conditioned to factor even after
+/// jittering (callers fall back to a degenerate solution).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn solve_spd(a: &Mat<f64>, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_spd needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut jitter = 0.0;
+    let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0f64, f64::max);
+    for _ in 0..6 {
+        let mut m = a.clone();
+        if jitter > 0.0 {
+            for i in 0..n {
+                m[(i, i)] += jitter;
+            }
+        }
+        if let Some(l) = cholesky(&m) {
+            return Some(chol_solve(&l, b));
+        }
+        jitter = if jitter == 0.0 {
+            (scale.max(1e-300)) * 1e-10
+        } else {
+            jitter * 100.0
+        };
+    }
+    None
+}
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`, or `None` if a
+/// pivot is non-positive.
+pub fn cholesky(a: &Mat<f64>) -> Option<Mat<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky needs a square matrix");
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return None;
+                }
+                l[(i, i)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L·Lᵀ·x = b` given the Cholesky factor `L`.
+pub fn chol_solve(l: &Mat<f64>, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Backward: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    x
+}
+
+/// Invert an SPD matrix via Cholesky (used by GPTQ for `H⁻¹`).
+///
+/// Returns `None` if the factorization fails.
+pub fn spd_inverse(a: &Mat<f64>) -> Option<Mat<f64>> {
+    let n = a.rows();
+    let l = cholesky(a)?;
+    let mut inv = Mat::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let col = chol_solve(&l, &e);
+        for i in 0..n {
+            inv[(i, j)] = col[i];
+        }
+        e[j] = 0.0;
+    }
+    Some(inv)
+}
+
+/// `A · Aᵀ` for a row-major matrix (used to build calibration Hessians).
+pub fn gram(a: &Mat<f64>) -> Mat<f64> {
+    let (n, s) = a.shape();
+    let mut g = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0;
+            let (ri, rj) = (a.row(i), a.row(j));
+            for k in 0..s {
+                acc += ri[k] * rj[k];
+            }
+            g[(i, j)] = acc;
+            g[(j, i)] = acc;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat<f64> {
+        // B·Bᵀ + I for a fixed B is SPD.
+        let b = Mat::from_vec(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.7, -0.2, 1.1]);
+        let mut g = gram(&b);
+        for i in 0..3 {
+            g[(i, i)] += 1.0;
+        }
+        g
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).expect("SPD");
+        let back = Mat::from_fn(3, 3, |i, j| (0..3).map(|k| l[(i, k)] * l[(j, k)]).sum());
+        assert!(a.max_abs_diff(&back) < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[(i, j)] * x_true[j]).sum())
+            .collect();
+        let x = solve_spd(&a, &b).expect("solvable");
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_falls_back_to_jitter() {
+        // Rank-1 matrix: jittered solve still returns something finite close
+        // to a least-squares solution.
+        let a = Mat::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = solve_spd(&a, &[2.0, 2.0]).expect("jitter fallback");
+        assert!(x.iter().all(|v| v.is_finite()));
+        let resid: f64 = (0..2)
+            .map(|i| ((0..2).map(|j| a[(i, j)] * x[j]).sum::<f64>() - 2.0).abs())
+            .sum();
+        assert!(resid < 1e-3, "residual {resid}");
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = spd3();
+        let inv = spd_inverse(&a).expect("SPD");
+        let prod = a.matmul(&inv);
+        let eye = Mat::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert!(prod.max_abs_diff(&eye) < 1e-10);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let a = Mat::from_fn(4, 7, |i, j| ((i * 7 + j) as f64 * 0.13).sin());
+        let g = gram(&a);
+        for i in 0..4 {
+            assert!(g[(i, i)] >= 0.0);
+            for j in 0..4 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+}

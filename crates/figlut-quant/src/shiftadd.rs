@@ -1,0 +1,322 @@
+//! ShiftAddLLM-style BCQ quantization with mixed-precision allocation.
+//!
+//! ShiftAddLLM (You et al., 2024) produces the state-of-the-art BCQ models
+//! the paper runs on FIGLUT (Fig. 17, Table VI). Its two ingredients, both
+//! implemented here:
+//!
+//! 1. **Activation-aware BCQ**: the alternating optimizer minimizes a
+//!    calibration-weighted objective, `Σ_c diag(H)_c·(w_c − ŵ_c)²`, rather
+//!    than plain weight MSE. We reuse [`BcqWeight::quantize_weighted`] with
+//!    the Hessian diagonal as column importance.
+//! 2. **Sensitivity-based mixed precision**: each layer gets 2/3/4 planes
+//!    according to how much its output error improves per extra plane,
+//!    subject to a global average-bit budget. This produces the fractional
+//!    precisions the paper reports (Q2.2, Q2.4, …) — only a *bit-serial*
+//!    accelerator like FIGLUT can execute them on one hardware config.
+
+use crate::bcq::{BcqParams, BcqWeight};
+use crate::error::output_mse;
+use figlut_num::Mat;
+
+/// Configuration for [`quantize_layer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShiftAddParams {
+    /// Binary planes for this layer.
+    pub bits: u32,
+    /// Columns per (α, z) group (`0` = per row).
+    pub group_size: usize,
+    /// Alternating refinement iterations.
+    pub refine_iters: usize,
+}
+
+impl ShiftAddParams {
+    /// Per-row quantization at `bits`.
+    pub fn per_row(bits: u32) -> Self {
+        Self {
+            bits,
+            group_size: 0,
+            refine_iters: 12,
+        }
+    }
+}
+
+/// Column importance from calibration activations: `d_c = Σ_s x[c][s]²`
+/// (the diagonal of the layer Hessian `X·Xᵀ`).
+pub fn hessian_diag(x: &Mat<f64>) -> Vec<f64> {
+    (0..x.rows())
+        .map(|c| x.row(c).iter().map(|v| v * v).sum())
+        .collect()
+}
+
+/// Quantize one layer with activation-weighted BCQ.
+///
+/// `x` is the layer's calibration activation matrix (`n × samples`); pass
+/// `None` for plain weight-MSE BCQ.
+pub fn quantize_layer(w: &Mat<f64>, x: Option<&Mat<f64>>, params: ShiftAddParams) -> BcqWeight {
+    let bcq = BcqParams {
+        bits: params.bits,
+        group_size: params.group_size,
+        with_offset: true,
+        refine_iters: params.refine_iters,
+    };
+    match x {
+        Some(x) => {
+            assert_eq!(
+                x.rows(),
+                w.cols(),
+                "calibration activations must be n × samples"
+            );
+            let d = hessian_diag(x);
+            BcqWeight::quantize_weighted(w, bcq, Some(&d))
+        }
+        None => BcqWeight::quantize(w, bcq),
+    }
+}
+
+/// One layer of a model being allocated mixed precision.
+pub struct LayerInput<'a> {
+    /// Display name (diagnostics only).
+    pub name: &'a str,
+    /// Layer weights (`m × n`).
+    pub weights: &'a Mat<f64>,
+    /// Calibration activations (`n × samples`), if available.
+    pub calibration: Option<&'a Mat<f64>>,
+}
+
+/// Result of a mixed-precision allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixedAllocation {
+    /// Chosen plane count per layer (parallel to the input slice).
+    pub bits: Vec<u32>,
+    /// Parameter-weighted average bits (e.g. `2.4`).
+    pub average_bits: f64,
+}
+
+/// Allocate per-layer plane counts to meet `avg_bits` on average (weighted
+/// by parameter count), choosing among `candidates` (sorted ascending).
+///
+/// Greedy marginal-utility allocation: start every layer at the minimum
+/// candidate, then repeatedly upgrade the layer with the best error
+/// reduction per added bit·parameter until the budget is exhausted. This is
+/// the classic sensitivity-based scheme ShiftAddLLM describes.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty/unsorted or `avg_bits` is below the
+/// smallest candidate.
+pub fn allocate_mixed_precision(
+    layers: &[LayerInput<'_>],
+    candidates: &[u32],
+    avg_bits: f64,
+    refine_iters: usize,
+) -> MixedAllocation {
+    assert!(!candidates.is_empty(), "no candidate precisions");
+    assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must be strictly ascending"
+    );
+    assert!(
+        avg_bits >= candidates[0] as f64,
+        "average budget {avg_bits} below minimum candidate {}",
+        candidates[0]
+    );
+    let params: Vec<f64> = layers
+        .iter()
+        .map(|l| (l.weights.rows() * l.weights.cols()) as f64)
+        .collect();
+    let total_params: f64 = params.iter().sum();
+    let budget_bits = avg_bits * total_params;
+
+    // Error of each (layer, candidate) pair.
+    let mut err = vec![vec![0.0f64; candidates.len()]; layers.len()];
+    for (li, layer) in layers.iter().enumerate() {
+        for (ci, &b) in candidates.iter().enumerate() {
+            let q = quantize_layer(
+                layer.weights,
+                layer.calibration,
+                ShiftAddParams {
+                    bits: b,
+                    group_size: 0,
+                    refine_iters,
+                },
+            );
+            let dq = q.dequantize();
+            err[li][ci] = match layer.calibration {
+                Some(x) => output_mse(layer.weights, &dq, x) * params[li],
+                None => crate::error::weight_mse(layer.weights, &dq) * params[li],
+            };
+        }
+    }
+
+    let mut level = vec![0usize; layers.len()];
+    let mut used: f64 = layers
+        .iter()
+        .zip(&params)
+        .map(|(_, p)| p * candidates[0] as f64)
+        .sum();
+    loop {
+        // Best upgrade under the remaining budget.
+        let mut best: Option<(usize, f64)> = None;
+        for li in 0..layers.len() {
+            let ci = level[li];
+            if ci + 1 >= candidates.len() {
+                continue;
+            }
+            let extra = (candidates[ci + 1] - candidates[ci]) as f64 * params[li];
+            if used + extra > budget_bits + 1e-9 {
+                continue;
+            }
+            let gain = (err[li][ci] - err[li][ci + 1]) / extra;
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((li, gain));
+            }
+        }
+        match best {
+            Some((li, _)) => {
+                used += (candidates[level[li] + 1] - candidates[level[li]]) as f64 * params[li];
+                level[li] += 1;
+            }
+            None => break,
+        }
+    }
+    let bits: Vec<u32> = level.iter().map(|&ci| candidates[ci]).collect();
+    let average_bits = bits
+        .iter()
+        .zip(&params)
+        .map(|(&b, &p)| b as f64 * p)
+        .sum::<f64>()
+        / total_params;
+    MixedAllocation { bits, average_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::weight_mse;
+
+    fn weights(seed: usize, rows: usize, cols: usize, spread: f64) -> Mat<f64> {
+        Mat::from_fn(rows, cols, |r, c| {
+            let t = (seed * 7919 + r * cols + c) as f64;
+            spread * ((t * 0.37).sin() + 0.3 * (t * 0.113).cos())
+        })
+    }
+
+    fn calib(n: usize, samples: usize) -> Mat<f64> {
+        Mat::from_fn(n, samples, |i, s| {
+            // Column 0..n/4 are hot, the rest cold — a strong importance
+            // signal for the weighted objective.
+            let heat = if i < n / 4 { 4.0 } else { 0.25 };
+            heat * (((i * 13 + s * 7) as f64) * 0.29).sin()
+        })
+    }
+
+    #[test]
+    fn weighted_objective_improves_output_error() {
+        let w = weights(1, 8, 32, 1.0);
+        let x = calib(32, 64);
+        let plain = quantize_layer(&w, None, ShiftAddParams::per_row(2));
+        let aware = quantize_layer(&w, Some(&x), ShiftAddParams::per_row(2));
+        let e_plain = output_mse(&w, &plain.dequantize(), &x);
+        let e_aware = output_mse(&w, &aware.dequantize(), &x);
+        assert!(
+            e_aware <= e_plain * 1.0001,
+            "activation-aware {e_aware} !<= plain {e_plain}"
+        );
+    }
+
+    #[test]
+    fn hessian_diag_matches_definition() {
+        let x = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.5, 0.0, -0.5]);
+        let d = hessian_diag(&x);
+        assert_eq!(d, vec![14.0, 0.5]);
+    }
+
+    #[test]
+    fn allocation_respects_budget_and_prefers_sensitive_layers() {
+        // Layer 0 has wild weights (sensitive), layer 1 is nearly constant.
+        let w0 = weights(1, 8, 32, 2.0);
+        let w1 = Mat::from_fn(8, 32, |_, c| 0.001 * (c as f64 * 0.1).sin());
+        let layers = [
+            LayerInput {
+                name: "sensitive",
+                weights: &w0,
+                calibration: None,
+            },
+            LayerInput {
+                name: "robust",
+                weights: &w1,
+                calibration: None,
+            },
+        ];
+        let alloc = allocate_mixed_precision(&layers, &[2, 3, 4], 3.0, 4);
+        assert!(alloc.average_bits <= 3.0 + 1e-9, "avg {}", alloc.average_bits);
+        assert!(
+            alloc.bits[0] >= alloc.bits[1],
+            "sensitive layer got {} bits, robust {}",
+            alloc.bits[0],
+            alloc.bits[1]
+        );
+        assert!(alloc.bits[0] > 2, "budget should be spent");
+    }
+
+    #[test]
+    fn fractional_budget_yields_fractional_average() {
+        let mats: Vec<Mat<f64>> = (0..5).map(|i| weights(i, 4, 16, 1.0 + i as f64)).collect();
+        let layers: Vec<LayerInput<'_>> = mats
+            .iter()
+            .map(|m| LayerInput {
+                name: "l",
+                weights: m,
+                calibration: None,
+            })
+            .collect();
+        let alloc = allocate_mixed_precision(&layers, &[2, 3, 4], 2.4, 4);
+        assert!(alloc.average_bits <= 2.4 + 1e-9);
+        assert!(alloc.average_bits > 2.0, "nothing was upgraded");
+        // Mixed: at least two distinct precisions in use.
+        let distinct: std::collections::HashSet<u32> = alloc.bits.iter().copied().collect();
+        assert!(distinct.len() >= 2, "allocation {:?} not mixed", alloc.bits);
+    }
+
+    #[test]
+    fn full_budget_upgrades_everything() {
+        let mats: Vec<Mat<f64>> = (0..3).map(|i| weights(i, 4, 16, 1.0)).collect();
+        let layers: Vec<LayerInput<'_>> = mats
+            .iter()
+            .map(|m| LayerInput {
+                name: "l",
+                weights: m,
+                calibration: None,
+            })
+            .collect();
+        let alloc = allocate_mixed_precision(&layers, &[2, 3, 4], 4.0, 4);
+        assert_eq!(alloc.bits, vec![4, 4, 4]);
+        assert_eq!(alloc.average_bits, 4.0);
+    }
+
+    #[test]
+    fn more_planes_reduce_layer_error() {
+        let w = weights(3, 8, 32, 1.0);
+        let e2 = weight_mse(
+            &w,
+            &quantize_layer(&w, None, ShiftAddParams::per_row(2)).dequantize(),
+        );
+        let e4 = weight_mse(
+            &w,
+            &quantize_layer(&w, None, ShiftAddParams::per_row(4)).dequantize(),
+        );
+        assert!(e4 < e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_candidates() {
+        let w = weights(0, 2, 8, 1.0);
+        let layers = [LayerInput {
+            name: "l",
+            weights: &w,
+            calibration: None,
+        }];
+        let _ = allocate_mixed_precision(&layers, &[3, 2], 3.0, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the quantization substrate.
+
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_quant::error::weight_mse;
+use figlut_quant::uniform::{rtn, RtnParams};
+use proptest::prelude::*;
+
+fn weight_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat<f64>> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |v| Mat::from_vec(r, c, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtn_values_stay_in_row_range(w in weight_matrix(6, 24), bits in 1u32..=8) {
+        let q = rtn(&w, RtnParams::per_row(bits));
+        let d = q.dequantize();
+        for r in 0..w.rows() {
+            let row = w.row(r);
+            let mn = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for c in 0..w.cols() {
+                prop_assert!(d[(r, c)] >= mn - 1e-9 && d[(r, c)] <= mx + 1e-9,
+                    "r={} c={} v={} range=[{},{}]", r, c, d[(r,c)], mn, mx);
+            }
+        }
+    }
+
+    #[test]
+    fn rtn_error_bounded_by_half_step(w in weight_matrix(4, 16), bits in 1u32..=6) {
+        let q = rtn(&w, RtnParams::per_row(bits));
+        let d = q.dequantize();
+        for r in 0..w.rows() {
+            let row = w.row(r);
+            let mn = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let step = (mx - mn) / ((1u64 << bits) - 1) as f64;
+            for c in 0..w.cols() {
+                prop_assert!((d[(r, c)] - w[(r, c)]).abs() <= step / 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_to_bcq_roundtrip_exact(w in weight_matrix(4, 16), bits in 1u32..=6) {
+        // The paper's Eq. 3 conversion must represent *identical* values.
+        let u = rtn(&w, RtnParams::per_row(bits));
+        let b = BcqWeight::from_uniform(&u);
+        let du = u.dequantize();
+        let db = b.dequantize();
+        prop_assert!(du.max_abs_diff(&db) < 1e-10,
+            "max diff {}", du.max_abs_diff(&db));
+        prop_assert_eq!(b.bits(), bits);
+    }
+
+    #[test]
+    fn bcq_not_worse_than_greedy_only(w in weight_matrix(3, 24), bits in 1u32..=4) {
+        let greedy = BcqWeight::quantize(&w, BcqParams {
+            bits, group_size: 0, with_offset: true, refine_iters: 0,
+        });
+        let refined = BcqWeight::quantize(&w, BcqParams {
+            bits, group_size: 0, with_offset: true, refine_iters: 10,
+        });
+        let eg = weight_mse(&w, &greedy.dequantize());
+        let er = weight_mse(&w, &refined.dequantize());
+        prop_assert!(er <= eg + 1e-12, "refined {} > greedy {}", er, eg);
+    }
+
+    #[test]
+    fn bcq_dequant_is_within_representable_span(w in weight_matrix(3, 16), bits in 1u32..=4) {
+        // Every dequantized value must equal z ± α₁ ± α₂ …, so its magnitude
+        // is bounded by |z| + Σ αᵢ.
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(bits));
+        let d = b.dequantize();
+        for r in 0..w.rows() {
+            let span: f64 = (0..bits as usize).map(|i| b.alpha(i, r, 0)).sum::<f64>()
+                + b.offset(r, 0).abs();
+            for c in 0..w.cols() {
+                prop_assert!(d[(r, c)].abs() <= span + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bcq_binary_expansion_matches_dequant(w in weight_matrix(2, 12), bits in 1u32..=4) {
+        // value(r,c) must equal the explicit Σ αᵢ·sign + z expansion.
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(bits));
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let mut v = b.offset(r, c);
+                for i in 0..bits as usize {
+                    v += b.alpha(i, r, c) * b.plane(i).sign(r, c);
+                }
+                prop_assert!((v - b.value(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+}

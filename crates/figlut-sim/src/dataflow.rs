@@ -1,0 +1,153 @@
+//! Weight-stationary tile scheduling and cycle counts (paper Fig. 5).
+//!
+//! All engines stream a GEMM as output-row × input-channel tiles. Fixed
+//! engines make one pass per tile; FP-BCQ engines iterate bit-planes
+//! *inside* the tile (Fig. 5(b)) so sub-4-bit models finish proportionally
+//! faster and Q8 takes twice as long — the defining bit-serial trade-off of
+//! Figs. 13/15/16.
+
+use crate::memory::gemm_traffic;
+use crate::mpu::{geometry, EngineSpec};
+use crate::tech::Tech;
+
+/// Cycle accounting of one GEMM on one engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CycleReport {
+    /// Steady-state compute cycles.
+    pub compute: f64,
+    /// Pipeline fill / bit-plane switch overhead.
+    pub fill: f64,
+    /// DRAM-transfer floor (double buffering overlaps it with compute).
+    pub dram: f64,
+}
+
+impl CycleReport {
+    /// Wall-clock cycles: compute and DRAM streams overlap via double
+    /// buffering, so the slower one dominates.
+    pub fn total(&self) -> f64 {
+        (self.compute + self.fill).max(self.dram)
+    }
+
+    /// `true` if the GEMM is DRAM-bound on this engine.
+    pub fn memory_bound(&self) -> bool {
+        self.dram > self.compute + self.fill
+    }
+}
+
+/// Tile counts for an `(m × n)` weight matrix on this engine's array.
+pub fn tiles(spec: &EngineSpec, m: usize, n: usize) -> f64 {
+    let g = geometry(spec);
+    (m as f64 / g.tm as f64).ceil() * (n as f64 / g.tn as f64).ceil()
+}
+
+/// Cycle model of one GEMM.
+///
+/// `q_eff` is the average weight precision actually iterated (fractional
+/// for mixed-precision models); fixed-precision engines ignore it for
+/// compute (they always move `designed_bits`-padded weights) but store
+/// padded weights, which the DRAM floor reflects.
+pub fn gemm_cycles(
+    tech: &Tech,
+    spec: &EngineSpec,
+    m: usize,
+    n: usize,
+    batch: usize,
+    q_eff: f64,
+) -> CycleReport {
+    let g = geometry(spec);
+    let uses = m as f64 * n as f64 * batch as f64;
+    let compute = if spec.engine.is_bit_serial() {
+        uses * q_eff / g.bit_ops_per_cycle
+    } else {
+        uses / g.cells as f64
+    };
+    // Double buffering overlaps weight loads and input skew across tiles:
+    // the systolic pipeline fills once per GEMM, and each tile (and each
+    // bit-plane switch within it) costs only a one-cycle register swap.
+    let q_stream = if spec.engine.is_bit_serial() { q_eff } else { 1.0 };
+    let fill = g.fill_stages as f64 + tiles(spec, m, n) * q_stream;
+    let q_storage = if spec.engine.is_bit_serial() {
+        q_eff
+    } else {
+        spec.designed_bits as f64
+    };
+    let traffic = gemm_traffic(spec, m, n, batch, q_storage, q_stream);
+    let dram = traffic.dram_bits / 8.0 / tech.dram_bytes_per_cycle();
+    CycleReport {
+        compute,
+        fill,
+        dram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpu::SimEngine;
+    use figlut_num::fp::FpFormat;
+
+    fn spec(e: SimEngine) -> EngineSpec {
+        EngineSpec::paper(e, FpFormat::Fp16)
+    }
+
+    #[test]
+    fn equal_throughput_at_q4() {
+        let t = Tech::cmos28();
+        let mut totals = Vec::new();
+        for e in SimEngine::ALL {
+            let c = gemm_cycles(&t, &spec(e), 4096, 4096, 32, 4.0);
+            totals.push((e, c.compute));
+        }
+        let base = totals[0].1;
+        for (e, c) in totals {
+            assert!(
+                (c / base - 1.0).abs() < 0.01,
+                "{}: {c} vs {base}",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_serial_scales_with_q() {
+        let t = Tech::cmos28();
+        let s = spec(SimEngine::FiglutI);
+        let c2 = gemm_cycles(&t, &s, 2048, 2048, 32, 2.0).compute;
+        let c4 = gemm_cycles(&t, &s, 2048, 2048, 32, 4.0).compute;
+        let c8 = gemm_cycles(&t, &s, 2048, 2048, 32, 8.0).compute;
+        assert!((c4 / c2 - 2.0).abs() < 1e-9);
+        assert!((c8 / c4 - 2.0).abs() < 1e-9);
+        // Fixed engine: flat.
+        let f = spec(SimEngine::Figna);
+        let f2 = gemm_cycles(&t, &f, 2048, 2048, 32, 2.0).compute;
+        let f4 = gemm_cycles(&t, &f, 2048, 2048, 32, 4.0).compute;
+        assert_eq!(f2, f4);
+    }
+
+    #[test]
+    fn fill_overhead_smaller_for_figlut() {
+        let t = Tech::cmos28();
+        let lut = gemm_cycles(&t, &spec(SimEngine::FiglutI), 512, 512, 1, 4.0);
+        let fpe = gemm_cycles(&t, &spec(SimEngine::Fpe), 512, 512, 1, 4.0);
+        assert!(lut.fill < fpe.fill, "{} vs {}", lut.fill, fpe.fill);
+    }
+
+    #[test]
+    fn small_batch_is_memory_bound() {
+        // Batch-1 GEMV is the paper's memory-bound motivation.
+        let t = Tech::cmos28();
+        let c1 = gemm_cycles(&t, &spec(SimEngine::FiglutI), 4096, 4096, 1, 4.0);
+        assert!(c1.memory_bound(), "batch-1 should be DRAM-bound");
+        let c32 = gemm_cycles(&t, &spec(SimEngine::FiglutI), 4096, 4096, 32, 4.0);
+        assert!(!c32.memory_bound(), "batch-32 should be compute-bound");
+    }
+
+    #[test]
+    fn tile_counts() {
+        let s = spec(SimEngine::Fpe); // 64×64 tiles
+        assert_eq!(tiles(&s, 128, 128), 4.0);
+        assert_eq!(tiles(&s, 65, 64), 2.0);
+        let l = spec(SimEngine::FiglutI); // 64×256 tiles
+        assert_eq!(tiles(&l, 128, 512), 4.0);
+    }
+}

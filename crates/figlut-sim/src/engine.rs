@@ -1,0 +1,374 @@
+//! Whole-engine evaluation: cycles, energy, area → TOPS, TOPS/W, TOPS/mm².
+//!
+//! [`evaluate`] prices a [`Workload`] (a set of GEMM shapes plus non-GEMM
+//! FLOPs) on an [`EngineSpec`], producing the [`Report`] behind the paper's
+//! Figs. 13, 15, 16, 17 and Table V. Energy is the sum of
+//!
+//! * **MPU compute** — engine-specific per-operation datapath energies
+//!   (from [`Tech`]) plus per-cycle pipeline/LUT retention,
+//! * **SRAM / DRAM** — tile traffic from [`crate::memory`],
+//! * **VPU** — non-GEMM vector work.
+//!
+//! The engine-specific inner-loop costs mirror `figlut-gemm`'s functional
+//! models one-to-one: every rounded operation there has a priced operation
+//! here.
+
+use crate::dataflow::gemm_cycles;
+use crate::lutcost::lut_power;
+use crate::memory::gemm_traffic;
+use crate::mpu::{engine_area, geometry, pipeline_ff_pj_per_cycle, EngineArea, EngineSpec, SimEngine};
+use crate::tech::Tech;
+use figlut_lut::generator::GenSchedule;
+use figlut_num::fp::FpFormat;
+
+/// One GEMM shape in a workload: `batch × n` activations against `m × n`
+/// weights, occurring `repeat` times (e.g. per layer × layers × tokens).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GemmShape {
+    /// Output features.
+    pub m: usize,
+    /// Input features (reduction dim).
+    pub n: usize,
+    /// Batch (tokens in flight; the paper uses 32).
+    pub batch: usize,
+    /// Occurrence multiplier.
+    pub repeat: f64,
+}
+
+impl GemmShape {
+    /// MAC-counted operations (2 ops per multiply-accumulate), including
+    /// repeats.
+    pub fn ops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.batch as f64 * self.repeat
+    }
+}
+
+/// A model's compute demand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// GEMM inventory.
+    pub gemms: Vec<GemmShape>,
+    /// Non-GEMM FLOPs handled by the VPU (LayerNorm, softmax, GELU, …).
+    pub nongemm_flops: f64,
+}
+
+impl Workload {
+    /// Total GEMM operations.
+    pub fn ops(&self) -> f64 {
+        self.gemms.iter().map(GemmShape::ops).sum()
+    }
+}
+
+/// Energy split used by the paper's Fig. 15 bars.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// MPU datapath + retention (pJ).
+    pub mpu_pj: f64,
+    /// Vector unit (pJ).
+    pub vpu_pj: f64,
+    /// On-chip SRAM traffic (pJ).
+    pub sram_pj: f64,
+    /// Off-chip DRAM traffic (pJ).
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.mpu_pj + self.vpu_pj + self.sram_pj + self.dram_pj
+    }
+}
+
+/// Evaluation result for one (engine, workload, precision) point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Report {
+    /// Total cycles.
+    pub cycles: f64,
+    /// Total GEMM operations (MAC-counted ×2).
+    pub ops: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Area breakdown.
+    pub area: EngineArea,
+    /// Clock (Hz), copied from the tech for derived metrics.
+    pub freq_hz: f64,
+}
+
+impl Report {
+    /// Wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles / self.freq_hz
+    }
+
+    /// Achieved tera-operations per second.
+    pub fn tops(&self) -> f64 {
+        self.ops / self.seconds() / 1e12
+    }
+
+    /// Average power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.energy.total_pj() * 1e-12 / self.seconds()
+    }
+
+    /// Energy efficiency. (1 TOPS/W ≡ 1 operation per picojoule.)
+    pub fn tops_per_w(&self) -> f64 {
+        self.ops / self.energy.total_pj()
+    }
+
+    /// Area efficiency (TOPS per mm²).
+    pub fn tops_per_mm2(&self) -> f64 {
+        self.tops() / self.area.total_mm2()
+    }
+}
+
+/// Evaluate `workload` on `spec` at average weight precision `weight_bits`
+/// (fractional for mixed-precision models, e.g. 2.4).
+///
+/// # Panics
+///
+/// Panics if `weight_bits` is outside `(0, 8]`.
+pub fn evaluate(tech: &Tech, spec: &EngineSpec, workload: &Workload, weight_bits: f64) -> Report {
+    assert!(
+        weight_bits > 0.0 && weight_bits <= 8.0,
+        "weight precision {weight_bits} out of range"
+    );
+    let mut cycles = 0.0;
+    let mut energy = EnergyBreakdown::default();
+    for g in &workload.gemms {
+        let c = gemm_cycles(tech, spec, g.m, g.n, g.batch, weight_bits);
+        cycles += c.total() * g.repeat;
+        let q_stream = if spec.engine.is_bit_serial() {
+            weight_bits
+        } else {
+            1.0
+        };
+        let q_storage = if spec.engine.is_bit_serial() {
+            weight_bits
+        } else {
+            spec.designed_bits as f64
+        };
+        let traffic = gemm_traffic(spec, g.m, g.n, g.batch, q_storage, q_stream);
+        energy.dram_pj += traffic.dram_bits * tech.dram_pj_per_bit * g.repeat;
+        energy.sram_pj += (traffic.sram_read_bits * tech.sram_read_pj_per_bit
+            + traffic.sram_write_bits * tech.sram_write_pj_per_bit)
+            * g.repeat;
+        energy.mpu_pj +=
+            mpu_compute_pj(tech, spec, g.m, g.n, g.batch, weight_bits, c.total()) * g.repeat;
+    }
+    energy.vpu_pj = workload.nongemm_flops
+        * (tech.fp_mul(FpFormat::Fp32) + tech.fp_add(FpFormat::Fp32))
+        / 2.0;
+    Report {
+        cycles,
+        ops: workload.ops(),
+        energy,
+        area: engine_area(tech, spec),
+        freq_hz: tech.freq_hz,
+    }
+}
+
+/// MPU datapath energy of one GEMM (pJ). Mirrors the functional engines in
+/// `figlut-gemm` operation for operation.
+fn mpu_compute_pj(
+    tech: &Tech,
+    spec: &EngineSpec,
+    m: usize,
+    n: usize,
+    batch: usize,
+    q: f64,
+    total_cycles: f64,
+) -> f64 {
+    let g = geometry(spec);
+    let uses = m as f64 * n as f64 * batch as f64;
+    let m_tiles = (m as f64 / g.tm as f64).ceil();
+    let n_tiles = (n as f64 / g.tn as f64).ceil();
+    let p = spec.mant_bits();
+    let fmt = spec.act;
+    let fp32_mac = tech.fp_mul(FpFormat::Fp32) + tech.fp_add(FpFormat::Fp32);
+    let pipeline = pipeline_ff_pj_per_cycle(tech, spec) * total_cycles;
+    match spec.engine {
+        SimEngine::Fpe => {
+            let per_use = tech.i2f(fmt) + tech.fp_mul(fmt) + tech.fp_add(FpFormat::Fp32);
+            uses * per_use + pipeline
+        }
+        SimEngine::Figna => {
+            let per_use = tech.int_mul(p, spec.designed_bits)
+                + tech.int_add(spec.acc_bits())
+                + tech.int_add(p + 7); // offset (Σ mantissa) accumulator
+            // Edge scaling: scale & base, one FP32 MAC each per (row, batch,
+            // n-tile); alignment per activation fetch.
+            let edge = m as f64 * batch as f64 * n_tiles * 2.0 * fp32_mac;
+            let align = batch as f64 * n as f64 * m_tiles * tech.align(fmt);
+            uses * per_use + edge + align + pipeline
+        }
+        SimEngine::Ifpu => {
+            let bit_uses = uses * q;
+            let per_bit = tech.int_add(spec.acc_bits());
+            // Per-plane α scaling plus one offset pass (the bit-serial
+            // scaling overhead the paper highlights).
+            let edge = m as f64 * batch as f64 * (q + 1.0) * n_tiles * fp32_mac;
+            let align = batch as f64 * n as f64 * m_tiles * q * tech.align(fmt);
+            bit_uses * per_bit + edge + align + pipeline
+        }
+        SimEngine::FiglutF | SimEngine::FiglutI => {
+            let pp = spec.pe_params();
+            let lp = lut_power(tech, pp.kind, spec.mu, fmt.storage_bits(), spec.k);
+            let reads = uses * q / spec.mu as f64;
+            let per_read = lp.read_pj() + pp.datapath.add_pj(tech);
+            // LUT retention + RAC registers, every cycle.
+            let pes = 2.0 * 16.0 * 4.0;
+            let racs = pes * spec.k as f64;
+            let retention = pes * lp.hold_pj_per_cycle
+                + racs * (spec.mu + pp.datapath.acc_bits()) as f64 * tech.ff_pj_per_bit_cycle;
+            // Generator: every input-group presentation rebuilds a half
+            // table (14 adds at µ = 4), shared down `gen_share_rows` rows.
+            let gen_adds = GenSchedule::optimized(spec.mu, true).adds() as f64;
+            let presentations =
+                batch as f64 * (n as f64 / spec.mu as f64) * m_tiles * q / pp.gen_share_rows as f64;
+            let gen = presentations * gen_adds * tech.fp_add(fmt);
+            let edge = m as f64 * batch as f64 * (q + 1.0) * n_tiles * fp32_mac;
+            let align = if spec.engine == SimEngine::FiglutI {
+                batch as f64 * n as f64 * m_tiles * q * tech.align(fmt)
+            } else {
+                0.0
+            };
+            reads * per_read + retention * total_cycles + gen + edge + align + pipeline
+        }
+    }
+}
+
+/// A single-layer LLM-ish workload, convenient for tests and sweeps.
+pub fn square_workload(dim: usize, batch: usize) -> Workload {
+    Workload {
+        gemms: vec![GemmShape {
+            m: dim,
+            n: dim,
+            batch,
+            repeat: 1.0,
+        }],
+        nongemm_flops: 20.0 * dim as f64 * batch as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tech {
+        Tech::cmos28()
+    }
+
+    fn report(e: SimEngine, q: f64) -> Report {
+        let spec = EngineSpec::paper(e, FpFormat::Fp16);
+        evaluate(&t(), &spec, &square_workload(4096, 32), q)
+    }
+
+    #[test]
+    fn tops_per_w_ordering_at_q4() {
+        // The paper's headline ordering (Table V): FPE < iFPU < FIGNA <
+        // FIGLUT-I.
+        let fpe = report(SimEngine::Fpe, 4.0).tops_per_w();
+        let ifpu = report(SimEngine::Ifpu, 4.0).tops_per_w();
+        let figna = report(SimEngine::Figna, 4.0).tops_per_w();
+        let figlut = report(SimEngine::FiglutI, 4.0).tops_per_w();
+        assert!(fpe < ifpu, "FPE {fpe} !< iFPU {ifpu}");
+        assert!(ifpu < figna, "iFPU {ifpu} !< FIGNA {figna}");
+        assert!(figna < figlut, "FIGNA {figna} !< FIGLUT {figlut}");
+        // Headline magnitude: ≥1.2× over FIGNA at Q4 (paper: 1.2×–1.4×).
+        assert!(
+            figlut / figna > 1.10,
+            "FIGLUT/FIGNA = {} too small",
+            figlut / figna
+        );
+    }
+
+    #[test]
+    fn q3_gap_grows_to_about_1_6x() {
+        // Paper abstract: 59% higher TOPS/W than FIGNA at 3-bit.
+        let figna = report(SimEngine::Figna, 3.0).tops_per_w();
+        let figlut = report(SimEngine::FiglutI, 3.0).tops_per_w();
+        let ratio = figlut / figna;
+        assert!(
+            (1.3..2.2).contains(&ratio),
+            "Q3 FIGLUT/FIGNA = {ratio}, expected ≈1.6"
+        );
+    }
+
+    #[test]
+    fn sub4_bit_serial_efficiency_rises() {
+        // Fig. 16: TOPS/W of FIGLUT grows as precision drops; fixed engines
+        // stay flat.
+        let f4 = report(SimEngine::FiglutI, 4.0).tops_per_w();
+        let f3 = report(SimEngine::FiglutI, 3.0).tops_per_w();
+        let f2 = report(SimEngine::FiglutI, 2.0).tops_per_w();
+        assert!(f2 > f3 && f3 > f4, "{f2} {f3} {f4}");
+        let g4 = report(SimEngine::Figna, 4.0).tops_per_w();
+        let g2 = report(SimEngine::Figna, 2.0).tops_per_w();
+        assert!((g2 / g4 - 1.0).abs() < 0.05, "FIGNA should be flat: {g2} vs {g4}");
+    }
+
+    #[test]
+    fn q8_penalizes_bit_serial_throughput() {
+        // Fig. 13 discussion: at Q8 bit-serial engines take 2× cycles.
+        let lut4 = report(SimEngine::FiglutI, 4.0);
+        let lut8 = report(SimEngine::FiglutI, 8.0);
+        assert!((lut4.tops() / lut8.tops() - 2.0).abs() < 0.2);
+        let fpe4 = report(SimEngine::Fpe, 4.0);
+        let fpe8 = evaluate(
+            &t(),
+            &EngineSpec::paper(SimEngine::Fpe, FpFormat::Fp16).q8_variant(),
+            &square_workload(4096, 32),
+            8.0,
+        );
+        assert!((fpe4.tops() / fpe8.tops() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn figlut_area_efficiency_beats_figna_at_sub4() {
+        // Fig. 13: proposed engines reach up to ~1.5× FIGNA's TOPS/mm² in
+        // the sub-4-bit regime.
+        let figna = report(SimEngine::Figna, 3.0);
+        let figlut = report(SimEngine::FiglutI, 3.0);
+        let ratio = figlut.tops_per_mm2() / figna.tops_per_mm2();
+        assert!(ratio > 1.1, "Q3 area-efficiency ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_breakdown_components_positive() {
+        let r = report(SimEngine::FiglutI, 4.0);
+        assert!(r.energy.mpu_pj > 0.0);
+        assert!(r.energy.sram_pj > 0.0);
+        assert!(r.energy.dram_pj > 0.0);
+        assert!(r.energy.vpu_pj > 0.0);
+        // GEMM dominates the VPU (paper: non-GEMM impact "minimal").
+        assert!(r.energy.vpu_pj < 0.05 * r.energy.total_pj());
+    }
+
+    #[test]
+    fn dram_energy_drops_with_precision_for_bit_serial() {
+        let e4 = report(SimEngine::FiglutI, 4.0).energy.dram_pj;
+        let e2 = report(SimEngine::FiglutI, 2.0).energy.dram_pj;
+        assert!(e2 < 0.6 * e4);
+        // Fixed engines store padded weights: flat.
+        let g4 = report(SimEngine::Figna, 4.0).energy.dram_pj;
+        let g2 = report(SimEngine::Figna, 2.0).energy.dram_pj;
+        assert!((g2 / g4 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn figlut_f_less_efficient_than_figlut_i() {
+        // The paper focuses on FIGLUT-I "given that FIGLUT-I shows better
+        // power efficiency with integer operations".
+        let f = report(SimEngine::FiglutF, 4.0).tops_per_w();
+        let i = report(SimEngine::FiglutI, 4.0).tops_per_w();
+        assert!(i > f, "I {i} !> F {f}");
+    }
+
+    #[test]
+    fn mixed_precision_interpolates() {
+        let f2 = report(SimEngine::FiglutI, 2.0).tops_per_w();
+        let f24 = report(SimEngine::FiglutI, 2.4).tops_per_w();
+        let f3 = report(SimEngine::FiglutI, 3.0).tops_per_w();
+        assert!(f2 > f24 && f24 > f3, "{f2} {f24} {f3}");
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # figlut-sim — energy / area / cycle simulator for the FIGLUT evaluation
+//!
+//! The paper's hardware results come from 28 nm synthesis + P&R and CACTI.
+//! This crate substitutes a parametric cost model (see DESIGN.md §2 for the
+//! substitution argument) with the same structure the paper evaluates:
+//!
+//! * [`tech`] — the 28 nm-class component library (every pJ/µm² constant,
+//!   documented and centralized).
+//! * [`lutcost`] — RFLUT / FFLUT / hFFLUT structures, the fan-out model,
+//!   and PE power: paper Figs. 6–9, Table III.
+//! * [`mpu`] — array geometries (64×64, 64×64×4, 2×16×4·k) and area
+//!   breakdowns: paper Fig. 14.
+//! * [`dataflow`] — weight-stationary tiling with bit-plane-inner ordering:
+//!   paper Fig. 5; cycle counts.
+//! * [`memory`] — buffer sizing and SRAM/DRAM traffic: paper Fig. 12.
+//! * [`engine`] — whole-engine evaluation to TOPS / TOPS/W / TOPS/mm²:
+//!   paper Figs. 13, 15, 16, 17 and Table V.
+//! * [`gpu`] — the A100/H100/LUT-GEMM rows of Table V (measured constants
+//!   + roofline cross-check).
+//! * [`complexity`] — Table I feature/complexity rows.
+//! * [`cyclesim`] — a cycle-level PE simulation that validates the analytic
+//!   cycle model and reproduces the functional engine bit-exactly.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use figlut_sim::engine::{evaluate, square_workload};
+//! use figlut_sim::mpu::{EngineSpec, SimEngine};
+//! use figlut_sim::tech::Tech;
+//! use figlut_num::fp::FpFormat;
+//!
+//! let tech = Tech::cmos28();
+//! let wl = square_workload(4096, 32);
+//! let figlut = evaluate(&tech, &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16), &wl, 4.0);
+//! let figna = evaluate(&tech, &EngineSpec::paper(SimEngine::Figna, FpFormat::Fp16), &wl, 4.0);
+//! assert!(figlut.tops_per_w() > figna.tops_per_w());
+//! ```
+
+pub mod complexity;
+pub mod cyclesim;
+pub mod dataflow;
+pub mod engine;
+pub mod gpu;
+pub mod lutcost;
+pub mod memory;
+pub mod mpu;
+pub mod tech;
+
+pub use engine::{evaluate, GemmShape, Report, Workload};
+pub use mpu::{EngineSpec, SimEngine};
+pub use tech::Tech;

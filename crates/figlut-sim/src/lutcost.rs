@@ -1,0 +1,436 @@
+//! Power and area of LUT structures and PEs (paper §III-C/D, Figs 6–9,
+//! Table III).
+//!
+//! The paper's key architecture decisions — FFLUT over RFLUT, µ = 4,
+//! k = 32 RACs per LUT, hFFLUT halving — are all driven by post-P&R power
+//! measurements. This module reprices the same comparisons from the
+//! [`Tech`] component library:
+//!
+//! * [`lut_power`] — per-structure costs (FF retention, mux-tree reads,
+//!   decoder, regeneration) including the fan-out penalty of `k` shared
+//!   readers.
+//! * [`per_weight_read_power`] — Fig. 6's metric: energy per weight
+//!   position served, LUT read path vs one FP add.
+//! * [`pe_power`] — Fig. 8/9's metric: a full PE (one shared LUT + k RACs
+//!   + registers + amortized generation) at equal throughput.
+//! * [`optimal_k`] — argmin of P_RAC(k), which lands at 32 for µ = 4.
+
+use crate::tech::Tech;
+use figlut_lut::generator::GenSchedule;
+use figlut_num::fp::FpFormat;
+
+/// LUT implementation style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LutKind {
+    /// Register-file macro (the conventional approach the paper rejects).
+    Rflut,
+    /// Flip-flop + multiplexer table (paper Fig. 7).
+    Fflut,
+    /// Half-size FFLUT with sign-flip decoder (paper Fig. 10).
+    Hfflut,
+}
+
+impl LutKind {
+    /// Stored entries for group size µ.
+    pub fn stored_entries(self, mu: u32) -> usize {
+        match self {
+            LutKind::Hfflut => 1 << (mu - 1),
+            _ => 1 << mu,
+        }
+    }
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LutKind::Rflut => "RFLUT",
+            LutKind::Fflut => "FFLUT",
+            LutKind::Hfflut => "hFFLUT",
+        }
+    }
+}
+
+/// Cost breakdown of one LUT instance serving `k` readers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LutPower {
+    /// Storage retention + refresh per cycle (FF clocking incl. fan-out of
+    /// the k read ports; RFLUT macros embed this in their access energy).
+    pub hold_pj_per_cycle: f64,
+    /// Mux-tree traversal per read, per port (incl. port wiring that grows
+    /// with k).
+    pub mux_pj_per_read: f64,
+    /// hFFLUT decoder per read (zero for the other kinds).
+    pub decoder_pj_per_read: f64,
+    /// Macro access energy per read (RFLUT only).
+    pub macro_pj_per_read: f64,
+    /// Energy to write one full table (RFLUT regeneration; FFLUT refresh is
+    /// carried by `hold_pj_per_cycle`).
+    pub write_table_pj: f64,
+    /// Area of storage plus k read ports (µm²).
+    pub area_um2: f64,
+}
+
+impl LutPower {
+    /// Total energy per read, excluding retention.
+    pub fn read_pj(&self) -> f64 {
+        self.mux_pj_per_read + self.decoder_pj_per_read + self.macro_pj_per_read
+    }
+}
+
+/// Price one LUT of the given kind: group size `mu`, `width_bits`-wide
+/// entries, shared by `k` readers.
+///
+/// # Panics
+///
+/// Panics if `mu ∉ 1..=8` or `k == 0`.
+pub fn lut_power(tech: &Tech, kind: LutKind, mu: u32, width_bits: u32, k: u32) -> LutPower {
+    assert!((1..=8).contains(&mu), "µ = {mu} out of range");
+    assert!(k >= 1, "k must be positive");
+    let entries = kind.stored_entries(mu) as f64;
+    let bits = entries * width_bits as f64;
+    match kind {
+        LutKind::Rflut => {
+            let read = tech.rf_read(entries as usize, width_bits);
+            LutPower {
+                hold_pj_per_cycle: 0.0, // embedded in the macro access energy
+                mux_pj_per_read: 0.0,
+                decoder_pj_per_read: 0.0,
+                macro_pj_per_read: read,
+                write_table_pj: entries * tech.rf_write(entries as usize, width_bits),
+                area_um2: bits * tech.rf_um2_per_bit,
+            }
+        }
+        LutKind::Fflut | LutKind::Hfflut => {
+            let hold = bits * tech.ff_pj_per_bit_cycle * tech.fanout_factor(k);
+            let tree = width_bits as f64 * (entries - 1.0) * tech.mux2_pj_per_bit;
+            let port = tech.port_wire_pj_per_load * k as f64;
+            let decoder = if kind == LutKind::Hfflut {
+                tech.decoder_pj_per_bit * (width_bits + mu) as f64
+            } else {
+                0.0
+            };
+            LutPower {
+                hold_pj_per_cycle: hold,
+                mux_pj_per_read: tree + port,
+                decoder_pj_per_read: decoder,
+                macro_pj_per_read: 0.0,
+                write_table_pj: bits * tech.ff_pj_per_bit_cycle,
+                area_um2: bits * tech.ff_um2_per_bit
+                    + k as f64 * width_bits as f64 * (entries - 1.0) * tech.mux2_um2_per_bit,
+            }
+        }
+    }
+}
+
+/// Fig. 6 metric: LUT read-path energy per *weight position served*,
+/// relative to one FP add of the same format (the arithmetic a read
+/// replaces). One read covers µ weights; retention is amortized over the
+/// k·µ weight positions a LUT serves per cycle (k = 1 in Fig. 6, which
+/// compares structures before sharing is introduced).
+pub fn per_weight_read_power(tech: &Tech, kind: LutKind, mu: u32, fmt: FpFormat, k: u32) -> f64 {
+    let lp = lut_power(tech, kind, mu, fmt.storage_bits(), k);
+    let per_weight = (lp.hold_pj_per_cycle / k as f64 + lp.read_pj()) / mu as f64;
+    per_weight / tech.fp_add(fmt)
+}
+
+/// RAC accumulator datapath.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RacDatapath {
+    /// FIGLUT-F: FP32 accumulation.
+    Fp32Acc,
+    /// FIGLUT-I: integer accumulation at the given register width.
+    IntAcc {
+        /// Accumulator width in bits.
+        bits: u32,
+    },
+}
+
+impl RacDatapath {
+    /// Energy of one accumulate.
+    pub fn add_pj(self, tech: &Tech) -> f64 {
+        match self {
+            RacDatapath::Fp32Acc => tech.fp_add(FpFormat::Fp32),
+            RacDatapath::IntAcc { bits } => tech.int_add(bits),
+        }
+    }
+
+    /// Adder area.
+    pub fn add_area_um2(self, tech: &Tech) -> f64 {
+        match self {
+            RacDatapath::Fp32Acc => tech.fp_add_area(FpFormat::Fp32),
+            RacDatapath::IntAcc { bits } => tech.int_add_area(bits),
+        }
+    }
+
+    /// Accumulator register width.
+    pub fn acc_bits(self) -> u32 {
+        match self {
+            RacDatapath::Fp32Acc => 32,
+            RacDatapath::IntAcc { bits } => bits,
+        }
+    }
+}
+
+/// PE configuration: one shared (h)FFLUT plus `k` RACs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeParams {
+    /// LUT group size.
+    pub mu: u32,
+    /// RACs sharing the LUT.
+    pub k: u32,
+    /// Activation / table-entry format.
+    pub fmt: FpFormat,
+    /// LUT style (the paper's PE uses the hFFLUT).
+    pub kind: LutKind,
+    /// Accumulator datapath.
+    pub datapath: RacDatapath,
+    /// PE rows sharing one LUT generator via value forwarding (FIGLUT
+    /// forwards generated values down 2 rows).
+    pub gen_share_rows: u32,
+}
+
+impl PeParams {
+    /// The paper's operating point: µ = 4, k = 32, hFFLUT, integer RACs
+    /// sized for the format's aligned mantissa plus accumulation headroom.
+    pub fn paper_default(fmt: FpFormat) -> Self {
+        Self {
+            mu: 4,
+            k: 32,
+            fmt,
+            kind: LutKind::Hfflut,
+            datapath: RacDatapath::IntAcc {
+                bits: fmt.precision() + 13,
+            },
+            gen_share_rows: 2,
+        }
+    }
+}
+
+/// Per-cycle PE power breakdown at full utilization.
+///
+/// Matches the paper's Fig. 9 measurement boundary: the PE is the shared
+/// LUT plus its k RACs. The LUT *generator* sits outside the PE (shared
+/// down rows by value forwarding) and is priced separately by
+/// [`generator_pj_per_cycle`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PePower {
+    /// LUT retention (incl. fan-out).
+    pub lut_pj: f64,
+    /// All k read ports (mux trees, port wiring, decoder).
+    pub read_pj: f64,
+    /// All k accumulators (adds + key/psum registers).
+    pub rac_pj: f64,
+}
+
+impl PePower {
+    /// Total PE power per cycle (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.lut_pj + self.read_pj + self.rac_pj
+    }
+
+    /// Per-RAC power (the paper's P_RAC = P_PE / k).
+    pub fn per_rac_pj(&self, k: u32) -> f64 {
+        self.total_pj() / k as f64
+    }
+
+    /// Weight positions served per cycle (k reads × µ weights).
+    pub fn weights_per_cycle(&self, mu: u32, k: u32) -> f64 {
+        (mu * k) as f64
+    }
+}
+
+/// Price one PE per cycle (every RAC reads once per cycle).
+pub fn pe_power(tech: &Tech, p: &PeParams) -> PePower {
+    let lp = lut_power(tech, p.kind, p.mu, p.fmt.storage_bits(), p.k);
+    let k = p.k as f64;
+    let regs_bits = (p.mu + p.datapath.acc_bits()) as f64; // key + psum per RAC
+    let rac = k * (p.datapath.add_pj(tech) + regs_bits * tech.ff_pj_per_bit_cycle);
+    PePower {
+        lut_pj: lp.hold_pj_per_cycle,
+        read_pj: k * lp.read_pj(),
+        rac_pj: rac,
+    }
+}
+
+/// Per-cycle LUT-generator power amortized per PE: `adds(µ)` format adds
+/// per cycle, shared across `gen_share_rows` PEs by value forwarding.
+pub fn generator_pj_per_cycle(tech: &Tech, p: &PeParams) -> f64 {
+    let gen_adds = GenSchedule::optimized(p.mu, p.kind == LutKind::Hfflut).adds() as f64;
+    gen_adds * tech.fp_add(p.fmt) / p.gen_share_rows as f64
+}
+
+/// PE area (µm²): LUT storage + ports, RAC adders + registers, and the
+/// amortized generator share.
+pub fn pe_area(tech: &Tech, p: &PeParams) -> f64 {
+    let lp = lut_power(tech, p.kind, p.mu, p.fmt.storage_bits(), p.k);
+    let k = p.k as f64;
+    let regs_bits = (p.mu + p.datapath.acc_bits()) as f64;
+    let racs = k * (p.datapath.add_area_um2(tech) + regs_bits * tech.ff_um2_per_bit);
+    let gen_adds = GenSchedule::optimized(p.mu, p.kind == LutKind::Hfflut).adds() as f64;
+    let gen = gen_adds * tech.fp_add_area(p.fmt) / p.gen_share_rows as f64;
+    lp.area_um2 + racs + gen
+}
+
+/// Argmin of P_RAC(k) over `1..=max_k` (paper Fig. 9's design decision).
+pub fn optimal_k(tech: &Tech, mu: u32, fmt: FpFormat, max_k: u32) -> u32 {
+    let mut best = (1u32, f64::INFINITY);
+    for k in 1..=max_k {
+        let p = PeParams {
+            k,
+            ..PeParams::paper_default(fmt)
+        };
+        let p = PeParams { mu, ..p };
+        let prac = pe_power(tech, &p).per_rac_pj(k);
+        if prac < best.1 {
+            best = (k, prac);
+        }
+    }
+    best.0
+}
+
+/// System-level power per weight position at equal throughput (Fig. 8's
+/// metric), relative to an FP-adder array of the same throughput. Includes
+/// the PE's amortized generator share.
+pub fn system_power_per_weight(tech: &Tech, p: &PeParams) -> f64 {
+    let pe = pe_power(tech, p);
+    let per_weight =
+        (pe.total_pj() + generator_pj_per_cycle(tech, p)) / pe.weights_per_cycle(p.mu, p.k);
+    per_weight / tech.fp_add(p.fmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tech {
+        Tech::cmos28()
+    }
+
+    #[test]
+    fn hfflut_halves_storage_power() {
+        // Paper Table III: hFFLUT LUT power ≈ 0.494× FFLUT.
+        let full = lut_power(&t(), LutKind::Fflut, 4, 16, 32);
+        let half = lut_power(&t(), LutKind::Hfflut, 4, 16, 32);
+        let ratio = half.hold_pj_per_cycle / full.hold_pj_per_cycle;
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+        // Decoder overhead exists but is small relative to the LUT itself.
+        assert!(half.decoder_pj_per_read > 0.0);
+        assert!(half.decoder_pj_per_read < 0.02 * full.hold_pj_per_cycle);
+    }
+
+    #[test]
+    fn table3_relative_magnitudes() {
+        // MUX and decoder are trivia next to LUT retention (paper Table III
+        // reports 0.003 / 0.005 relative).
+        let full = lut_power(&t(), LutKind::Fflut, 4, 16, 1);
+        let half = lut_power(&t(), LutKind::Hfflut, 4, 16, 1);
+        let base = full.hold_pj_per_cycle;
+        assert!(full.mux_pj_per_read / base < 0.02);
+        assert!((half.mux_pj_per_read + half.decoder_pj_per_read) / base < 0.03);
+    }
+
+    #[test]
+    fn fig6_rflut_worse_than_adder_fflut_better() {
+        let tech = t();
+        let fmt = FpFormat::Fp16;
+        // RFLUT (µ=4, µ=8): above the FP-adder baseline; µ4 worse than µ8.
+        let r4 = per_weight_read_power(&tech, LutKind::Rflut, 4, fmt, 1);
+        let r8 = per_weight_read_power(&tech, LutKind::Rflut, 8, fmt, 1);
+        assert!(r4 > 1.0 && r8 > 1.0, "RFLUT must lose to FP adds: {r4} {r8}");
+        assert!(r4 > r8, "µ4 needs 2× the reads of µ8: {r4} vs {r8}");
+        // FFLUT: µ2/µ4 below baseline, µ8 blows up (excluded in the paper).
+        let f2 = per_weight_read_power(&tech, LutKind::Fflut, 2, fmt, 1);
+        let f4 = per_weight_read_power(&tech, LutKind::Fflut, 4, fmt, 1);
+        let f8 = per_weight_read_power(&tech, LutKind::Fflut, 8, fmt, 1);
+        assert!(f2 < 1.0 && f4 < 1.0, "FFLUT should win: {f2} {f4}");
+        assert!(f8 > 1.5, "µ8 FFLUT should be excluded: {f8}");
+        assert!(f2 < f4 && f4 < f8);
+    }
+
+    #[test]
+    fn fig9_optimum_k_is_32_for_mu4() {
+        let k = optimal_k(&t(), 4, FpFormat::Fp16, 64);
+        assert!((24..=40).contains(&k), "optimal k = {k}, expected ≈32");
+        // And the curve is genuinely U-shaped: k=1 and k=64 both worse.
+        let prac = |k: u32| {
+            let p = PeParams {
+                mu: 4,
+                k,
+                ..PeParams::paper_default(FpFormat::Fp16)
+            };
+            pe_power(&t(), &p).per_rac_pj(k)
+        };
+        assert!(prac(1) > prac(k));
+        assert!(prac(64) > prac(k));
+    }
+
+    #[test]
+    fn fig8_mu4_beats_mu2_at_large_k() {
+        let tech = t();
+        let mk = |mu, k| PeParams {
+            mu,
+            k,
+            ..PeParams::paper_default(FpFormat::Fp16)
+        };
+        // At k = 1 the bigger LUT makes µ4 worse than µ2 (paper §III-C)…
+        let p2_k1 = system_power_per_weight(&tech, &mk(2, 1));
+        let p4_k1 = system_power_per_weight(&tech, &mk(4, 1));
+        assert!(p4_k1 > p2_k1, "k=1: µ4 {p4_k1} should exceed µ2 {p2_k1}");
+        // …but at k = 32 sharing amortizes the LUT and µ4 wins.
+        let p2_k32 = system_power_per_weight(&tech, &mk(2, 32));
+        let p4_k32 = system_power_per_weight(&tech, &mk(4, 32));
+        assert!(p4_k32 < p2_k32, "k=32: µ4 {p4_k32} should beat µ2 {p2_k32}");
+        // And the whole point: well below the FP-adder baseline.
+        assert!(p4_k32 < 0.5, "FIGLUT PE per-weight power {p4_k32} ≥ 0.5×");
+    }
+
+    #[test]
+    fn pe_power_is_monotone_in_k_for_total() {
+        let tech = t();
+        let mut last = 0.0;
+        for k in [1u32, 2, 4, 8, 16, 32, 64] {
+            let p = PeParams {
+                mu: 4,
+                k,
+                ..PeParams::paper_default(FpFormat::Fp16)
+            };
+            let total = pe_power(&tech, &p).total_pj();
+            assert!(total > last, "total PE power must grow with k");
+            last = total;
+        }
+    }
+
+    #[test]
+    fn area_scales_with_k_and_mu() {
+        let tech = t();
+        let a = |mu, k| {
+            pe_area(
+                &tech,
+                &PeParams {
+                    mu,
+                    k,
+                    ..PeParams::paper_default(FpFormat::Fp16)
+                },
+            )
+        };
+        assert!(a(4, 32) > a(4, 1));
+        assert!(a(8, 32) > a(4, 32));
+    }
+
+    #[test]
+    fn int_racs_cheaper_than_fp_racs() {
+        // FIGLUT-I's premise (the paper evaluates FIGLUT-I for Fig. 16
+        // "given that FIGLUT-I shows better power efficiency").
+        let tech = t();
+        let base = PeParams::paper_default(FpFormat::Fp16);
+        let int_pe = pe_power(&tech, &base).total_pj();
+        let fp_pe = pe_power(
+            &tech,
+            &PeParams {
+                datapath: RacDatapath::Fp32Acc,
+                ..base
+            },
+        )
+        .total_pj();
+        assert!(int_pe < fp_pe, "{int_pe} !< {fp_pe}");
+    }
+}

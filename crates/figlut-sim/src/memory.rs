@@ -1,0 +1,144 @@
+//! On-chip buffers and off-chip traffic (paper §III-F, Fig. 12).
+//!
+//! FIGLUT's system keeps tile data in double-buffered SRAM, streams weights
+//! from shared DRAM once per GEMM (weight-stationary), and re-streams
+//! activations per output-row tile. This module sizes the buffers (for
+//! area) and counts the traffic (for energy and for the DRAM-bound cycle
+//! floor).
+
+use crate::mpu::{geometry, EngineSpec, SimEngine};
+use crate::tech::Tech;
+
+/// Total on-chip SRAM bits of a build: double-buffered input and weight
+/// tiles, a partial-sum buffer, and the unified activation/output buffer.
+pub fn buffer_bits(spec: &EngineSpec) -> usize {
+    let g = geometry(spec);
+    let act_bits = spec.act.storage_bits() as usize;
+    let batch = 32; // the paper's evaluation batch
+    // Input tile: Tn activations × batch, double buffered.
+    let input = 2 * g.tn * batch * act_bits;
+    // Weight tile: Tm × Tn at up to 8-bit codes (fixed engines) or 4
+    // bit-planes in flight (bit-serial), double buffered.
+    let wt_bits_per_weight = match spec.engine {
+        SimEngine::Fpe | SimEngine::Figna => spec.designed_bits.max(8) as usize,
+        _ => 4,
+    };
+    let weight = 2 * g.tm * g.tn * wt_bits_per_weight;
+    // Partial sums: Tm × batch × FP32.
+    let psum = g.tm * batch * 32;
+    // Unified buffer (activations + outputs), fixed 128 KiB as in Fig. 12.
+    let unified = 128 * 1024 * 8;
+    input + weight + psum + unified
+}
+
+/// Off-chip and on-chip traffic of one GEMM `(m × n weights, batch B)` at
+/// average weight precision `q_storage` bits (what is actually stored;
+/// fixed engines pad sub-designed precisions to their designed width).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// DRAM bits moved (weights + activations + outputs + scales).
+    pub dram_bits: f64,
+    /// SRAM read bits.
+    pub sram_read_bits: f64,
+    /// SRAM write bits.
+    pub sram_write_bits: f64,
+}
+
+impl Traffic {
+    /// Energy of this traffic (pJ).
+    pub fn energy_pj(&self, tech: &Tech) -> f64 {
+        self.dram_bits * tech.dram_pj_per_bit
+            + self.sram_read_bits * tech.sram_read_pj_per_bit
+            + self.sram_write_bits * tech.sram_write_pj_per_bit
+    }
+}
+
+/// Count the traffic of one GEMM on a build.
+///
+/// `q_storage`: bits per weight in memory. `q_stream`: bit-plane passes the
+/// inner loop makes (bit-serial engines re-stream activations per plane;
+/// fixed engines make one pass).
+pub fn gemm_traffic(
+    spec: &EngineSpec,
+    m: usize,
+    n: usize,
+    batch: usize,
+    q_storage: f64,
+    q_stream: f64,
+) -> Traffic {
+    let g = geometry(spec);
+    let act_bits = spec.act.storage_bits() as f64;
+    let (m_f, n_f, b_f) = (m as f64, n as f64, batch as f64);
+    let m_tiles = (m as f64 / g.tm as f64).ceil();
+    // Scale/offset metadata: one 16-bit α per plane per row (per-row
+    // grouping) plus a 16-bit offset.
+    let meta_bits = m_f * 16.0 * (q_storage + 1.0);
+    // DRAM: weights once, activations once, outputs once.
+    let dram_bits = m_f * n_f * q_storage + meta_bits + b_f * n_f * act_bits + b_f * m_f * act_bits;
+    // SRAM: weights written then read once; activations written once and
+    // re-read per m-tile and per bit-plane pass; psums spilled per n-tile.
+    let n_tiles = (n as f64 / g.tn as f64).ceil();
+    let act_reads = b_f * n_f * act_bits * m_tiles * q_stream;
+    let psum_traffic = b_f * m_f * 32.0 * (n_tiles - 1.0).max(0.0);
+    let sram_read_bits = m_f * n_f * q_storage + act_reads + psum_traffic;
+    let sram_write_bits = m_f * n_f * q_storage + b_f * n_f * act_bits + psum_traffic;
+    Traffic {
+        dram_bits,
+        sram_read_bits,
+        sram_write_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_num::fp::FpFormat;
+
+    fn spec(e: SimEngine) -> EngineSpec {
+        EngineSpec::paper(e, FpFormat::Fp16)
+    }
+
+    #[test]
+    fn weights_dominate_dram_for_llm_shapes() {
+        // GEMV-like LLM shapes (m = n = 4096, B = 32): weight traffic must
+        // dominate — the memory-bound premise of the whole paper.
+        let t = gemm_traffic(&spec(SimEngine::FiglutI), 4096, 4096, 32, 4.0, 4.0);
+        let weight_bits = 4096.0 * 4096.0 * 4.0;
+        assert!(t.dram_bits < weight_bits * 1.1, "{}", t.dram_bits);
+        assert!(t.dram_bits > weight_bits);
+    }
+
+    #[test]
+    fn lower_precision_cuts_dram_traffic() {
+        let s = spec(SimEngine::FiglutI);
+        let t4 = gemm_traffic(&s, 4096, 4096, 32, 4.0, 4.0);
+        let t2 = gemm_traffic(&s, 4096, 4096, 32, 2.0, 2.0);
+        assert!(t2.dram_bits < t4.dram_bits * 0.6);
+    }
+
+    #[test]
+    fn bit_serial_restreams_activations() {
+        let s = spec(SimEngine::Ifpu);
+        let t8 = gemm_traffic(&s, 1024, 1024, 8, 8.0, 8.0);
+        let t4 = gemm_traffic(&s, 1024, 1024, 8, 4.0, 4.0);
+        assert!(t8.sram_read_bits > t4.sram_read_bits);
+    }
+
+    #[test]
+    fn buffer_sizes_are_reasonable() {
+        for e in SimEngine::ALL {
+            let bits = buffer_bits(&spec(e));
+            // Between 128 KiB (unified floor) and 2 MiB.
+            assert!(bits >= 128 * 1024 * 8, "{}", e.name());
+            assert!(bits < 2 * 1024 * 1024 * 8, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn traffic_energy_is_dram_dominated() {
+        let tech = Tech::cmos28();
+        let t = gemm_traffic(&spec(SimEngine::FiglutI), 2048, 2048, 32, 4.0, 4.0);
+        let dram = t.dram_bits * tech.dram_pj_per_bit;
+        assert!(dram > 0.5 * t.energy_pj(&tech));
+    }
+}

@@ -1,0 +1,356 @@
+//! 28 nm-class component cost library.
+//!
+//! The paper synthesizes at 28 nm / 100 MHz with Synopsys Design Compiler,
+//! measures LUT structures after P&R in ICC2, sizes SRAM with a memory
+//! compiler and DRAM with CACTI. We cannot run those tools, so this module
+//! is the substitution documented in DESIGN.md §2: a parametric component
+//! library whose *absolute* numbers come from public 28 nm-class data
+//! (Horowitz, ISSCC'14 "Computing's energy problem", scaled 45 → 28 nm;
+//! CACTI-class SRAM/DRAM constants) and whose *ratios* are calibrated so
+//! the paper's normalized results reproduce (see `repro calibration`).
+//!
+//! Every figure in the paper's evaluation is normalized (to an FP-adder
+//! baseline, to FPE, or to k = 1), so those ratios — not the absolute
+//! picojoules — carry the results.
+//!
+//! Units: energy pJ, area µm², time cycles at [`Tech::freq_hz`].
+
+use figlut_num::fp::FpFormat;
+
+/// Technology/cost parameters. Construct with [`Tech::cmos28`] (the paper's
+/// node) and override fields for ablations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tech {
+    /// Operating frequency (paper: 100 MHz).
+    pub freq_hz: f64,
+    /// FP adder energy per op, [fp16, bf16, fp32] (pJ).
+    pub fp_add_pj: [f64; 3],
+    /// FP multiplier energy per op, [fp16, bf16, fp32] (pJ).
+    pub fp_mul_pj: [f64; 3],
+    /// Integer adder energy per bit of operand width (pJ/bit).
+    pub int_add_pj_per_bit: f64,
+    /// Integer multiplier energy per (a-bit × b-bit) product (pJ per bit²).
+    pub int_mul_pj_per_bit2: f64,
+    /// INT→FP dequantizer energy per conversion (pJ), scaled by output width.
+    pub i2f_pj_per_out_bit: f64,
+    /// Flip-flop energy per bit per clock (clock tree + data activity, pJ).
+    pub ff_pj_per_bit_cycle: f64,
+    /// 2:1 multiplexer energy per bit per traversal (pJ).
+    pub mux2_pj_per_bit: f64,
+    /// hFFLUT decoder energy per read per output bit (key inversion + XOR
+    /// sign flip; pJ).
+    pub decoder_pj_per_bit: f64,
+    /// Fan-out power growth per extra RAC sharing a LUT (fraction/load).
+    ///
+    /// Driving k read ports multiplies flip-flop output energy by
+    /// `1 + fanout_gamma·k`.
+    pub fanout_gamma: f64,
+    /// Per-read wire/buffer energy growth per RAC sharing the LUT (pJ per
+    /// read per load). Together with `fanout_gamma` this produces the
+    /// U-shaped P_RAC(k) of paper Fig. 9; calibrated so the optimum lands
+    /// at k = 32 for µ = 4.
+    pub port_wire_pj_per_load: f64,
+    /// Register-file LUT read energy: fixed + per-entry terms (pJ). The
+    /// fixed decoder/sense overhead dominates at these tiny depths, which
+    /// is exactly why the paper's RFLUT loses to FP adders (Fig. 6).
+    pub rf_read_base_pj: f64,
+    /// Per-entry component of the register-file read (pJ/entry at 16-bit
+    /// width, scaled linearly with width).
+    pub rf_read_pj_per_entry: f64,
+    /// Register-file write energy relative to a read.
+    pub rf_write_ratio: f64,
+    /// SRAM read energy per bit (pJ/bit).
+    pub sram_read_pj_per_bit: f64,
+    /// SRAM write energy per bit (pJ/bit).
+    pub sram_write_pj_per_bit: f64,
+    /// Off-chip DRAM access energy per bit (pJ/bit; CACTI-class LPDDR4).
+    pub dram_pj_per_bit: f64,
+    /// DRAM bandwidth available to the accelerator (bytes/s).
+    pub dram_bw_bytes_per_s: f64,
+    /// Pre-alignment energy per activation element (max-exponent compare +
+    /// barrel shift) per 16 bits of mantissa (pJ).
+    pub align_pj_per_16b: f64,
+
+    // ---- area (µm²) ----
+    /// FP adder area, [fp16, bf16, fp32].
+    pub fp_add_um2: [f64; 3],
+    /// FP multiplier area, [fp16, bf16, fp32].
+    pub fp_mul_um2: [f64; 3],
+    /// Integer adder area per bit.
+    pub int_add_um2_per_bit: f64,
+    /// Integer multiplier area per bit².
+    pub int_mul_um2_per_bit2: f64,
+    /// INT→FP converter area per output bit.
+    pub i2f_um2_per_out_bit: f64,
+    /// Flip-flop area per bit.
+    pub ff_um2_per_bit: f64,
+    /// MUX2 area per bit.
+    pub mux2_um2_per_bit: f64,
+    /// SRAM macro area per bit.
+    pub sram_um2_per_bit: f64,
+    /// Register-file macro area per bit (larger cells + ports).
+    pub rf_um2_per_bit: f64,
+}
+
+impl Tech {
+    /// The paper's technology point: 28 nm CMOS at 100 MHz.
+    ///
+    /// Energy values are Horowitz ISSCC'14 45 nm numbers scaled by ≈0.6×
+    /// (capacitance scaling to 28 nm); SRAM/DRAM from CACTI-class tables.
+    pub fn cmos28() -> Self {
+        Self {
+            freq_hz: 100e6,
+            //              fp16  bf16  fp32
+            fp_add_pj: [0.25, 0.20, 0.55],
+            fp_mul_pj: [0.70, 0.55, 2.30],
+            int_add_pj_per_bit: 0.002,
+            int_mul_pj_per_bit2: 0.0018,
+            i2f_pj_per_out_bit: 0.006,
+            ff_pj_per_bit_cycle: 0.0012,
+            mux2_pj_per_bit: 5.0e-6,
+            decoder_pj_per_bit: 6.0e-5,
+            fanout_gamma: 0.010,
+            port_wire_pj_per_load: 1.5e-4,
+            rf_read_base_pj: 1.20,
+            rf_read_pj_per_entry: 0.0047,
+            rf_write_ratio: 0.8,
+            sram_read_pj_per_bit: 0.008,
+            sram_write_pj_per_bit: 0.010,
+            dram_pj_per_bit: 4.0,
+            dram_bw_bytes_per_s: 12.8e9,
+            align_pj_per_16b: 0.020,
+            fp_add_um2: [400.0, 320.0, 900.0],
+            fp_mul_um2: [800.0, 640.0, 3000.0],
+            int_add_um2_per_bit: 1.5,
+            int_mul_um2_per_bit2: 3.0,
+            i2f_um2_per_out_bit: 12.0,
+            ff_um2_per_bit: 4.5,
+            mux2_um2_per_bit: 0.9,
+            sram_um2_per_bit: 0.15,
+            rf_um2_per_bit: 0.60,
+        }
+    }
+
+    fn fmt_idx(fmt: FpFormat) -> usize {
+        match fmt {
+            FpFormat::Fp16 => 0,
+            FpFormat::Bf16 => 1,
+            FpFormat::Fp32 => 2,
+        }
+    }
+
+    /// FP add energy (pJ).
+    pub fn fp_add(&self, fmt: FpFormat) -> f64 {
+        self.fp_add_pj[Self::fmt_idx(fmt)]
+    }
+
+    /// FP multiply energy (pJ).
+    pub fn fp_mul(&self, fmt: FpFormat) -> f64 {
+        self.fp_mul_pj[Self::fmt_idx(fmt)]
+    }
+
+    /// Integer add energy for `bits`-wide operands (pJ).
+    pub fn int_add(&self, bits: u32) -> f64 {
+        self.int_add_pj_per_bit * bits as f64
+    }
+
+    /// Integer multiply energy for an `a × b` bit product (pJ).
+    pub fn int_mul(&self, a: u32, b: u32) -> f64 {
+        self.int_mul_pj_per_bit2 * a as f64 * b as f64
+    }
+
+    /// INT→FP conversion energy to a `fmt` output (pJ).
+    pub fn i2f(&self, fmt: FpFormat) -> f64 {
+        self.i2f_pj_per_out_bit * fmt.storage_bits() as f64
+    }
+
+    /// Pre-alignment energy per activation of format `fmt` (pJ).
+    pub fn align(&self, fmt: FpFormat) -> f64 {
+        self.align_pj_per_16b * fmt.storage_bits() as f64 / 16.0
+    }
+
+    /// Fan-out multiplier for a node driving `k` loads.
+    pub fn fanout_factor(&self, k: u32) -> f64 {
+        1.0 + self.fanout_gamma * k as f64
+    }
+
+    /// Register-file LUT read energy for a `entries × width` macro (pJ).
+    pub fn rf_read(&self, entries: usize, width_bits: u32) -> f64 {
+        (self.rf_read_base_pj + self.rf_read_pj_per_entry * entries as f64)
+            * (width_bits as f64 / 16.0)
+    }
+
+    /// Register-file LUT write energy (pJ).
+    pub fn rf_write(&self, entries: usize, width_bits: u32) -> f64 {
+        self.rf_read(entries, width_bits) * self.rf_write_ratio
+    }
+
+    /// FP adder area (µm²).
+    pub fn fp_add_area(&self, fmt: FpFormat) -> f64 {
+        self.fp_add_um2[Self::fmt_idx(fmt)]
+    }
+
+    /// FP multiplier area (µm²).
+    pub fn fp_mul_area(&self, fmt: FpFormat) -> f64 {
+        self.fp_mul_um2[Self::fmt_idx(fmt)]
+    }
+
+    /// Integer adder area (µm²).
+    pub fn int_add_area(&self, bits: u32) -> f64 {
+        self.int_add_um2_per_bit * bits as f64
+    }
+
+    /// Integer multiplier area (µm²).
+    pub fn int_mul_area(&self, a: u32, b: u32) -> f64 {
+        self.int_mul_um2_per_bit2 * a as f64 * b as f64
+    }
+
+    /// INT→FP converter area (µm²).
+    pub fn i2f_area(&self, fmt: FpFormat) -> f64 {
+        self.i2f_um2_per_out_bit * fmt.storage_bits() as f64
+    }
+
+    /// DRAM bytes transferable per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_bytes_per_s / self.freq_hz
+    }
+}
+
+impl Tech {
+    /// First-order scaling of the 28 nm library to another logic node
+    /// (used to quantify the paper's closing remark that FIGLUT's
+    /// "efficiency would be even more prominent if evaluated under
+    /// comparable fabrication technologies" to the 7 nm A100 / 4 nm H100).
+    ///
+    /// Dynamic energy scales with capacitance × V²; across foundry nodes a
+    /// practical fit is `E ∝ (node/28)^1.5` and logic/SRAM area
+    /// `∝ (node/28)^2`. Off-chip DRAM energy and bandwidth are
+    /// node-independent and left unchanged. This is deliberately coarse —
+    /// a sensitivity knob, not a PDK.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3.0 ≤ node_nm ≤ 65.0`.
+    pub fn scaled_to_node(&self, node_nm: f64) -> Tech {
+        assert!(
+            (3.0..=65.0).contains(&node_nm),
+            "node {node_nm} nm outside the model's validity range"
+        );
+        let e = (node_nm / 28.0).powf(1.5);
+        let a = (node_nm / 28.0).powi(2);
+        let mut t = self.clone();
+        for v in t.fp_add_pj.iter_mut().chain(t.fp_mul_pj.iter_mut()) {
+            *v *= e;
+        }
+        t.int_add_pj_per_bit *= e;
+        t.int_mul_pj_per_bit2 *= e;
+        t.i2f_pj_per_out_bit *= e;
+        t.ff_pj_per_bit_cycle *= e;
+        t.mux2_pj_per_bit *= e;
+        t.decoder_pj_per_bit *= e;
+        t.port_wire_pj_per_load *= e;
+        t.rf_read_base_pj *= e;
+        t.rf_read_pj_per_entry *= e;
+        t.sram_read_pj_per_bit *= e;
+        t.sram_write_pj_per_bit *= e;
+        t.align_pj_per_16b *= e;
+        for v in t.fp_add_um2.iter_mut().chain(t.fp_mul_um2.iter_mut()) {
+            *v *= a;
+        }
+        t.int_add_um2_per_bit *= a;
+        t.int_mul_um2_per_bit2 *= a;
+        t.i2f_um2_per_out_bit *= a;
+        t.ff_um2_per_bit *= a;
+        t.mux2_um2_per_bit *= a;
+        t.sram_um2_per_bit *= a;
+        t.rf_um2_per_bit *= a;
+        t
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::cmos28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_fp_costs() {
+        let t = Tech::cmos28();
+        // bf16 < fp16 < fp32 for both add and mul (shorter mantissa).
+        assert!(t.fp_add(FpFormat::Bf16) < t.fp_add(FpFormat::Fp16));
+        assert!(t.fp_add(FpFormat::Fp16) < t.fp_add(FpFormat::Fp32));
+        assert!(t.fp_mul(FpFormat::Bf16) < t.fp_mul(FpFormat::Fp16));
+        assert!(t.fp_mul(FpFormat::Fp16) < t.fp_mul(FpFormat::Fp32));
+        // Multiply costs more than add in the same format.
+        for f in FpFormat::ALL {
+            assert!(t.fp_mul(f) > t.fp_add(f));
+        }
+    }
+
+    #[test]
+    fn int_cheaper_than_fp() {
+        let t = Tech::cmos28();
+        // A 24-bit integer add is far cheaper than an fp32 add — the whole
+        // premise of pre-alignment engines.
+        assert!(t.int_add(24) < t.fp_add(FpFormat::Fp32) / 5.0);
+        // An 11×4 integer multiply is cheaper than an fp16 multiply — the
+        // FIGNA premise.
+        assert!(t.int_mul(11, 4) < t.fp_mul(FpFormat::Fp16) / 5.0);
+    }
+
+    #[test]
+    fn rflut_read_exceeds_fp_add() {
+        // Paper Fig. 6: RFLUT reads are more expensive than the FP-adder
+        // baseline per weight op. µ=4 → 16 entries, one read covers 4
+        // weights; µ=8 → 256 entries, 8 weights.
+        let t = Tech::cmos28();
+        let base = t.fp_add(FpFormat::Fp16);
+        let per_weight_mu4 = t.rf_read(16, 16) / 4.0;
+        let per_weight_mu8 = t.rf_read(256, 16) / 8.0;
+        assert!(per_weight_mu4 > base, "{per_weight_mu4} vs {base}");
+        assert!(per_weight_mu8 > base, "{per_weight_mu8} vs {base}");
+        // µ4 needs twice the reads of µ8 and ends up *worse* overall even
+        // though each read is cheaper (paper §III-C).
+        assert!(t.rf_read(16, 16) < t.rf_read(256, 16));
+        assert!(per_weight_mu4 > per_weight_mu8);
+    }
+
+    #[test]
+    fn fanout_grows_linearly() {
+        let t = Tech::cmos28();
+        assert_eq!(t.fanout_factor(0), 1.0);
+        assert!(t.fanout_factor(32) > 1.25 && t.fanout_factor(32) < 1.4);
+    }
+
+    #[test]
+    fn memory_hierarchy_ordering() {
+        let t = Tech::cmos28();
+        assert!(t.sram_read_pj_per_bit < t.dram_pj_per_bit / 100.0);
+        assert!(t.mux2_pj_per_bit < t.ff_pj_per_bit_cycle);
+    }
+
+    #[test]
+    fn node_scaling_shrinks_logic_not_dram() {
+        let t28 = Tech::cmos28();
+        let t7 = t28.scaled_to_node(7.0);
+        // Energy down ~8× ((7/28)^1.5 ≈ 0.125), area down 16×.
+        assert!((t7.fp_add(FpFormat::Fp16) / t28.fp_add(FpFormat::Fp16) - 0.125).abs() < 0.01);
+        assert!((t7.ff_um2_per_bit / t28.ff_um2_per_bit - 1.0 / 16.0).abs() < 1e-9);
+        assert_eq!(t7.dram_pj_per_bit, t28.dram_pj_per_bit);
+        assert_eq!(t7.dram_bw_bytes_per_s, t28.dram_bw_bytes_per_s);
+        // Identity at 28 nm.
+        let same = t28.scaled_to_node(28.0);
+        assert!((same.fp_add(FpFormat::Fp32) - t28.fp_add(FpFormat::Fp32)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity range")]
+    fn node_scaling_rejects_absurd_nodes() {
+        let _ = Tech::cmos28().scaled_to_node(1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the cost simulator: structural monotonicities that
+//! must hold for *any* workload shape, not just the OPT points the paper
+//! plots.
+
+use figlut_num::fp::FpFormat;
+use figlut_sim::engine::{evaluate, GemmShape, Workload};
+use figlut_sim::lutcost::{lut_power, LutKind};
+use figlut_sim::mpu::{geometry, EngineSpec, SimEngine};
+use figlut_sim::tech::Tech;
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (64usize..4096, 64usize..4096, 1usize..64).prop_map(|(m, n, batch)| Workload {
+        gemms: vec![GemmShape {
+            m,
+            n,
+            batch,
+            repeat: 1.0,
+        }],
+        nongemm_flops: 0.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bit_serial_energy_monotone_in_precision(wl in workload(), e in 0usize..3) {
+        let engine = [SimEngine::Ifpu, SimEngine::FiglutF, SimEngine::FiglutI][e];
+        let tech = Tech::cmos28();
+        let spec = EngineSpec::paper(engine, FpFormat::Fp16);
+        let mut last = 0.0;
+        for q in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0] {
+            let r = evaluate(&tech, &spec, &wl, q);
+            let total = r.energy.total_pj();
+            prop_assert!(total > last, "{}: q={q} energy {total} <= {last}", engine.name());
+            last = total;
+        }
+    }
+
+    #[test]
+    fn fixed_engines_flat_below_designed_bits(wl in workload()) {
+        let tech = Tech::cmos28();
+        for e in [SimEngine::Fpe, SimEngine::Figna] {
+            let spec = EngineSpec::paper(e, FpFormat::Fp16);
+            let r2 = evaluate(&tech, &spec, &wl, 2.0);
+            let r4 = evaluate(&tech, &spec, &wl, 4.0);
+            prop_assert!((r2.energy.total_pj() / r4.energy.total_pj() - 1.0).abs() < 1e-9);
+            prop_assert!((r2.cycles / r4.cycles - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figlut_wins_tops_per_w_everywhere(wl in workload(), qi in 0usize..3) {
+        // The headline ordering must hold for arbitrary GEMM shapes, not
+        // just OPT layers.
+        let q = [2.0, 3.0, 4.0][qi];
+        let tech = Tech::cmos28();
+        let tw = |e| {
+            evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, q).tops_per_w()
+        };
+        prop_assert!(tw(SimEngine::FiglutI) > tw(SimEngine::Figna));
+        prop_assert!(tw(SimEngine::FiglutI) > tw(SimEngine::Ifpu));
+        prop_assert!(tw(SimEngine::Figna) > tw(SimEngine::Fpe));
+    }
+
+    #[test]
+    fn larger_batch_never_hurts_efficiency(
+        m in 256usize..4096,
+        n in 256usize..4096,
+    ) {
+        // Amortizing the weight traffic over more tokens can only help.
+        let tech = Tech::cmos28();
+        let spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+        let mut last = 0.0;
+        for batch in [1usize, 4, 16, 64] {
+            let wl = Workload {
+                gemms: vec![GemmShape { m, n, batch, repeat: 1.0 }],
+                nongemm_flops: 0.0,
+            };
+            let r = evaluate(&tech, &spec, &wl, 4.0);
+            prop_assert!(r.tops_per_w() >= last, "batch={batch}");
+            last = r.tops_per_w();
+        }
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_repeat(wl in workload(), rep in 2.0f64..16.0) {
+        let tech = Tech::cmos28();
+        let spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+        let r1 = evaluate(&tech, &spec, &wl, 4.0);
+        let mut wl2 = wl.clone();
+        for g in &mut wl2.gemms {
+            g.repeat *= rep;
+        }
+        let r2 = evaluate(&tech, &spec, &wl2, 4.0);
+        prop_assert!((r2.energy.total_pj() / r1.energy.total_pj() / rep - 1.0).abs() < 1e-9);
+        prop_assert!((r2.cycles / r1.cycles / rep - 1.0).abs() < 1e-9);
+        // TOPS/W is repeat-invariant.
+        prop_assert!((r2.tops_per_w() / r1.tops_per_w() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lut_power_monotone_in_mu_and_k(mu in 1u32..=7, k in 1u32..=63) {
+        let tech = Tech::cmos28();
+        for kind in [LutKind::Fflut, LutKind::Hfflut] {
+            let a = lut_power(&tech, kind, mu, 16, k);
+            let b = lut_power(&tech, kind, mu + 1, 16, k);
+            prop_assert!(b.hold_pj_per_cycle > a.hold_pj_per_cycle);
+            prop_assert!(b.area_um2 > a.area_um2);
+            let c = lut_power(&tech, kind, mu, 16, k + 1);
+            prop_assert!(c.hold_pj_per_cycle > a.hold_pj_per_cycle, "fan-out");
+            prop_assert!(c.read_pj() > a.read_pj(), "port wiring");
+        }
+    }
+
+    #[test]
+    fn geometry_peak_throughput_invariant(k in 8u32..=64, mu in 2u32..=6) {
+        // FIGLUT's peak bit throughput is racs × µ whatever the config.
+        let mut spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+        spec.k = k;
+        spec.mu = mu;
+        let g = geometry(&spec);
+        prop_assert_eq!(g.bit_ops_per_cycle as u64, (128 * k * mu) as u64);
+        prop_assert_eq!(g.cells as u64, (128 * k) as u64);
+    }
+
+    #[test]
+    fn node_scaling_preserves_engine_ordering(node in 4.0f64..28.0, wl in workload()) {
+        let tech = Tech::cmos28().scaled_to_node(node);
+        let tw = |e| {
+            evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, 4.0).tops_per_w()
+        };
+        prop_assert!(tw(SimEngine::FiglutI) > tw(SimEngine::Fpe),
+            "ordering must survive node scaling at {node} nm");
+    }
+}

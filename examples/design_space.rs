@@ -1,0 +1,81 @@
+//! Architecture design-space exploration: sweep the LUT group size µ and
+//! the RACs-per-LUT fan-out k, reproducing the reasoning that leads the
+//! paper to (µ, k) = (4, 32) — Figs. 6, 8 and 9.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use figlut::prelude::*;
+use figlut::sim::lutcost::{
+    optimal_k, pe_power, per_weight_read_power, system_power_per_weight, LutKind, PeParams,
+};
+
+fn main() {
+    let tech = Tech::cmos28();
+    let fmt = FpFormat::Fp16;
+
+    // --- 1. Which LUT structure? (paper Fig. 6) ----------------------------
+    println!("LUT read power per weight, relative to one FP16 add (= 1.0):");
+    println!("{:>8} {:>6} {:>10}", "kind", "mu", "relative");
+    for (kind, mus) in [
+        (LutKind::Rflut, vec![4u32, 8]),
+        (LutKind::Fflut, vec![2, 4, 8]),
+        (LutKind::Hfflut, vec![2, 4, 8]),
+    ] {
+        for mu in mus {
+            println!(
+                "{:>8} {:>6} {:>10.3}",
+                kind.name(),
+                mu,
+                per_weight_read_power(&tech, kind, mu, fmt, 1)
+            );
+        }
+    }
+
+    // --- 2. How many RACs share a LUT? (paper Figs. 8–9) -------------------
+    println!("\nPE power per weight vs k (relative to FP adders), and P_RAC:");
+    println!("{:>4} {:>10} {:>10} {:>12}", "k", "mu=2", "mu=4", "P_RAC(mu=4)");
+    for k in [1u32, 2, 4, 8, 16, 32, 64] {
+        let sys = |mu| {
+            system_power_per_weight(
+                &tech,
+                &PeParams {
+                    mu,
+                    k,
+                    ..PeParams::paper_default(fmt)
+                },
+            )
+        };
+        let prac = pe_power(
+            &tech,
+            &PeParams {
+                k,
+                ..PeParams::paper_default(fmt)
+            },
+        )
+        .per_rac_pj(k);
+        println!("{k:>4} {:>10.3} {:>10.3} {prac:>12.4}", sys(2), sys(4));
+    }
+    let kstar = optimal_k(&tech, 4, fmt, 64);
+    println!("\noptimal k for mu = 4: {kstar} (the paper selects 32)");
+
+    // --- 3. The resulting design, priced end to end ------------------------
+    let wl = Workload {
+        gemms: vec![GemmShape {
+            m: 4096,
+            n: 4096,
+            batch: 32,
+            repeat: 1.0,
+        }],
+        nongemm_flops: 0.0,
+    };
+    println!("\nFIGLUT-I (mu=4, k=32) vs ablated configs on a 4096x4096 GEMM:");
+    for (label, mu, k) in [("paper (4,32)", 4u32, 32u32), ("(2,32)", 2, 32), ("(4,8)", 4, 8)] {
+        let mut spec = EngineSpec::paper(SimEngine::FiglutI, fmt);
+        spec.mu = mu;
+        spec.k = k;
+        let r = evaluate(&tech, &spec, &wl, 4.0);
+        println!("  {label:>14}: {:.3} TOPS/W", r.tops_per_w());
+    }
+}

@@ -1,0 +1,64 @@
+//! End-to-end weight-only-quantized LLM inference on the FIGLUT engine
+//! models: quantize a synthetic OPT-style transformer, evaluate perplexity
+//! with the linear layers executed by each hardware datapath, and price the
+//! real OPT-6.7B workload on the simulator.
+//!
+//! ```text
+//! cargo run --release --example llm_inference
+//! ```
+
+use figlut::model::calibrate::{quantize_model, to_bcq, Method};
+use figlut::model::config::by_name;
+use figlut::model::corpus::generate;
+use figlut::model::ppl::perplexity;
+use figlut::model::workload::decode_workload;
+use figlut::prelude::*;
+
+fn main() {
+    // --- 1. A deterministic synthetic "OPT-6.7B" stand-in ------------------
+    let teacher = Transformer::teacher(ModelConfig::scaled(3, 64, 4), 103);
+    let calib = generate(&teacher, 4, 14, 1);
+    let eval = generate(&teacher, 8, 16, 2);
+    let fp_ppl = perplexity(&teacher, &eval, &Backend::Exact);
+    println!("FP16 teacher perplexity: {fp_ppl:.3}");
+
+    // --- 2. Weight-only quantization: RTN Q4 → run on each engine ----------
+    let (q, _) = quantize_model(&teacher, &calib, Method::Rtn { bits: 4 });
+    let q_bcq = to_bcq(&q);
+    let cfg = EngineConfig::paper_default();
+    println!("\nRTN-Q4 perplexity by execution engine (paper Table IV):");
+    let gpu = perplexity(&q, &eval, &Backend::Exact);
+    println!("  {:<10} {:.4}", "GPU-exact", gpu);
+    for engine in [Engine::FiglutF, Engine::FiglutI] {
+        let p = perplexity(&q_bcq, &eval, &Backend::Engine(engine, cfg));
+        println!("  {:<10} {:.4}", engine.name(), p);
+    }
+
+    // --- 3. Lower precision with a better quantizer ------------------------
+    println!("\nShiftAddLLM-style BCQ at lower precisions:");
+    for bits in [4u32, 3, 2] {
+        let (qq, _) = quantize_model(&teacher, &calib, Method::ShiftAdd { bits });
+        let p = perplexity(&qq, &eval, &Backend::Exact);
+        println!("  BCQ{bits}: perplexity {p:.3}");
+    }
+
+    // --- 4. What does serving this cost on FIGLUT hardware? ----------------
+    let tech = Tech::cmos28();
+    let opt = by_name("OPT-6.7B").unwrap();
+    let wl = decode_workload(opt, 32);
+    println!("\nOPT-6.7B decode (batch 32) on the cost model:");
+    for (label, bits) in [("Q4", 4.0), ("Q3", 3.0), ("Q2", 2.0)] {
+        let r = evaluate(
+            &tech,
+            &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16),
+            &wl,
+            bits,
+        );
+        println!(
+            "  FIGLUT-I {label}: {:.2} TOPS, {:.3} W, {:.2} TOPS/W",
+            r.tops(),
+            r.power_w(),
+            r.tops_per_w()
+        );
+    }
+}

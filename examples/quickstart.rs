@@ -1,0 +1,70 @@
+//! Quickstart: quantize a layer, run it on every engine, compare accuracy
+//! and simulated efficiency.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use figlut::prelude::*;
+use figlut::quant::uniform::rtn;
+
+fn main() {
+    // --- 1. A toy FP weight matrix and some activations -------------------
+    let (m, n, batch) = (64, 256, 8);
+    let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
+    let x = Mat::from_fn(batch, n, |b, c| ((b * n + c) as f64 * 0.059).cos());
+
+    // --- 2. Quantize: uniform RTN Q4, then the exact BCQ rewrite (Eq. 3) --
+    let uniform = rtn(&w, RtnParams::per_row(4));
+    let bcq = BcqWeight::from_uniform(&uniform);
+    println!(
+        "quantized {}x{} weights to Q4 (payload {:.1} KiB, FP16 would be {:.1} KiB)",
+        m,
+        n,
+        bcq.payload_bits() as f64 / 8192.0,
+        (m * n * 16) as f64 / 8192.0
+    );
+
+    // --- 3. Run every engine on the same problem --------------------------
+    let cfg = EngineConfig::paper_default();
+    let oracle = Engine::Reference.run(&x, &Weights::Bcq(&bcq), &cfg);
+    println!("\n{:>10}  {:>12}  {:>10}", "engine", "max |err|", "weights");
+    for engine in Engine::ALL {
+        let weights = if engine.supports_bcq() {
+            Weights::Bcq(&bcq)
+        } else {
+            Weights::Uniform(&uniform)
+        };
+        let y = engine.run(&x, &weights, &cfg);
+        println!(
+            "{:>10}  {:>12.3e}  {:>10}",
+            engine.name(),
+            y.max_abs_diff(&oracle),
+            if engine.supports_bcq() { "BCQ" } else { "INT" },
+        );
+    }
+
+    // --- 4. Ask the simulator what each engine costs -----------------------
+    let tech = Tech::cmos28();
+    let wl = Workload {
+        gemms: vec![GemmShape {
+            m: 4096,
+            n: 4096,
+            batch: 32,
+            repeat: 1.0,
+        }],
+        nongemm_flops: 0.0,
+    };
+    println!("\nsimulated on a 4096x4096 GEMM at batch 32, Q4 weights:");
+    println!("{:>10}  {:>9}  {:>9}  {:>10}", "engine", "TOPS/W", "TOPS/mm2", "power (W)");
+    for e in [SimEngine::Fpe, SimEngine::Ifpu, SimEngine::Figna, SimEngine::FiglutI] {
+        let r = evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, 4.0);
+        println!(
+            "{:>10}  {:>9.3}  {:>9.3}  {:>10.3}",
+            e.name(),
+            r.tops_per_w(),
+            r.tops_per_mm2(),
+            r.power_w()
+        );
+    }
+}

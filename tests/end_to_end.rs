@@ -1,0 +1,115 @@
+//! End-to-end integration: quantizer → engine → transformer → simulator,
+//! exercised through the public facade API only.
+
+use figlut::model::calibrate::{quantize_model, to_bcq, Method};
+use figlut::model::corpus::generate;
+use figlut::model::ppl::perplexity;
+use figlut::prelude::*;
+use figlut::quant::uniform::rtn;
+
+fn teacher() -> Transformer {
+    Transformer::teacher(ModelConfig::tiny(), 77)
+}
+
+#[test]
+fn rtn_model_runs_identically_on_all_lut_engines() {
+    // The Table IV pipeline in miniature: RTN-Q4 model, perplexity under
+    // exact execution and under both FIGLUT datapaths.
+    let t = teacher();
+    let calib = generate(&t, 2, 10, 1);
+    let eval = generate(&t, 3, 12, 2);
+    let (q, _) = quantize_model(&t, &calib, Method::Rtn { bits: 4 });
+    let qb = to_bcq(&q);
+    let cfg = EngineConfig::paper_default();
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    let f = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutF, cfg));
+    let i = perplexity(&qb, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+    assert!(
+        (f / exact - 1.0).abs() < 1e-3,
+        "FIGLUT-F ppl {f} vs exact {exact}"
+    );
+    assert!(
+        (i / exact - 1.0).abs() < 1e-3,
+        "FIGLUT-I ppl {i} vs exact {exact}"
+    );
+}
+
+#[test]
+fn quantization_method_quality_ordering() {
+    // On the same model and budget: ShiftAdd(BCQ) ≤ GPTQ ≤ RTN at 2 bits
+    // (allowing small noise margins), all finite.
+    let t = teacher();
+    let calib = generate(&t, 3, 12, 5);
+    let eval = generate(&t, 6, 14, 6);
+    let ppl_of = |m: Method| {
+        let (q, _) = quantize_model(&t, &calib, m);
+        perplexity(&q, &eval, &Backend::Exact)
+    };
+    let p_rtn = ppl_of(Method::Rtn { bits: 2 });
+    let p_gptq = ppl_of(Method::Gptq { bits: 2 });
+    let p_sa = ppl_of(Method::ShiftAdd { bits: 2 });
+    assert!(p_sa.is_finite() && p_gptq.is_finite() && p_rtn.is_finite());
+    assert!(p_sa < p_rtn, "ShiftAdd {p_sa} !< RTN {p_rtn}");
+    assert!(p_gptq < p_rtn * 1.2, "GPTQ {p_gptq} much worse than RTN {p_rtn}");
+}
+
+#[test]
+fn engine_outputs_agree_on_quantized_transformer_layer() {
+    // Take a real layer from the model and push it through every engine.
+    let t = teacher();
+    let w = match &t.blocks[0].fc1.weights {
+        figlut::model::transformer::LinearWeights::Fp(w) => w.clone(),
+        _ => unreachable!(),
+    };
+    let u = rtn(&w, RtnParams::per_row(4));
+    let b = BcqWeight::from_uniform(&u);
+    let x = Mat::from_fn(4, w.cols(), |r, c| ((r * w.cols() + c) as f64 * 0.031).sin());
+    let cfg = EngineConfig::paper_default();
+    let oracle = Engine::Reference.run(&x, &Weights::Uniform(&u), &cfg);
+    let scale = oracle.frob_norm() / (oracle.rows() * oracle.cols()) as f64;
+    for (e, wts) in [
+        (Engine::Fpe, Weights::Uniform(&u)),
+        (Engine::Figna, Weights::Uniform(&u)),
+        (Engine::Ifpu, Weights::Bcq(&b)),
+        (Engine::FiglutF, Weights::Bcq(&b)),
+        (Engine::FiglutI, Weights::Bcq(&b)),
+    ] {
+        let y = e.run(&x, &wts, &cfg);
+        assert!(
+            y.max_abs_diff(&oracle) < 1e-2 * scale.max(1.0) * w.cols() as f64,
+            "{} diverged: {}",
+            e.name(),
+            y.max_abs_diff(&oracle)
+        );
+    }
+}
+
+#[test]
+fn simulator_consumes_model_workloads() {
+    // Model crate → sim crate plumbing: evaluate every OPT size on every
+    // engine without panicking, with sane outputs.
+    let tech = Tech::cmos28();
+    for cfg in &OPT_FAMILY {
+        let wl = figlut::model::workload::decode_workload(cfg, 32);
+        for e in SimEngine::ALL {
+            let r = evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, 4.0);
+            assert!(r.tops() > 0.0 && r.tops().is_finite(), "{} {}", cfg.name, e);
+            assert!(r.tops_per_w() > 0.0, "{} {}", cfg.name, e);
+            assert!(r.power_w() < 100.0, "{} {} implausible power", cfg.name, e);
+        }
+    }
+}
+
+#[test]
+fn payload_compression_matches_bit_budget() {
+    // Fig. 17's "Q2.4 compresses the model by 20% vs Q3" accounting.
+    let t = teacher();
+    let calib = generate(&t, 2, 10, 9);
+    let (q24, _) = quantize_model(&t, &calib, Method::ShiftAddMixed { avg_bits: 2.4 });
+    let (q3, _) = quantize_model(&t, &calib, Method::ShiftAdd { bits: 3 });
+    let ratio = q24.average_bits() / q3.average_bits();
+    assert!(
+        (0.72..=0.85).contains(&ratio),
+        "Q2.4/Q3 size ratio {ratio}, expected ≈0.8"
+    );
+}

@@ -1,0 +1,91 @@
+//! Cross-crate numerical invariants: the LUT machinery, pre-alignment and
+//! engine datapaths must compose without losing the equivalences the paper
+//! relies on.
+
+use figlut::prelude::*;
+use figlut::quant::bcq::BcqParams;
+use figlut::quant::uniform::rtn;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn figlut_i_equals_ifpu_through_facade(
+        wv in prop::collection::vec(-1.0f64..1.0, 6 * 32),
+        xv in prop::collection::vec(-4.0f64..4.0, 2 * 32),
+        bits in 1u32..=4,
+    ) {
+        let w = Mat::from_vec(6, 32, wv);
+        let x = Mat::from_vec(2, 32, xv);
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(bits));
+        let cfg = EngineConfig::paper_default();
+        let yi = Engine::FiglutI.run(&x, &Weights::Bcq(&b), &cfg);
+        let yf = Engine::Ifpu.run(&x, &Weights::Bcq(&b), &cfg);
+        prop_assert_eq!(yi.as_slice(), yf.as_slice());
+    }
+
+    #[test]
+    fn uniform_bcq_rewrite_end_to_end(
+        wv in prop::collection::vec(-2.0f64..2.0, 4 * 24),
+        xv in prop::collection::vec(-1.0f64..1.0, 3 * 24),
+        bits in 2u32..=4,
+    ) {
+        // rtn → from_uniform → FIGLUT must equal rtn → FPE up to FP32
+        // association noise (both datapaths see identical weight values).
+        let w = Mat::from_vec(4, 24, wv);
+        let x = Mat::from_vec(3, 24, xv);
+        let u = rtn(&w, RtnParams::per_row(bits));
+        let b = BcqWeight::from_uniform(&u);
+        let cfg = EngineConfig::with_act(FpFormat::Fp32);
+        let y_fpe = Engine::Fpe.run(&x, &Weights::Uniform(&u), &cfg);
+        let y_lut = Engine::FiglutF.run(&x, &Weights::Bcq(&b), &cfg);
+        let scale = 1.0 + y_fpe.frob_norm();
+        prop_assert!(y_lut.max_abs_diff(&y_fpe) < 1e-5 * scale,
+            "diff {}", y_lut.max_abs_diff(&y_fpe));
+    }
+
+    #[test]
+    fn half_lut_decoder_is_transparent_at_engine_level(
+        xv in prop::collection::vec(-8.0f64..8.0, 8),
+        keys in prop::collection::vec(0u16..256, 16),
+    ) {
+        // Reading through the hFFLUT decoder equals the full table for
+        // arbitrary µ=8 activations and keys — stressing the largest
+        // supported group size.
+        let full = FullLut::build(&xv, |a, b| a + b);
+        let half = HalfLut::build(&xv, |a, b| a + b);
+        for &k in &keys {
+            let key = Key::new(k, 8);
+            prop_assert!((full.read(key) - half.read(key)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alignment_respects_engine_tolerance(
+        xv in prop::collection::vec(-100.0f64..100.0, 16),
+    ) {
+        // The pre-alignment error bound from figlut-num must hold for the
+        // fp16 path engines actually use.
+        let rounded: Vec<f64> = xv.iter().map(|&v| Fp16::from_f64(v).to_f64()).collect();
+        let a = AlignedVector::align(&rounded, FpFormat::Fp16, 4, AlignMode::RoundNearestEven);
+        let bound = a.max_element_error(AlignMode::RoundNearestEven) * 1.0001;
+        for (i, &x) in rounded.iter().enumerate() {
+            prop_assert!((a.value(i) - x).abs() <= bound);
+        }
+    }
+}
+
+#[test]
+fn soft_float_formats_differ_as_documented() {
+    // BF16 trades mantissa for range: a value fp16 can't hold.
+    let big = 1.0e38f64;
+    assert!(Fp16::from_f64(big).is_infinite());
+    assert!(Bf16::from_f64(big).is_finite());
+    // FP16 keeps more precision in range.
+    let v = 1.0 + 1.0 / 512.0;
+    assert_eq!(Fp16::from_f64(v).to_f64(), v);
+    assert_ne!(Bf16::from_f64(v).to_f64(), v);
+    // FP32 subsumes both.
+    assert_eq!(Fp32::from_f64(v).to_f64(), v);
+}
