@@ -34,9 +34,27 @@ use std::path::Path;
 /// All experiment ids, in paper order, plus the reproduction's extensions
 /// (`ablation`, `ext-node`, `ext-prefill` are not in the paper).
 pub const EXPERIMENTS: [&str; 21] = [
-    "table1", "fig1", "fig2", "table2", "fig6", "fig8", "fig9", "table3", "fig11", "table4",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "table5", "table6", "ablation", "ext-node",
-    "ext-prefill", "ext-quant",
+    "table1",
+    "fig1",
+    "fig2",
+    "table2",
+    "fig6",
+    "fig8",
+    "fig9",
+    "table3",
+    "fig11",
+    "table4",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table5",
+    "table6",
+    "ablation",
+    "ext-node",
+    "ext-prefill",
+    "ext-quant",
 ];
 
 /// Run one experiment (or `"all"`), printing tables and writing CSVs to
@@ -123,7 +141,13 @@ fn corpora(teacher: &Transformer, seed: u64) -> (Corpus, Corpus) {
 fn table1() -> Vec<(String, Table)> {
     let mut t = Table::new(
         "Table I — comparison of hardware accelerators",
-        &["Platform", "FP-INT op", "Mixed-precision", "BCQ", "Complexity"],
+        &[
+            "Platform",
+            "FP-INT op",
+            "Mixed-precision",
+            "BCQ",
+            "Complexity",
+        ],
     );
     let b = |v: bool| if v { "yes" } else { "no" }.to_string();
     for row in TABLE1 {
@@ -167,7 +191,10 @@ fn fig1() -> Vec<(String, Table)> {
     }
     t.note(format!(
         "offset-BCQ scales α = [{}], z = {} (α_i = s·2^(i-1), z = s(2^q−1)/2 + base)",
-        (0..3).map(|i| f3(with_offset.alpha(i, 0, 0))).collect::<Vec<_>>().join(", "),
+        (0..3)
+            .map(|i| f3(with_offset.alpha(i, 0, 0)))
+            .collect::<Vec<_>>()
+            .join(", "),
         f3(with_offset.offset(0, 0)),
     ));
     vec![("fig1".into(), t)]
@@ -224,21 +251,39 @@ fn fig6() -> Vec<(String, Table)> {
         t.row(vec![
             "RFLUT".into(),
             mu.to_string(),
-            f3(per_weight_read_power(&tech, LutKind::Rflut, mu, FpFormat::Fp16, 1)),
+            f3(per_weight_read_power(
+                &tech,
+                LutKind::Rflut,
+                mu,
+                FpFormat::Fp16,
+                1,
+            )),
         ]);
     }
     for mu in [2u32, 4, 8] {
         t.row(vec![
             "FFLUT".into(),
             mu.to_string(),
-            f3(per_weight_read_power(&tech, LutKind::Fflut, mu, FpFormat::Fp16, 1)),
+            f3(per_weight_read_power(
+                &tech,
+                LutKind::Fflut,
+                mu,
+                FpFormat::Fp16,
+                1,
+            )),
         ]);
     }
     for mu in [2u32, 4, 8] {
         t.row(vec![
             "hFFLUT".into(),
             mu.to_string(),
-            f3(per_weight_read_power(&tech, LutKind::Hfflut, mu, FpFormat::Fp16, 1)),
+            f3(per_weight_read_power(
+                &tech,
+                LutKind::Hfflut,
+                mu,
+                FpFormat::Fp16,
+                1,
+            )),
         ]);
     }
     t.note("RFLUT mu=2 is below the memory compiler's minimum macro (paper skips it too)");
@@ -295,7 +340,9 @@ fn fig9() -> Vec<(String, Table)> {
         ]);
     }
     let kstar = optimal_k(&tech, 4, FpFormat::Fp16, 64);
-    t.note(format!("P_RAC minimum at k = {kstar} (paper selects k = 32)"));
+    t.note(format!(
+        "P_RAC minimum at k = {kstar} (paper selects k = 32)"
+    ));
     vec![("fig9".into(), t)]
 }
 
@@ -329,7 +376,13 @@ fn table3() -> Vec<(String, Table)> {
 fn fig11() -> Vec<(String, Table)> {
     let mut t = Table::new(
         "Fig. 11 — LUT generator adder counts (half table)",
-        &["mu", "straightforward", "optimized", "saving", "depth (opt)"],
+        &[
+            "mu",
+            "straightforward",
+            "optimized",
+            "saving",
+            "depth (opt)",
+        ],
     );
     for mu in 2u32..=6 {
         let s = GenSchedule::straightforward(mu, true);
@@ -382,10 +435,11 @@ fn fig13() -> Vec<(String, Table)> {
             let mut t = Table::new(
                 format!(
                     "Fig. 13 — TOPS/mm² normalized to FPE ({} activations, Q{})",
-                    fmt,
-                    q as u32
+                    fmt, q as u32
                 ),
-                &["engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B"],
+                &[
+                    "engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B",
+                ],
             );
             let spec_of = |e: SimEngine| {
                 let s = EngineSpec::paper(e, fmt);
@@ -398,8 +452,13 @@ fn fig13() -> Vec<(String, Table)> {
             let base: Vec<f64> = OPT_FAMILY
                 .iter()
                 .map(|cfg| {
-                    evaluate(&tech, &spec_of(SimEngine::Fpe), &decode_workload(cfg, 32), q)
-                        .tops_per_mm2()
+                    evaluate(
+                        &tech,
+                        &spec_of(SimEngine::Fpe),
+                        &decode_workload(cfg, 32),
+                        q,
+                    )
+                    .tops_per_mm2()
                 })
                 .collect();
             for e in accel_engines() {
@@ -493,7 +552,9 @@ fn fig16() -> Vec<(String, Table)> {
     for q in [2.0f64, 3.0, 4.0] {
         let mut t = Table::new(
             format!("Fig. 16 — TOPS/W normalized to FPE (FP16, Q{})", q as u32),
-            &["engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B"],
+            &[
+                "engine", "125M", "350M", "1.3B", "2.7B", "6.7B", "13B", "30B",
+            ],
         );
         let base: Vec<f64> = OPT_FAMILY
             .iter()
@@ -535,7 +596,13 @@ fn fig17() -> Vec<(String, Table)> {
 
     let mut t = Table::new(
         "Fig. 17 — TOPS/W vs perplexity, OPT-6.7B(-synth): FIGNA+OPTQ vs FIGLUT+ShiftAddLLM",
-        &["config", "avg bits", "perplexity", "TOPS/W", "rel. model size"],
+        &[
+            "config",
+            "avg bits",
+            "perplexity",
+            "TOPS/W",
+            "rel. model size",
+        ],
     );
     t.note(format!("FP16 baseline perplexity: {}", f3(fp16_ppl)));
     let figna = EngineSpec::paper(SimEngine::Figna, FpFormat::Fp16);

@@ -57,9 +57,7 @@ pub fn gemm_f(x: &Mat<f64>, w: &BcqWeight, cfg: &EngineConfig) -> Mat<f64> {
         let luts: Vec<Vec<HalfLut<f64>>> = (0..groups)
             .map(|g| {
                 windows(g * gs, gs, mu)
-                    .map(|(start, width)| {
-                        HalfLut::build(&xrow[start..start + width], add32)
-                    })
+                    .map(|(start, width)| HalfLut::build(&xrow[start..start + width], add32))
                     .collect()
             })
             .collect();

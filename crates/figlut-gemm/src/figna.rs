@@ -32,12 +32,7 @@ pub fn gemm(x: &Mat<f64>, w: &UniformWeight, cfg: &EngineConfig) -> Mat<f64> {
         let lambda = aligned.scale();
         let mant = aligned.mantissas();
         let gsum: Vec<i128> = (0..groups)
-            .map(|g| {
-                mant[g * gs..(g + 1) * gs]
-                    .iter()
-                    .map(|&v| v as i128)
-                    .sum()
-            })
+            .map(|g| mant[g * gs..(g + 1) * gs].iter().map(|&v| v as i128).sum())
             .collect();
         for r in 0..m {
             let mut acc = 0.0;

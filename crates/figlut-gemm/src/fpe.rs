@@ -87,9 +87,6 @@ mod tests {
     fn deterministic() {
         let (x, u) = setup(4, 32, 4);
         let cfg = EngineConfig::paper_default();
-        assert_eq!(
-            gemm(&x, &u, &cfg).as_slice(),
-            gemm(&x, &u, &cfg).as_slice()
-        );
+        assert_eq!(gemm(&x, &u, &cfg).as_slice(), gemm(&x, &u, &cfg).as_slice());
     }
 }

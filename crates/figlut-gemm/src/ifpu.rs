@@ -47,12 +47,7 @@ pub fn gemm(x: &Mat<f64>, w: &BcqWeight, cfg: &EngineConfig) -> Mat<f64> {
         // Group-wise mantissa sums for the offset term (computed once per
         // batch row, reused by every output row).
         let gsum: Vec<i128> = (0..groups)
-            .map(|g| {
-                mant[g * gs..(g + 1) * gs]
-                    .iter()
-                    .map(|&v| v as i128)
-                    .sum()
-            })
+            .map(|g| mant[g * gs..(g + 1) * gs].iter().map(|&v| v as i128).sum())
             .collect();
         for r in 0..m {
             let mut acc = 0.0;
@@ -128,7 +123,11 @@ mod tests {
         let cfg = EngineConfig::paper_default();
         let y = gemm(&x, &b, &cfg);
         let oracle = reference::gemm(&x, &Weights::Bcq(&b), &cfg);
-        assert!(y.max_abs_diff(&oracle) < 1e-9, "{}", y.max_abs_diff(&oracle));
+        assert!(
+            y.max_abs_diff(&oracle) < 1e-9,
+            "{}",
+            y.max_abs_diff(&oracle)
+        );
     }
 
     #[test]

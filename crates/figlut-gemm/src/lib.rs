@@ -118,7 +118,10 @@ impl Engine {
                 )
             }
             (e, Weights::Bcq(_)) => {
-                panic!("{} does not support BCQ weights (see paper Table I)", e.name())
+                panic!(
+                    "{} does not support BCQ weights (see paper Table I)",
+                    e.name()
+                )
             }
         }
     }

@@ -223,12 +223,7 @@ pub fn optimal_adds(width: u32, fixed_msb: bool) -> usize {
 /// Recursively emit the optimized schedule for key bits
 /// `[lo, lo + width)`; returns one operand per pattern (LSB-first within the
 /// field). `fixed_msb` pins the field's top bit to 0 (sign −1).
-fn build_block(
-    lo: usize,
-    width: usize,
-    fixed_msb: bool,
-    steps: &mut Vec<GenStep>,
-) -> Vec<Operand> {
+fn build_block(lo: usize, width: usize, fixed_msb: bool, steps: &mut Vec<GenStep>) -> Vec<Operand> {
     if width == 1 {
         let neg_entry = Operand::Input {
             index: lo,
@@ -289,13 +284,7 @@ mod tests {
         (0..patterns)
             .map(|p| {
                 (0..mu as usize)
-                    .map(|j| {
-                        if (p >> j) & 1 == 1 {
-                            xs[j]
-                        } else {
-                            -xs[j]
-                        }
-                    })
+                    .map(|j| if (p >> j) & 1 == 1 { xs[j] } else { -xs[j] })
                     .sum()
             })
             .collect()

@@ -96,7 +96,11 @@ pub fn capture_activations(model: &Transformer, calib: &Corpus) -> Vec<Mat<f64>>
 /// Quantize every linear layer of `model` with `method`, calibrating on
 /// `calib` where the method needs activations. Returns the quantized model
 /// (the input is untouched) and the per-layer bit allocation.
-pub fn quantize_model(model: &Transformer, calib: &Corpus, method: Method) -> (Transformer, Vec<u32>) {
+pub fn quantize_model(
+    model: &Transformer,
+    calib: &Corpus,
+    method: Method,
+) -> (Transformer, Vec<u32>) {
     let acts = match method {
         Method::Rtn { .. } => None,
         _ => Some(capture_activations(model, calib)),
@@ -149,11 +153,7 @@ pub fn quantize_model(model: &Transformer, calib: &Corpus, method: Method) -> (T
             }
             Method::ShiftAdd { .. } | Method::ShiftAddMixed { .. } => {
                 let x = &acts.as_ref().unwrap()[idx];
-                LinearWeights::Bcq(quantize_layer(
-                    w,
-                    Some(x),
-                    ShiftAddParams::per_row(bits),
-                ))
+                LinearWeights::Bcq(quantize_layer(w, Some(x), ShiftAddParams::per_row(bits)))
             }
         };
     });

@@ -26,16 +26,16 @@ impl OptConfig {
     /// Decoder-only parameter count (embeddings + per-layer weights),
     /// ignoring biases/LayerNorm (sub-percent).
     pub fn params(&self) -> f64 {
-        let per_layer = 4.0 * (self.d_model * self.d_model) as f64
-            + 2.0 * (self.d_model * self.ffn) as f64;
+        let per_layer =
+            4.0 * (self.d_model * self.d_model) as f64 + 2.0 * (self.d_model * self.ffn) as f64;
         self.layers as f64 * per_layer + (self.vocab * self.d_model) as f64
     }
 
     /// GEMM-weight parameter count only (what weight-only quantization
     /// compresses).
     pub fn gemm_params(&self) -> f64 {
-        let per_layer = 4.0 * (self.d_model * self.d_model) as f64
-            + 2.0 * (self.d_model * self.ffn) as f64;
+        let per_layer =
+            4.0 * (self.d_model * self.d_model) as f64 + 2.0 * (self.d_model * self.ffn) as f64;
         self.layers as f64 * per_layer
     }
 }
@@ -102,7 +102,9 @@ pub const OPT_FAMILY: [OptConfig; 7] = [
 
 /// Look up a family member by name.
 pub fn by_name(name: &str) -> Option<&'static OptConfig> {
-    OPT_FAMILY.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    OPT_FAMILY
+        .iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

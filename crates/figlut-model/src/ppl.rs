@@ -61,10 +61,7 @@ mod tests {
             }
         });
         let damaged = perplexity(&hurt, &c, &Backend::Exact);
-        assert!(
-            damaged > base * 1.05,
-            "damaged {damaged} vs base {base}"
-        );
+        assert!(damaged > base * 1.05, "damaged {damaged} vs base {base}");
     }
 
     #[test]

@@ -278,7 +278,10 @@ impl Transformer {
     /// entropy), giving it genuinely low perplexity on text it generates —
     /// the stand-in for a trained OPT checkpoint (DESIGN.md §2).
     pub fn teacher(cfg: ModelConfig, seed: u64) -> Self {
-        assert!(cfg.d_model.is_multiple_of(cfg.heads), "heads must divide d_model");
+        assert!(
+            cfg.d_model.is_multiple_of(cfg.heads),
+            "heads must divide d_model"
+        );
         let mut rng = Rng::new(seed);
         let g = |rng: &mut Rng, rows: usize, cols: usize, scale: f64| {
             Mat::from_fn(rows, cols, |_, _| rng.normal() * scale)

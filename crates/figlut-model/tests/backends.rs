@@ -7,7 +7,11 @@ use figlut_model::corpus::generate;
 use figlut_model::ppl::perplexity;
 use figlut_model::transformer::{Backend, ModelConfig, Transformer};
 
-fn setup() -> (Transformer, figlut_model::corpus::Corpus, figlut_model::corpus::Corpus) {
+fn setup() -> (
+    Transformer,
+    figlut_model::corpus::Corpus,
+    figlut_model::corpus::Corpus,
+) {
     let t = Transformer::teacher(ModelConfig::tiny(), 55);
     let calib = generate(&t, 2, 10, 3);
     let eval = generate(&t, 3, 12, 4);
@@ -83,10 +87,7 @@ fn kv_cache_decoding_with_engine_backend() {
     for (pos, &tok) in toks.iter().enumerate() {
         let step = qb.decode_step(tok, &mut cache, &backend);
         for v in 0..step.len() {
-            assert!(
-                (step[v] - full[(pos, v)]).abs() < 1e-6,
-                "pos={pos} v={v}"
-            );
+            assert!((step[v] - full[(pos, v)]).abs() < 1e-6, "pos={pos} v={v}");
         }
     }
 }
@@ -101,7 +102,11 @@ fn mixed_precision_model_serves_on_figlut() {
     assert!(p.is_finite() && p > 1.0);
     // FIGNA cannot serve this model at all: its layers are BCQ.
     let err = std::panic::catch_unwind(|| {
-        perplexity(&q, &eval, &Backend::Engine(Engine::Figna, EngineConfig::paper_default()))
+        perplexity(
+            &q,
+            &eval,
+            &Backend::Engine(Engine::Figna, EngineConfig::paper_default()),
+        )
     });
     assert!(err.is_err(), "FIGNA must reject BCQ layers (Table I)");
 }

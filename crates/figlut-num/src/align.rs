@@ -170,7 +170,10 @@ fn exponent_of(v: f64) -> i32 {
 
 /// Exact `2^n` for |n| within f64's normal range.
 fn pow2(n: i32) -> f64 {
-    debug_assert!((-1022..=1023).contains(&n), "pow2 exponent {n} out of range");
+    debug_assert!(
+        (-1022..=1023).contains(&n),
+        "pow2 exponent {n} out of range"
+    );
     f64::from_bits(((1023 + n) as u64) << 52)
 }
 
@@ -290,12 +293,7 @@ mod tests {
         let xs = [1.0, -0.5, 0.75, 0.125];
         let a = AlignedVector::align(&xs, FpFormat::Fp16, 0, AlignMode::default());
         let signs = [1i64, -1, -1, 1];
-        let int_sum: i64 = a
-            .mantissas()
-            .iter()
-            .zip(signs)
-            .map(|(&m, s)| m * s)
-            .sum();
+        let int_sum: i64 = a.mantissas().iter().zip(signs).map(|(&m, s)| m * s).sum();
         let exact: f64 = xs.iter().zip(signs).map(|(&x, s)| x * s as f64).sum();
         assert_eq!(int_sum as f64 * a.scale(), exact);
     }

@@ -286,7 +286,10 @@ impl<const E: u32, const M: u32> Sf<E, M> {
     ///
     /// Panics if the value is zero, infinite or NaN.
     pub fn exponent(self) -> i32 {
-        assert!(self.is_finite() && !self.is_zero(), "exponent of zero/special");
+        assert!(
+            self.is_finite() && !self.is_zero(),
+            "exponent of zero/special"
+        );
         let e = self.biased_exponent();
         if e == 0 {
             // Subnormal: leading bit position of the mantissa.

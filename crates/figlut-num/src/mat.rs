@@ -165,7 +165,10 @@ impl<T> Index<(usize, usize)> for Mat<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -173,7 +176,10 @@ impl<T> Index<(usize, usize)> for Mat<T> {
 impl<T> IndexMut<(usize, usize)> for Mat<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

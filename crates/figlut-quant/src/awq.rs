@@ -158,11 +158,7 @@ mod tests {
         );
         assert_eq!(awq.alpha, 0.0);
         let plain = rtn(&w, RtnParams::per_row(3));
-        assert!(awq
-            .quantized
-            .dequantize()
-            .max_abs_diff(&plain.dequantize())
-            < 1e-12);
+        assert!(awq.quantized.dequantize().max_abs_diff(&plain.dequantize()) < 1e-12);
     }
 
     #[test]
@@ -172,7 +168,10 @@ mod tests {
         let awq = awq_quantize(&w, &x, AwqParams::per_row(2));
         if awq.alpha > 0.0 {
             let hot: f64 = (0..32).step_by(8).map(|c| awq.channel_scale[c]).sum();
-            let cold: f64 = (1..32).filter(|c| c % 8 != 0).map(|c| awq.channel_scale[c]).sum();
+            let cold: f64 = (1..32)
+                .filter(|c| c % 8 != 0)
+                .map(|c| awq.channel_scale[c])
+                .sum();
             assert!(hot / 4.0 > cold / 28.0, "hot channels should scale up");
         }
     }
@@ -182,10 +181,7 @@ mod tests {
         let w = weights(3, 16);
         let x = calib(16, 24);
         let awq = awq_quantize(&w, &x, AwqParams::per_row(4));
-        assert!(awq
-            .channel_scale
-            .iter()
-            .all(|s| s.is_finite() && *s > 0.0));
+        assert!(awq.channel_scale.iter().all(|s| s.is_finite() && *s > 0.0));
         assert!((0.0..=1.0).contains(&awq.alpha));
     }
 }

@@ -457,7 +457,10 @@ mod tests {
         let e0 = weight_mse(&w, &coarse.dequantize());
         let e1 = weight_mse(&w, &refined.dequantize());
         assert!(e1 <= e0 + 1e-15, "refined {e1} > greedy {e0}");
-        assert!(e1 < e0 * 0.9, "refinement should help meaningfully: {e1} vs {e0}");
+        assert!(
+            e1 < e0 * 0.9,
+            "refinement should help meaningfully: {e1} vs {e0}"
+        );
     }
 
     #[test]
@@ -513,7 +516,11 @@ mod tests {
 
     #[test]
     fn weighted_fit_prioritizes_important_columns() {
-        let w = Mat::from_fn(1, 16, |_, c| if c == 0 { 1.0 } else { -0.8 + 0.1 * c as f64 });
+        let w = Mat::from_fn(
+            1,
+            16,
+            |_, c| if c == 0 { 1.0 } else { -0.8 + 0.1 * c as f64 },
+        );
         let mut d = vec![1.0; 16];
         d[0] = 1e4; // column 0 is critical
         let b = BcqWeight::quantize_weighted(&w, BcqParams::per_row(1), Some(&d));

@@ -249,7 +249,11 @@ mod tests {
             },
         ];
         let alloc = allocate_mixed_precision(&layers, &[2, 3, 4], 3.0, 4);
-        assert!(alloc.average_bits <= 3.0 + 1e-9, "avg {}", alloc.average_bits);
+        assert!(
+            alloc.average_bits <= 3.0 + 1e-9,
+            "avg {}",
+            alloc.average_bits
+        );
         assert!(
             alloc.bits[0] >= alloc.bits[1],
             "sensitive layer got {} bits, robust {}",

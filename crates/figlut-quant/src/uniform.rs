@@ -186,7 +186,11 @@ pub fn rtn(w: &Mat<f64>, params: RtnParams) -> UniformWeight {
             } else {
                 let mn = slice.iter().cloned().fold(f64::INFINITY, f64::min);
                 let mx = slice.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let s = if mx > mn { (mx - mn) / levels as f64 } else { 0.0 };
+                let s = if mx > mn {
+                    (mx - mn) / levels as f64
+                } else {
+                    0.0
+                };
                 (s, mn)
             };
             scale[(r, g)] = s;
@@ -223,7 +227,10 @@ pub fn empty_with_grid(
     base: Mat<f64>,
 ) -> UniformWeight {
     let gs = if group_size == 0 { cols } else { group_size };
-    assert!(cols.is_multiple_of(gs), "group size {gs} does not divide {cols}");
+    assert!(
+        cols.is_multiple_of(gs),
+        "group size {gs} does not divide {cols}"
+    );
     assert_eq!(scale.shape(), (rows, cols / gs), "scale shape");
     assert_eq!(base.shape(), (rows, cols / gs), "base shape");
     UniformWeight {
@@ -293,11 +300,7 @@ mod tests {
         // Each half sits exactly on its own 2-bit grid, but the two grids
         // are incompatible — group-wise scales capture both exactly while a
         // single per-row grid cannot.
-        let w = Mat::from_vec(
-            1,
-            8,
-            vec![0.0, 0.1, 0.2, 0.3, 10.0, 13.0, 16.0, 19.0],
-        );
+        let w = Mat::from_vec(1, 8, vec![0.0, 0.1, 0.2, 0.3, 10.0, 13.0, 16.0, 19.0]);
         let per_row = rtn(&w, RtnParams::per_row(2));
         let grouped = rtn(&w, RtnParams::grouped(2, 4));
         let e_row = crate::error::weight_mse(&w, &per_row.dequantize());

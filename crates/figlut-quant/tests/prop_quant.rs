@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 fn weight_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat<f64>> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-10.0f64..10.0, r * c)
-            .prop_map(move |v| Mat::from_vec(r, c, v))
+        prop::collection::vec(-10.0f64..10.0, r * c).prop_map(move |v| Mat::from_vec(r, c, v))
     })
 }
 

@@ -281,7 +281,11 @@ pub struct PeCyclesQuery {
 /// `ceil(m/k) · passes · B · Σ windows`, where passes counts bit planes
 /// plus the offset pass.
 pub fn predicted_pe_cycles(qy: &PeCyclesQuery) -> u64 {
-    let gs = if qy.group_size == 0 { qy.n } else { qy.group_size };
+    let gs = if qy.group_size == 0 {
+        qy.n
+    } else {
+        qy.group_size
+    };
     let groups = qy.n / gs;
     let windows_per_group = gs.div_ceil(qy.mu as usize);
     let passes = qy.q as u64 + qy.has_offset as u64;

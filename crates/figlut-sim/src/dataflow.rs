@@ -64,7 +64,11 @@ pub fn gemm_cycles(
     // Double buffering overlaps weight loads and input skew across tiles:
     // the systolic pipeline fills once per GEMM, and each tile (and each
     // bit-plane switch within it) costs only a one-cycle register swap.
-    let q_stream = if spec.engine.is_bit_serial() { q_eff } else { 1.0 };
+    let q_stream = if spec.engine.is_bit_serial() {
+        q_eff
+    } else {
+        1.0
+    };
     let fill = g.fill_stages as f64 + tiles(spec, m, n) * q_stream;
     let q_storage = if spec.engine.is_bit_serial() {
         q_eff
@@ -100,11 +104,7 @@ mod tests {
         }
         let base = totals[0].1;
         for (e, c) in totals {
-            assert!(
-                (c / base - 1.0).abs() < 0.01,
-                "{}: {c} vs {base}",
-                e.name()
-            );
+            assert!((c / base - 1.0).abs() < 0.01, "{}: {c} vs {base}", e.name());
         }
     }
 

@@ -16,7 +16,9 @@
 use crate::dataflow::gemm_cycles;
 use crate::lutcost::lut_power;
 use crate::memory::gemm_traffic;
-use crate::mpu::{engine_area, geometry, pipeline_ff_pj_per_cycle, EngineArea, EngineSpec, SimEngine};
+use crate::mpu::{
+    engine_area, geometry, pipeline_ff_pj_per_cycle, EngineArea, EngineSpec, SimEngine,
+};
 use crate::tech::Tech;
 use figlut_lut::generator::GenSchedule;
 use figlut_num::fp::FpFormat;
@@ -155,9 +157,8 @@ pub fn evaluate(tech: &Tech, spec: &EngineSpec, workload: &Workload, weight_bits
         energy.mpu_pj +=
             mpu_compute_pj(tech, spec, g.m, g.n, g.batch, weight_bits, c.total()) * g.repeat;
     }
-    energy.vpu_pj = workload.nongemm_flops
-        * (tech.fp_mul(FpFormat::Fp32) + tech.fp_add(FpFormat::Fp32))
-        / 2.0;
+    energy.vpu_pj =
+        workload.nongemm_flops * (tech.fp_mul(FpFormat::Fp32) + tech.fp_add(FpFormat::Fp32)) / 2.0;
     Report {
         cycles,
         ops: workload.ops(),
@@ -192,9 +193,10 @@ fn mpu_compute_pj(
             uses * per_use + pipeline
         }
         SimEngine::Figna => {
+            // The p+7-bit adder is the offset (Σ mantissa) accumulator.
             let per_use = tech.int_mul(p, spec.designed_bits)
                 + tech.int_add(spec.acc_bits())
-                + tech.int_add(p + 7); // offset (Σ mantissa) accumulator
+                + tech.int_add(p + 7);
             // Edge scaling: scale & base, one FP32 MAC each per (row, batch,
             // n-tile); alignment per activation fetch.
             let edge = m as f64 * batch as f64 * n_tiles * 2.0 * fp32_mac;
@@ -304,7 +306,10 @@ mod tests {
         assert!(f2 > f3 && f3 > f4, "{f2} {f3} {f4}");
         let g4 = report(SimEngine::Figna, 4.0).tops_per_w();
         let g2 = report(SimEngine::Figna, 2.0).tops_per_w();
-        assert!((g2 / g4 - 1.0).abs() < 0.05, "FIGNA should be flat: {g2} vs {g4}");
+        assert!(
+            (g2 / g4 - 1.0).abs() < 0.05,
+            "FIGNA should be flat: {g2} vs {g4}"
+        );
     }
 
     #[test]

@@ -335,7 +335,10 @@ mod tests {
         // RFLUT (µ=4, µ=8): above the FP-adder baseline; µ4 worse than µ8.
         let r4 = per_weight_read_power(&tech, LutKind::Rflut, 4, fmt, 1);
         let r8 = per_weight_read_power(&tech, LutKind::Rflut, 8, fmt, 1);
-        assert!(r4 > 1.0 && r8 > 1.0, "RFLUT must lose to FP adds: {r4} {r8}");
+        assert!(
+            r4 > 1.0 && r8 > 1.0,
+            "RFLUT must lose to FP adds: {r4} {r8}"
+        );
         assert!(r4 > r8, "µ4 needs 2× the reads of µ8: {r4} vs {r8}");
         // FFLUT: µ2/µ4 below baseline, µ8 blows up (excluded in the paper).
         let f2 = per_weight_read_power(&tech, LutKind::Fflut, 2, fmt, 1);

@@ -14,7 +14,8 @@ use crate::tech::Tech;
 pub fn buffer_bits(spec: &EngineSpec) -> usize {
     let g = geometry(spec);
     let act_bits = spec.act.storage_bits() as usize;
-    let batch = 32; // the paper's evaluation batch
+    // The paper's evaluation batch.
+    let batch = 32;
     // Input tile: Tn activations × batch, double buffered.
     let input = 2 * g.tn * batch * act_bits;
     // Weight tile: Tm × Tn at up to 8-bit codes (fixed engines) or 4

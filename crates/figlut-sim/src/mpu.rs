@@ -55,7 +55,10 @@ impl SimEngine {
     /// Bit-serial engines run cycles proportional to the weight bit-width;
     /// fixed engines pad sub-designed precisions (paper Fig. 15 discussion).
     pub const fn is_bit_serial(self) -> bool {
-        matches!(self, SimEngine::Ifpu | SimEngine::FiglutF | SimEngine::FiglutI)
+        matches!(
+            self,
+            SimEngine::Ifpu | SimEngine::FiglutF | SimEngine::FiglutI
+        )
     }
 
     /// `true` for the two FIGLUT variants.
@@ -65,7 +68,10 @@ impl SimEngine {
 
     /// `true` for engines that pre-align activations to integer mantissas.
     pub const fn uses_prealign(self) -> bool {
-        matches!(self, SimEngine::Ifpu | SimEngine::Figna | SimEngine::FiglutI)
+        matches!(
+            self,
+            SimEngine::Ifpu | SimEngine::Figna | SimEngine::FiglutI
+        )
     }
 }
 
@@ -271,8 +277,8 @@ pub fn mpu_area(tech: &Tech, spec: &EngineSpec) -> AreaBreakdown {
             let per_pe_ff = (p + acc + (p + 7) + d + 4) as f64 * tech.ff_um2_per_bit;
             let aligners = g.input_width as f64 * aligner_area(tech, p);
             // Edge scaling: one FP32 multiplier+adder pair per output row.
-            let edge = g.tm as f64
-                * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
+            let edge =
+                g.tm as f64 * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
             AreaBreakdown {
                 arithmetic_um2: g.cells as f64 * per_pe_arith + aligners + edge,
                 flipflop_um2: g.cells as f64 * per_pe_ff + setup_ff_area(tech, &g, fmt_bits),
@@ -282,11 +288,11 @@ pub fn mpu_area(tech: &Tech, spec: &EngineSpec) -> AreaBreakdown {
             let acc = spec.acc_bits();
             // One add/sub per 1-bit cell; each cell owns its plane partial.
             let per_cell_arith = tech.int_add_area(acc);
-            let per_cell_ff = (1 + 2 + acc) as f64 * tech.ff_um2_per_bit
-                + (p as f64 / 4.0) * tech.ff_um2_per_bit; // input reg shared by 4 lanes
+            let per_cell_ff =
+                (1 + 2 + acc) as f64 * tech.ff_um2_per_bit + (p as f64 / 4.0) * tech.ff_um2_per_bit; // input reg shared by 4 lanes
             let aligners = g.input_width as f64 * aligner_area(tech, p);
-            let edge = g.tm as f64
-                * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
+            let edge =
+                g.tm as f64 * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
             AreaBreakdown {
                 arithmetic_um2: g.cells as f64 * per_cell_arith + aligners + edge,
                 flipflop_um2: g.cells as f64 * per_cell_ff + setup_ff_area(tech, &g, fmt_bits),
@@ -302,13 +308,12 @@ pub fn mpu_area(tech: &Tech, spec: &EngineSpec) -> AreaBreakdown {
             } else {
                 0.0
             };
-            let edge = g.tm as f64
-                * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
+            let edge =
+                g.tm as f64 * (tech.fp_mul_area(FpFormat::Fp32) + tech.fp_add_area(FpFormat::Fp32));
             // Split the PE area into buckets: LUT storage + registers are
             // FF; adders, muxes and generators are arithmetic.
             let pp = spec.pe_params();
-            let lut_bits =
-                (spec.lut_kind.stored_entries(spec.mu) as u32 * fmt_bits) as f64;
+            let lut_bits = (spec.lut_kind.stored_entries(spec.mu) as u32 * fmt_bits) as f64;
             let reg_bits = spec.k as f64 * (spec.mu + pp.datapath.acc_bits()) as f64;
             let ff = (lut_bits + reg_bits) * tech.ff_um2_per_bit;
             let arith_per_pe = pe - ff;
@@ -405,7 +410,10 @@ mod tests {
         assert_eq!(g.weights_per_cycle(SimEngine::FiglutI, 8.0), 2048.0);
         // Fixed engines cannot exploit sub-designed precision.
         let f = EngineSpec::paper(SimEngine::Figna, FpFormat::Fp16);
-        assert_eq!(geometry(&f).weights_per_cycle(SimEngine::Figna, 2.0), 4096.0);
+        assert_eq!(
+            geometry(&f).weights_per_cycle(SimEngine::Figna, 2.0),
+            4096.0
+        );
     }
 
     #[test]
@@ -445,7 +453,10 @@ mod tests {
         // Paper: "the introduction of LUT-based operations reduces the
         // overall flip-flop area compared to other hardware architectures".
         let tech = t();
-        let lut = mpu_area(&tech, &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16));
+        let lut = mpu_area(
+            &tech,
+            &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16),
+        );
         for e in [SimEngine::Fpe, SimEngine::Ifpu, SimEngine::Figna] {
             let a = mpu_area(&tech, &EngineSpec::paper(e, FpFormat::Fp16));
             assert!(
@@ -485,7 +496,10 @@ mod tests {
     fn figlut_i_smaller_than_figna_mpu() {
         // Paper Fig. 13/14: FIGLUT-I is at least as dense as FIGNA.
         let tech = t();
-        let lut = mpu_area(&tech, &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16));
+        let lut = mpu_area(
+            &tech,
+            &EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16),
+        );
         let figna = mpu_area(&tech, &EngineSpec::paper(SimEngine::Figna, FpFormat::Fp16));
         assert!(
             lut.total_um2() < figna.total_um2() * 1.05,

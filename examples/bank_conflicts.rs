@@ -28,7 +28,8 @@ fn main() {
     let f = fflut_read_phase(5000);
     println!(
         "{:>6} {:>9} {:>21.2}x   (dedicated mux per reader)",
-        "FFLUT", "any",
+        "FFLUT",
+        "any",
         f.serialization()
     );
 

@@ -35,7 +35,10 @@ fn main() {
 
     // --- 2. How many RACs share a LUT? (paper Figs. 8–9) -------------------
     println!("\nPE power per weight vs k (relative to FP adders), and P_RAC:");
-    println!("{:>4} {:>10} {:>10} {:>12}", "k", "mu=2", "mu=4", "P_RAC(mu=4)");
+    println!(
+        "{:>4} {:>10} {:>10} {:>12}",
+        "k", "mu=2", "mu=4", "P_RAC(mu=4)"
+    );
     for k in [1u32, 2, 4, 8, 16, 32, 64] {
         let sys = |mu| {
             system_power_per_weight(
@@ -71,7 +74,11 @@ fn main() {
         nongemm_flops: 0.0,
     };
     println!("\nFIGLUT-I (mu=4, k=32) vs ablated configs on a 4096x4096 GEMM:");
-    for (label, mu, k) in [("paper (4,32)", 4u32, 32u32), ("(2,32)", 2, 32), ("(4,8)", 4, 8)] {
+    for (label, mu, k) in [
+        ("paper (4,32)", 4u32, 32u32),
+        ("(2,32)", 2, 32),
+        ("(4,8)", 4, 8),
+    ] {
         let mut spec = EngineSpec::paper(SimEngine::FiglutI, fmt);
         spec.mu = mu;
         spec.k = k;

@@ -56,8 +56,16 @@ fn main() {
         nongemm_flops: 0.0,
     };
     println!("\nsimulated on a 4096x4096 GEMM at batch 32, Q4 weights:");
-    println!("{:>10}  {:>9}  {:>9}  {:>10}", "engine", "TOPS/W", "TOPS/mm2", "power (W)");
-    for e in [SimEngine::Fpe, SimEngine::Ifpu, SimEngine::Figna, SimEngine::FiglutI] {
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>10}",
+        "engine", "TOPS/W", "TOPS/mm2", "power (W)"
+    );
+    for e in [
+        SimEngine::Fpe,
+        SimEngine::Ifpu,
+        SimEngine::Figna,
+        SimEngine::FiglutI,
+    ] {
         let r = evaluate(&tech, &EngineSpec::paper(e, FpFormat::Fp16), &wl, 4.0);
         println!(
             "{:>10}  {:>9.3}  {:>9.3}  {:>10.3}",

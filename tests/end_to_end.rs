@@ -50,7 +50,10 @@ fn quantization_method_quality_ordering() {
     let p_sa = ppl_of(Method::ShiftAdd { bits: 2 });
     assert!(p_sa.is_finite() && p_gptq.is_finite() && p_rtn.is_finite());
     assert!(p_sa < p_rtn, "ShiftAdd {p_sa} !< RTN {p_rtn}");
-    assert!(p_gptq < p_rtn * 1.2, "GPTQ {p_gptq} much worse than RTN {p_rtn}");
+    assert!(
+        p_gptq < p_rtn * 1.2,
+        "GPTQ {p_gptq} much worse than RTN {p_rtn}"
+    );
 }
 
 #[test]
@@ -63,7 +66,9 @@ fn engine_outputs_agree_on_quantized_transformer_layer() {
     };
     let u = rtn(&w, RtnParams::per_row(4));
     let b = BcqWeight::from_uniform(&u);
-    let x = Mat::from_fn(4, w.cols(), |r, c| ((r * w.cols() + c) as f64 * 0.031).sin());
+    let x = Mat::from_fn(4, w.cols(), |r, c| {
+        ((r * w.cols() + c) as f64 * 0.031).sin()
+    });
     let cfg = EngineConfig::paper_default();
     let oracle = Engine::Reference.run(&x, &Weights::Uniform(&u), &cfg);
     let scale = oracle.frob_norm() / (oracle.rows() * oracle.cols()) as f64;

@@ -70,8 +70,14 @@ fn fig13_area_efficiency_up_to_1_5x_over_figna_sub4() {
     let q3 = at(SimEngine::FiglutI, 3.0) / at(SimEngine::Figna, 3.0);
     let q2 = at(SimEngine::FiglutI, 2.0) / at(SimEngine::Figna, 2.0);
     assert!(q4 > 1.0, "Q4 area-efficiency ratio {q4}");
-    assert!(q3 > q4 && q2 > q3, "gain should grow as bits shrink: {q4} {q3} {q2}");
-    assert!((1.2..2.6).contains(&q3), "Q3 ratio {q3} (paper: up to ~1.5x)");
+    assert!(
+        q3 > q4 && q2 > q3,
+        "gain should grow as bits shrink: {q4} {q3} {q2}"
+    );
+    assert!(
+        (1.2..2.6).contains(&q3),
+        "Q3 ratio {q3} (paper: up to ~1.5x)"
+    );
 }
 
 #[test]
@@ -142,7 +148,10 @@ fn mixed_precision_only_on_bit_serial() {
     // flat below Q4 while FIGLUT's scales.
     let f2 = tops_per_w(SimEngine::Figna, 2.0);
     let f4 = tops_per_w(SimEngine::Figna, 4.0);
-    assert!((f2 / f4 - 1.0).abs() < 0.02, "FIGNA should be flat: {f2} {f4}");
+    assert!(
+        (f2 / f4 - 1.0).abs() < 0.02,
+        "FIGNA should be flat: {f2} {f4}"
+    );
     let l2 = tops_per_w(SimEngine::FiglutI, 2.0);
     let l4 = tops_per_w(SimEngine::FiglutI, 4.0);
     assert!(l2 > 1.5 * l4, "FIGLUT should scale: {l2} vs {l4}");

@@ -1,0 +1,185 @@
+#![warn(missing_docs)]
+
+//! Vendored, API-compatible **subset** of the `criterion` crate.
+//!
+//! This workspace must build with no network access (see DESIGN.md §5), so
+//! the `benches/` targets link against this shim instead of crates.io
+//! criterion. It implements exactly the surface those benches use —
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a deliberately simple measurement loop:
+//! warm-up, then geometrically growing batches until a batch runs for at
+//! least ~20 ms, reporting mean wall-clock time per iteration.
+//!
+//! There are no statistical comparisons, plots, or saved baselines. The
+//! numbers are honest but coarse; for publication-grade measurements swap
+//! the real criterion back in when a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named collection of benchmarks, printed under a common heading.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measure `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: None };
+        f(&mut bencher);
+        self.report(&id, bencher.ns_per_iter);
+        self
+    }
+
+    /// Measure `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { ns_per_iter: None };
+        f(&mut bencher, input);
+        self.report(&id, bencher.ns_per_iter);
+        self
+    }
+
+    /// Finish the group (upstream consumes `self`; so do we).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, ns_per_iter: Option<f64>) {
+        match ns_per_iter {
+            Some(ns) => println!("  {}/{:<28} {}", self.name, id.label, format_ns(ns)),
+            None => println!("  {}/{:<28} (no measurement)", self.name, id.label),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, storing mean nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 22 {
+                self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

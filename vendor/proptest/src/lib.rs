@@ -1,0 +1,220 @@
+#![warn(missing_docs)]
+
+//! Vendored, API-compatible **subset** of the `proptest` crate.
+//!
+//! This workspace must build with no network access (see DESIGN.md §5), so
+//! instead of depending on crates.io we ship the slice of proptest's API that
+//! the workspace's property tests actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`Strategy`](strategy::Strategy) with `prop_map` / `prop_flat_map`,
+//! * `any::<T>()` for the primitive integer types and `bool`,
+//! * integer and float range strategies, tuple strategies, and
+//!   [`collection::vec`].
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. On failure the macro panics with the generated inputs
+//! (every strategy value is `Debug`), the case number, and the assertion
+//! message, which is enough to reproduce because generation is fully
+//! deterministic: the RNG is seeded from the test's name, so a failing case
+//! fails identically on every machine and every run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The most commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-style access to strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Reject the current test case unless `cond` holds.
+///
+/// Rejected cases are not counted towards the configured case total; the
+/// runner keeps generating until enough cases pass or the global rejection
+/// cap is hit.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assume failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::std::stringify!($cond),
+                    ::std::format_args!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: left = {:?}, right = {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: left = {:?}, right = {:?}: {}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    r,
+                    ::std::format_args!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`: both = {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`: both = {:?}: {}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    ::std::format_args!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Define property tests.
+///
+/// Mirrors the upstream macro: an optional `#![proptest_config(expr)]` inner
+/// attribute followed by `#[test] fn name(arg in strategy, ..) { body }`
+/// items. Each generated test draws its arguments from the listed strategies
+/// and runs the body for the configured number of cases.
+///
+/// Unlike upstream, arguments are drawn left-to-right from one RNG stream,
+/// so a later strategy expression may refer to earlier argument names.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                $crate::test_runner::run(
+                    &($config),
+                    ::std::stringify!($name),
+                    |__rng: &mut $crate::test_runner::TestRng| {
+                        // Keep a snapshot so the (rare) failure path can
+                        // re-draw the same values for the error message;
+                        // passing cases never pay for Debug-formatting.
+                        let __rng_at_case_start = __rng.clone();
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::new_value(&($strategy), __rng);
+                        )+
+                        let __outcome: ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                        __outcome.map_err(|__e| {
+                            let mut __rng = __rng_at_case_start;
+                            let mut __s = ::std::string::String::new();
+                            $(
+                                let $arg = $crate::strategy::Strategy::new_value(
+                                    &($strategy),
+                                    &mut __rng,
+                                );
+                                __s.push_str(::std::stringify!($arg));
+                                __s.push_str(" = ");
+                                __s.push_str(&::std::format!("{:?}; ", &$arg));
+                            )+
+                            __e.with_input(&__s)
+                        })
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

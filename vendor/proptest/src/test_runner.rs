@@ -1,0 +1,156 @@
+//! Deterministic test runner: configuration, RNG, and case outcomes.
+
+/// Per-`proptest!` configuration. Only the fields the workspace uses.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of *passing* cases required for the test to succeed.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run before
+    /// the test is treated as unsatisfiable and fails.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    ///
+    /// The `PROPTEST_CASES` environment variable, when set to a positive
+    /// integer, overrides the requested count (useful to shorten CI runs).
+    pub fn with_cases(cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(cases);
+        Config {
+            cases,
+            max_global_rejects: cases.saturating_mul(64).saturating_add(1024),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::with_cases(256)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Attach the generated-input description to a failure message.
+    pub fn with_input(self, desc: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => TestCaseError::Fail(format!("{msg}\n    inputs: {desc}")),
+            reject => reject,
+        }
+    }
+}
+
+/// A small, fast, deterministic RNG (SplitMix64).
+///
+/// Quality is far beyond what the strategies here need, the stream is
+/// identical on every platform, and there is no global state: each test gets
+/// its own stream seeded from its name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a stream deterministically from the test name.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, mixed with an arbitrary odd constant so an
+        // empty name still yields a well-mixed state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses rejection sampling on the top bits, so there is no modulo bias.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "empty range passed to a proptest strategy");
+        // Sample 128 bits from two 64-bit draws; reject the tail that would
+        // bias the modulo. For every bound the workspace uses, the rejection
+        // probability is astronomically small.
+        let zone = u128::MAX - (u128::MAX % bound + 1) % bound;
+        loop {
+            let hi = self.next_u64() as u128;
+            let lo = self.next_u64() as u128;
+            let x = (hi << 64) | lo;
+            if x <= zone || zone == u128::MAX {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drive one property: generate cases until `config.cases` pass, a case
+/// fails, or the rejection cap trips. Panics (like `assert!`) on failure so
+/// the standard test harness reports it.
+pub fn run<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passing cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {} (of {}):\n    {msg}",
+                    passed + 1,
+                    config.cases
+                );
+            }
+        }
+    }
+}

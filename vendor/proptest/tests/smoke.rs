@@ -1,0 +1,117 @@
+//! Self-tests for the vendored proptest shim: the harness must actually run
+//! bodies, report failures, honor rejection, and stay deterministic —
+//! otherwise every property test in the workspace would be vacuous.
+
+use proptest::prelude::*;
+use proptest::test_runner::{run, Config, TestCaseError, TestRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A config with an exact case count, immune to the `PROPTEST_CASES`
+/// override that `Config::with_cases` honors (these tests assert counts).
+fn exactly(cases: u32) -> Config {
+    Config {
+        cases,
+        max_global_rejects: cases * 64,
+    }
+}
+
+#[test]
+fn runs_exactly_the_configured_number_of_cases() {
+    let counter = AtomicU32::new(0);
+    run(&exactly(37), "count_cases", |_rng| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 37);
+}
+
+#[test]
+fn failing_case_panics_with_inputs() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&exactly(10), "always_fails", |_rng| {
+            Err(TestCaseError::fail("boom").with_input("x = 42; "))
+        });
+    }));
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("boom"), "missing message: {msg}");
+    assert!(msg.contains("x = 42"), "missing inputs: {msg}");
+}
+
+#[test]
+fn rejections_do_not_count_as_cases_but_are_bounded() {
+    // Rejecting forever must trip the cap instead of spinning.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run(&exactly(5), "always_rejects", |_rng| {
+            Err(TestCaseError::reject("nope"))
+        });
+    }));
+    assert!(result.is_err(), "unbounded rejection loop did not trip");
+}
+
+#[test]
+fn rng_is_deterministic_per_name_and_distinct_across_names() {
+    let mut a1 = TestRng::deterministic("alpha");
+    let mut a2 = TestRng::deterministic("alpha");
+    let mut b = TestRng::deterministic("beta");
+    let s1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+    let s2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+    let s3: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+    assert_eq!(s1, s2);
+    assert_ne!(s1, s3);
+}
+
+#[test]
+fn range_strategies_respect_bounds() {
+    let mut rng = TestRng::deterministic("bounds");
+    for _ in 0..2000 {
+        let v = (1u32..=8).new_value(&mut rng);
+        assert!((1..=8).contains(&v));
+        let w = (-1000i32..1000).new_value(&mut rng);
+        assert!((-1000..1000).contains(&w));
+        let x = (-1e4f64..1e4).new_value(&mut rng);
+        assert!((-1e4..1e4).contains(&x));
+        let l = prop::collection::vec(any::<bool>(), 3..7).new_value(&mut rng);
+        assert!((3..7).contains(&l.len()));
+        let e = prop::collection::vec(any::<u8>(), 4).new_value(&mut rng);
+        assert_eq!(e.len(), 4);
+    }
+}
+
+#[test]
+fn full_domain_strategies_cover_extremes_eventually() {
+    // 16-bit domain, 200k draws: every value class should appear.
+    let mut rng = TestRng::deterministic("coverage");
+    let mut seen_zero = false;
+    let mut seen_max = false;
+    for _ in 0..200_000 {
+        let v = any::<u16>().new_value(&mut rng);
+        seen_zero |= v == 0;
+        seen_max |= v == u16::MAX;
+    }
+    assert!(seen_zero && seen_max, "u16 domain not covered");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn macro_binds_args_sequentially(n in 1usize..16, xs in prop::collection::vec(0u8.., 8)) {
+        // A later arg may use an earlier one; here we just exercise the
+        // multi-arg path end to end, including prop_assume and prop_assert.
+        prop_assume!(n != 13);
+        prop_assert_eq!(xs.len(), 8);
+        prop_assert!(n < 16, "n = {}", n);
+        prop_assert_ne!(n, 13);
+    }
+
+    #[test]
+    fn flat_map_and_map_compose(v in (1usize..5).prop_flat_map(|n| {
+        prop::collection::vec(-1.0f64..1.0, n).prop_map(move |xs| (n, xs))
+    })) {
+        prop_assert_eq!(v.0, v.1.len());
+        for x in &v.1 {
+            prop_assert!((-1.0..1.0).contains(x));
+        }
+    }
+}
