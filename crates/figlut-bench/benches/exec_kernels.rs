@@ -1,0 +1,62 @@
+//! Packed execution backend benchmarks: the `figlut-exec` kernels against
+//! the bit-accurate FIGLUT-I datapath model, plus packing and thread
+//! scaling (the software counterpart of `repro ext-throughput`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use figlut_exec::{exec_f_threads, exec_i_threads, PackedBcq};
+use figlut_gemm::{figlut, EngineConfig};
+use figlut_num::Mat;
+use figlut_quant::bcq::BcqWeight;
+use figlut_quant::uniform::{rtn, RtnParams};
+
+fn problem(m: usize, n: usize, batch: usize) -> (Mat<f64>, BcqWeight) {
+    let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
+    let u = rtn(&w, RtnParams::grouped(4, 128));
+    let x = Mat::from_fn(batch, n, |b, c| ((b * n + c) as f64 * 0.059).cos());
+    (x, BcqWeight::from_uniform(&u))
+}
+
+fn bench_exec_vs_model(c: &mut Criterion) {
+    let (x, bcq) = problem(256, 512, 4);
+    let packed = PackedBcq::pack(&bcq);
+    let cfg = EngineConfig::paper_default();
+    let mut g = c.benchmark_group("gemm_256x512_q4_b4");
+    g.bench_function("model_gemm_i", |b| {
+        b.iter(|| black_box(figlut::gemm_i(&x, &bcq, &cfg)))
+    });
+    g.bench_function("exec_i_1t", |b| {
+        b.iter(|| black_box(exec_i_threads(&x, &packed, &cfg, 1)))
+    });
+    g.bench_function("exec_f_1t", |b| {
+        b.iter(|| black_box(exec_f_threads(&x, &packed, &cfg, 1)))
+    });
+    g.finish();
+}
+
+fn bench_exec_thread_scaling(c: &mut Criterion) {
+    let (x, bcq) = problem(1024, 1024, 8);
+    let packed = PackedBcq::pack(&bcq);
+    let cfg = EngineConfig::paper_default();
+    let mut g = c.benchmark_group("exec_i_1024x1024_threads");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(exec_i_threads(&x, &packed, &cfg, t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let (_, bcq) = problem(1024, 1024, 1);
+    let mut g = c.benchmark_group("pack_1024x1024_q4");
+    g.bench_function("pack", |b| b.iter(|| black_box(PackedBcq::pack(&bcq))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exec_vs_model,
+    bench_exec_thread_scaling,
+    bench_packing
+);
+criterion_main!(benches);

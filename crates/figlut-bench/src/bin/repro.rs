@@ -1,33 +1,56 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro                # run everything
-//! repro fig16 table5   # run specific experiments
-//! repro calibration    # cost-model calibration report
-//! repro --list         # list experiment ids
+//! repro                          # run everything
+//! repro fig16 table5             # run specific experiments
+//! repro calibration              # cost-model calibration report
+//! repro --out-dir /tmp/r fig16   # write CSVs somewhere else
+//! repro --list                   # list experiment ids
 //! ```
 //!
-//! Output: aligned text tables on stdout, CSVs under `results/`.
+//! Output: aligned text tables on stdout, CSVs under `--out-dir` (default
+//! `results/`, created if absent).
 
 use figlut_bench::{run, EXPERIMENTS};
 use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let results = PathBuf::from("results");
-    if args.iter().any(|a| a == "--list") {
-        for e in EXPERIMENTS {
-            println!("{e}");
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                println!("calibration");
+                return;
+            }
+            "--out-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --out-dir needs a directory argument");
+                    std::process::exit(2);
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag '{other}' (try --list or --out-dir <dir>)");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
         }
-        println!("calibration");
-        return;
     }
-    if args.is_empty() {
-        run("all", &results);
-        run("calibration", &results);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    if ids.is_empty() {
+        run("all", &out_dir);
+        run("calibration", &out_dir);
     } else {
-        for a in &args {
-            run(a, &results);
+        for a in &ids {
+            run(a, &out_dir);
         }
     }
 }

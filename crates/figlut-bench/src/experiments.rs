@@ -33,7 +33,7 @@ use std::path::Path;
 
 /// All experiment ids, in paper order, plus the reproduction's extensions
 /// (`ablation`, `ext-node`, `ext-prefill` are not in the paper).
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "table1",
     "fig1",
     "fig2",
@@ -55,6 +55,7 @@ pub const EXPERIMENTS: [&str; 21] = [
     "ext-node",
     "ext-prefill",
     "ext-quant",
+    "ext-throughput",
 ];
 
 /// Run one experiment (or `"all"`), printing tables and writing CSVs to
@@ -100,6 +101,7 @@ fn dispatch(id: &str) -> Vec<(String, Table)> {
         "ext-node" => ext_node(),
         "ext-prefill" => ext_prefill(),
         "ext-quant" => ext_quant(),
+        "ext-throughput" => ext_throughput(),
         other => panic!("unknown experiment '{other}' (try one of {EXPERIMENTS:?} or 'all')"),
     }
 }
@@ -864,6 +866,91 @@ fn ext_quant() -> Vec<(String, Table)> {
     t.note("expected: calibrated methods beat RTN; BCQ's non-uniform grid is the");
     t.note("most robust at 2 bits (why the paper pairs FIGLUT with ShiftAddLLM)");
     vec![("ext_quant".into(), t)]
+}
+
+fn ext_throughput() -> Vec<(String, Table)> {
+    // Extension: host-side software throughput of the packed figlut-exec
+    // backend vs the bit-accurate FIGLUT-I datapath model, on the real
+    // OPT-1.3B decode GEMM set (batch 32, Q4, µ = 4). "GF/s" counts the
+    // effective FLOPs of the FP GEMM being replaced (2·batch·m·n), the
+    // usual accounting for weight-only-quantized kernels. The datapath
+    // model's rate is measured at batch 2 (its per-row cost is linear in
+    // batch; running it at batch 32 would take minutes by design — it is a
+    // correctness model, which is the point of this table).
+    use figlut_exec::{exec_i_threads, PackedBcq};
+    use std::time::Instant;
+
+    let opt = by_name("OPT-1.3B").unwrap();
+    let d = opt.d_model;
+    let shapes: [(&str, usize, usize); 3] = [
+        ("QKV/out proj", d, d),
+        ("FFN up", opt.ffn, d),
+        ("FFN down", d, opt.ffn),
+    ];
+    let batch = 32usize;
+    let model_batch = 2usize;
+    let threads = figlut_exec::parallel::thread_count();
+    let cfg = EngineConfig::paper_default();
+
+    let mut t = Table::new(
+        format!(
+            "Extension — exec backend throughput vs FIGLUT-I datapath model \
+             (OPT-1.3B decode, batch {batch}, Q4, mu=4, {threads} threads)"
+        ),
+        &[
+            "GEMM (m x n)",
+            "model GF/s",
+            "exec 1T GF/s",
+            "speedup 1T",
+            "exec NT GF/s",
+            "speedup NT",
+        ],
+    );
+    let mut min_speedup_1t = f64::INFINITY;
+    for (name, m, n) in shapes {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
+        let u = rtn(&w, RtnParams::grouped(4, 128));
+        let bcq = BcqWeight::from_uniform(&u);
+        let packed = PackedBcq::pack(&bcq);
+        let x = Mat::from_fn(batch, n, |b, c| ((b * n + c) as f64 * 0.059).cos());
+        let xm = Mat::from_fn(model_batch, n, |b, c| x[(b, c)]);
+
+        let gf = |rows: usize, secs: f64| 2.0 * (rows * m * n) as f64 / secs / 1e9;
+        let started = Instant::now();
+        let ym = figlut_gemm::figlut::gemm_i(&xm, &bcq, &cfg);
+        let model_rate = gf(model_batch, started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let y1 = exec_i_threads(&x, &packed, &cfg, 1);
+        let exec1_rate = gf(batch, started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let yn = exec_i_threads(&x, &packed, &cfg, threads);
+        let execn_rate = gf(batch, started.elapsed().as_secs_f64());
+
+        // Differential guard: this is a *benchmark of the same bits*.
+        assert_eq!(y1.as_slice(), yn.as_slice(), "{name}: thread divergence");
+        for b in 0..model_batch {
+            assert_eq!(ym.row(b), y1.row(b), "{name}: exec != model");
+        }
+
+        min_speedup_1t = min_speedup_1t.min(exec1_rate / model_rate);
+        t.row(vec![
+            format!("{name} ({m} x {n})"),
+            f3(model_rate),
+            f3(exec1_rate),
+            ratio(exec1_rate / model_rate),
+            f3(execn_rate),
+            ratio(execn_rate / model_rate),
+        ]);
+    }
+    t.note(format!(
+        "minimum single-thread speedup over the datapath model: {}",
+        ratio(min_speedup_1t)
+    ));
+    t.note("timings are host-dependent; outputs are asserted bit-identical across");
+    t.note("backend, batch subset, and thread count before any rate is reported");
+    vec![("ext_throughput".into(), t)]
 }
 
 /// `repro calibration` — the achieved values of every calibration target

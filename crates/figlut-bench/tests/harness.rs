@@ -45,7 +45,8 @@ fn experiment_registry_is_complete() {
     // unknown ids panic with a helpful message.
     assert!(EXPERIMENTS.contains(&"table5"));
     assert!(EXPERIMENTS.contains(&"fig17"));
-    assert_eq!(EXPERIMENTS.len(), 21);
+    assert!(EXPERIMENTS.contains(&"ext-throughput"));
+    assert_eq!(EXPERIMENTS.len(), 22);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

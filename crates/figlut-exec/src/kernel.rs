@@ -1,0 +1,696 @@
+//! Cache-blocked LUT-GEMM kernels over [`PackedBcq`] weights.
+//!
+//! Both kernels follow the FIGLUT pipeline: per activation row, precompute
+//! one flat FFLUT per µ-column window ([`crate::lut`]); then every output
+//! row *reads* its µ-bit weight keys out of the packed bit-planes instead
+//! of multiplying. Work is blocked three ways:
+//!
+//! * **row panels** — output rows are split into contiguous panels, one per
+//!   worker thread ([`crate::parallel`]);
+//! * **sub-panels** — each worker walks its rows in fixed
+//!   `PANEL_ROWS`-row blocks so the per-row partial accumulators stay
+//!   resident while a table tile streams through them;
+//! * **k-tiles** — windows are visited in cache-sized tiles
+//!   (`tile_windows`), swept across the whole sub-panel before moving
+//!   on, so table reads stay cache-resident while plane bits stream
+//!   sequentially.
+//!
+//! When µ divides both 64 and the scale-group size — which covers the
+//! paper's operating point (µ = 4) and every power-of-two config — windows
+//! are contiguous µ-bit fields of the packed words, and a monomorphized
+//! fast path (`tile_pass_fast`) extracts keys by shifting one `u64` at a
+//! time, with no per-window descriptors, branches, or bounds checks in the
+//! lookup loop. Ragged group tails and odd µ fall back to the generic
+//! descriptor walk (`tile_pass_generic`).
+//!
+//! [`exec_i`] reproduces the *exact* arithmetic of the FIGLUT-I datapath
+//! model: the same pre-alignment ([`AlignedVector`]), exact integer window
+//! sums (associativity makes the blocking invisible), and the same
+//! FP32-rounded fold sequence (`figlut_gemm::ifpu::fold_partial`) per `(group, plane)` in
+//! the same order — so its output is bit-identical to
+//! `figlut_gemm::figlut::gemm_i` (and therefore to iFPU; DESIGN.md §3).
+//! [`exec_f`] accumulates window partials in native `f64` in a fixed
+//! (window-order) sequence, so it tracks `figlut_gemm::figlut::gemm_f` to
+//! within the scale-aware tolerance the property tests assert, at much
+//! higher throughput.
+
+use crate::lut::{windows, FlatLuts, Window};
+use crate::packed::PackedBcq;
+use crate::parallel::{run_row_panels, thread_count};
+use figlut_gemm::common::{add32, mul32};
+use figlut_gemm::ifpu::fold_partial;
+use figlut_gemm::EngineConfig;
+use figlut_num::align::AlignedVector;
+use figlut_num::Mat;
+
+/// Rows per sub-panel: bounds the live partial-accumulator footprint
+/// (`PANEL_ROWS × groups × q` scalars) independently of the thread count.
+const PANEL_ROWS: usize = 64;
+
+/// Windows per k-tile, sized so one tile's tables stay around 256 KiB
+/// (assuming 8-byte entries; half that on the narrowed integer path) —
+/// comfortably L2-resident next to the streaming plane words, and each
+/// tile is reused across the whole sub-panel (`PANEL_ROWS × q` passes)
+/// before the next tile streams in. Measured on the OPT decode shapes,
+/// smaller (L1-sized) tiles lose to per-pass loop overhead and larger
+/// ones thrash L2 once k·2^µ tables outgrow it. Always a multiple of the
+/// windows-per-word count for every µ dividing 64.
+fn tile_windows(mu: u32) -> usize {
+    (262144usize >> (mu + 3)).max(4)
+}
+
+/// Accumulator `Self` absorbing table entries of type `E`. Decoupling the
+/// two lets `exec_i` keep exact `i64` group partials while reading *narrow*
+/// `i32` tables — half the bytes per lookup, which matters because large-k
+/// shapes are bound by table-read bandwidth, not arithmetic. Sign extension
+/// is exact, so narrowing never changes a result (the build site proves the
+/// no-overflow bound first).
+trait Accum<E: Copy>: Copy + Default {
+    /// Fold one table entry into the accumulator.
+    fn absorb(&mut self, e: E);
+    /// Fold another accumulator (a completed window sum) into this one.
+    fn merge(&mut self, other: Self);
+}
+impl Accum<i64> for i64 {
+    #[inline(always)]
+    fn absorb(&mut self, e: i64) {
+        *self += e;
+    }
+    #[inline(always)]
+    fn merge(&mut self, other: i64) {
+        *self += other;
+    }
+}
+impl Accum<i32> for i64 {
+    #[inline(always)]
+    fn absorb(&mut self, e: i32) {
+        *self += e as i64;
+    }
+    #[inline(always)]
+    fn merge(&mut self, other: i64) {
+        *self += other;
+    }
+}
+impl Accum<f64> for f64 {
+    #[inline(always)]
+    fn absorb(&mut self, e: f64) {
+        *self += e;
+    }
+    #[inline(always)]
+    fn merge(&mut self, other: f64) {
+        *self += other;
+    }
+}
+
+/// Fast tile pass for contiguous full-width windows (`µ | 64` and
+/// `µ | group_size`): walk the packed words of one plane row, peel µ-bit
+/// keys by shifting, and accumulate each scale group's window reads into a
+/// scalar before spilling to `prow[group·q + plane]`.
+///
+/// `win_lo` must be word-aligned (a multiple of `64/MU`), which
+/// [`tile_windows`] guarantees for tile boundaries.
+#[allow(clippy::too_many_arguments)]
+fn tile_pass_fast<E: Copy, A: Accum<E>, const MU: usize>(
+    words: &[u64],
+    entries: &[E],
+    win_lo: usize,
+    win_hi: usize,
+    wpg: usize,
+    plane: usize,
+    q: usize,
+    prow: &mut [A],
+) {
+    if win_hi == win_lo {
+        return;
+    }
+    let kpw = 64 / MU; // windows (keys) per packed word
+    let stride = 1usize << MU;
+    let mask = stride - 1;
+    let mut tables = entries[win_lo * stride..win_hi * stride].chunks_exact(stride);
+    let mut g = win_lo / wpg;
+    let mut left = wpg - (win_lo % wpg);
+    let mut acc = A::default();
+    let mut remaining = win_hi - win_lo;
+    for &wordv in &words[win_lo / kpw..(win_hi).div_ceil(kpw)] {
+        let mut bits = wordv;
+        for table in tables.by_ref().take(kpw.min(remaining)) {
+            let key = (bits as usize) & mask;
+            bits >>= MU;
+            acc.absorb(table[key]);
+            left -= 1;
+            if left == 0 {
+                prow[g * q + plane].merge(acc);
+                acc = A::default();
+                g += 1;
+                left = wpg;
+            }
+        }
+        remaining = remaining.saturating_sub(kpw);
+    }
+    // Tile ended mid-group: spill the partial group sum.
+    if left != wpg {
+        prow[g * q + plane].merge(acc);
+    }
+}
+
+/// [`tile_pass_fast`] over a *pair* of output rows sharing one table
+/// walk. The two rows' accumulator chains are independent, so the CPU can
+/// keep twice as many table loads in flight — the single-row pass is bound
+/// by its serial `acc += table[key]` dependency chain, not by arithmetic —
+/// and each streamed table line is reused by both rows while resident.
+#[allow(clippy::too_many_arguments)]
+fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize>(
+    words0: &[u64],
+    words1: &[u64],
+    entries: &[E],
+    win_lo: usize,
+    win_hi: usize,
+    wpg: usize,
+    plane: usize,
+    q: usize,
+    prow0: &mut [A],
+    prow1: &mut [A],
+) {
+    if win_hi == win_lo {
+        return;
+    }
+    let kpw = 64 / MU;
+    let stride = 1usize << MU;
+    let mask = stride - 1;
+    let mut tables = entries[win_lo * stride..win_hi * stride].chunks_exact(stride);
+    let mut g = win_lo / wpg;
+    let mut left = wpg - (win_lo % wpg);
+    let mut acc0 = A::default();
+    let mut acc1 = A::default();
+    let mut remaining = win_hi - win_lo;
+    let lo = win_lo / kpw;
+    let hi = win_hi.div_ceil(kpw);
+    for (&w0, &w1) in words0[lo..hi].iter().zip(&words1[lo..hi]) {
+        let mut bits0 = w0;
+        let mut bits1 = w1;
+        for table in tables.by_ref().take(kpw.min(remaining)) {
+            let k0 = (bits0 as usize) & mask;
+            let k1 = (bits1 as usize) & mask;
+            bits0 >>= MU;
+            bits1 >>= MU;
+            acc0.absorb(table[k0]);
+            acc1.absorb(table[k1]);
+            left -= 1;
+            if left == 0 {
+                prow0[g * q + plane].merge(acc0);
+                prow1[g * q + plane].merge(acc1);
+                acc0 = A::default();
+                acc1 = A::default();
+                g += 1;
+                left = wpg;
+            }
+        }
+        remaining = remaining.saturating_sub(kpw);
+    }
+    if left != wpg {
+        prow0[g * q + plane].merge(acc0);
+        prow1[g * q + plane].merge(acc1);
+    }
+}
+
+/// Generic tile pass: per-window descriptors, arbitrary widths/starts
+/// (ragged group tails, µ ∤ 64).
+#[allow(clippy::too_many_arguments)]
+fn tile_pass_generic<E: Copy, A: Accum<E>>(
+    words: &[u64],
+    entries: &[E],
+    shift: u32,
+    tile: &[Window],
+    win_lo: usize,
+    plane: usize,
+    q: usize,
+    prow: &mut [A],
+) {
+    for (wo, win) in tile.iter().enumerate() {
+        let start = win.start as usize;
+        let wi = start >> 6;
+        let off = (start & 63) as u32;
+        let mut bits = words[wi] >> off;
+        if off + win.width > 64 {
+            // width ≤ 8 ⇒ off ≥ 57 here, so the shift below is < 64.
+            bits |= words[wi + 1] << (64 - off);
+        }
+        let key = (bits as usize) & ((1usize << win.width) - 1);
+        prow[win.group as usize * q + plane].absorb(entries[((win_lo + wo) << shift) | key]);
+    }
+}
+
+/// Accumulate all window partials of rows `r0..r0+rows` for one batch row:
+/// the shared tile walk of both kernels. `partials` is `rows × groups × q`
+/// in `[row][group][plane]` order.
+fn accumulate_panel<E: Copy, A: Accum<E>>(
+    w: &PackedBcq,
+    wins: &[Window],
+    luts: &FlatLuts<E>,
+    r0: usize,
+    rows: usize,
+    partials: &mut [A],
+) {
+    let q = w.bits();
+    let gq = w.groups() * q;
+    let shift = luts.mu();
+    let mu = shift as usize;
+    let entries = luts.entries();
+    let gs = w.group_size();
+    let fast = 64 % mu == 0 && gs.is_multiple_of(mu);
+    let wpg = gs / mu; // windows per group (fast path only)
+    let tile = tile_windows(shift);
+    for (t, tile_wins) in wins.chunks(tile).enumerate() {
+        let win_lo = t * tile;
+        let win_hi = win_lo + tile_wins.len();
+        if fast {
+            // Row pairs: two independent accumulator chains per pass hide
+            // table-read latency (see [`tile_pass_fast2`]); a ragged last
+            // row falls back to the single-row pass.
+            let mut pairs = partials[..rows * gq].chunks_mut(2 * gq);
+            let mut ri = 0;
+            for chunk in pairs.by_ref() {
+                if chunk.len() == 2 * gq {
+                    let (p0, p1) = chunk.split_at_mut(gq);
+                    let (ra, rb) = (r0 + ri, r0 + ri + 1);
+                    for i in 0..q {
+                        let (w0, w1) = (w.plane_row(i, ra), w.plane_row(i, rb));
+                        match mu {
+                            1 => tile_pass_fast2::<E, A, 1>(
+                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
+                            ),
+                            2 => tile_pass_fast2::<E, A, 2>(
+                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
+                            ),
+                            4 => tile_pass_fast2::<E, A, 4>(
+                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
+                            ),
+                            8 => tile_pass_fast2::<E, A, 8>(
+                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
+                            ),
+                            _ => unreachable!("64 % µ == 0 with µ ∈ 1..=8"),
+                        }
+                    }
+                } else {
+                    // Odd tail row.
+                    let prow = &mut chunk[..gq];
+                    let r = r0 + ri;
+                    for i in 0..q {
+                        let words = w.plane_row(i, r);
+                        match mu {
+                            1 => tile_pass_fast::<E, A, 1>(
+                                words, entries, win_lo, win_hi, wpg, i, q, prow,
+                            ),
+                            2 => tile_pass_fast::<E, A, 2>(
+                                words, entries, win_lo, win_hi, wpg, i, q, prow,
+                            ),
+                            4 => tile_pass_fast::<E, A, 4>(
+                                words, entries, win_lo, win_hi, wpg, i, q, prow,
+                            ),
+                            8 => tile_pass_fast::<E, A, 8>(
+                                words, entries, win_lo, win_hi, wpg, i, q, prow,
+                            ),
+                            _ => unreachable!("64 % µ == 0 with µ ∈ 1..=8"),
+                        }
+                    }
+                }
+                ri += 2;
+            }
+        } else {
+            for (ri, prow) in partials.chunks_mut(gq).take(rows).enumerate() {
+                let r = r0 + ri;
+                for i in 0..q {
+                    let words = w.plane_row(i, r);
+                    tile_pass_generic(words, entries, shift, tile_wins, win_lo, i, q, prow);
+                }
+            }
+        }
+    }
+}
+
+/// One worker's share of `exec_i`: sub-panel blocks of integer partials,
+/// then the datapath model's exact FP32-rounded fold per output row.
+fn panel_i<E: Copy>(
+    w: &PackedBcq,
+    wins: &[Window],
+    luts: &FlatLuts<E>,
+    gsum_fold: &[f64],
+    lambda: f64,
+    r0: usize,
+    panel: &mut [f64],
+) where
+    i64: Accum<E>,
+{
+    let q = w.bits();
+    let groups = w.groups();
+    let gq = groups * q;
+    let mut partials = vec![0i64; PANEL_ROWS.min(panel.len()) * gq];
+    for (s, sub) in panel.chunks_mut(PANEL_ROWS).enumerate() {
+        let sr0 = r0 + s * PANEL_ROWS;
+        let partials = &mut partials[..sub.len() * gq];
+        partials.fill(0);
+        accumulate_panel(w, wins, luts, sr0, sub.len(), partials);
+        // Fold in exactly the datapath model's order — per group, plane
+        // partials then the offset term, via the model's own
+        // `fold_partial`; the row-invariant `mul32(Σx, λ)` of the offset
+        // term arrives pre-folded in `gsum_fold`, so its fold stays
+        // open-coded.
+        for (ri, out) in sub.iter_mut().enumerate() {
+            let r = sr0 + ri;
+            let scales = w.row_scales(r);
+            let prow = &partials[ri * gq..(ri + 1) * gq];
+            let mut acc = 0.0;
+            if w.has_offset() {
+                let zs = w.row_offsets(r);
+                for g in 0..groups {
+                    for i in 0..q {
+                        acc = fold_partial(acc, scales[g * q + i], prow[g * q + i] as i128, lambda);
+                    }
+                    acc = add32(acc, mul32(zs[g], gsum_fold[g]));
+                }
+            } else {
+                for (&a, &p) in scales.iter().zip(prow) {
+                    acc = fold_partial(acc, a, p as i128, lambda);
+                }
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// One worker's share of `exec_f`: f64 partials, plain f64 fold.
+fn panel_f(
+    w: &PackedBcq,
+    wins: &[Window],
+    luts: &FlatLuts<f64>,
+    gsum: &[f64],
+    r0: usize,
+    panel: &mut [f64],
+) {
+    let q = w.bits();
+    let groups = w.groups();
+    let gq = groups * q;
+    let mut partials = vec![0.0f64; PANEL_ROWS.min(panel.len()) * gq];
+    for (s, sub) in panel.chunks_mut(PANEL_ROWS).enumerate() {
+        let sr0 = r0 + s * PANEL_ROWS;
+        let partials = &mut partials[..sub.len() * gq];
+        partials.fill(0.0);
+        accumulate_panel(w, wins, luts, sr0, sub.len(), partials);
+        for (ri, out) in sub.iter_mut().enumerate() {
+            let r = sr0 + ri;
+            let scales = w.row_scales(r);
+            let prow = &partials[ri * gq..(ri + 1) * gq];
+            let mut acc = 0.0;
+            if w.has_offset() {
+                let zs = w.row_offsets(r);
+                for g in 0..groups {
+                    for i in 0..q {
+                        acc += scales[g * q + i] * prow[g * q + i];
+                    }
+                    acc += zs[g] * gsum[g];
+                }
+            } else {
+                for (&a, &p) in scales.iter().zip(prow) {
+                    acc += a * p;
+                }
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// The window width the kernels actually use. The datapath models read
+/// µ-wide windows because that is the hardware's LUT size; the *software*
+/// backend is free to widen them — per-(group, plane) partials are sums
+/// over whole groups, and integer addition is associative, so any window
+/// decomposition of a group yields bit-identical `exec_i` results (and
+/// `exec_f` stays within its tolerance). Wider windows halve or quarter
+/// the lookup count at the price of bigger tables; 8 (256-entry, 2 KiB
+/// tables) is the sweet spot, mirroring the paper's own µ-vs-table-power
+/// trade-off (Fig. 8). Falls back to the configured µ (generic descriptor
+/// walk) when the group size has no even divisor in range.
+fn effective_mu(gs: usize, cfg_mu: u32) -> usize {
+    for e in [8usize, 4, 2] {
+        if gs.is_multiple_of(e) {
+            return e;
+        }
+    }
+    cfg_mu as usize
+}
+
+/// Validate shapes/config shared by both kernels; returns `(batch, m, n)`.
+fn check(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> (usize, usize, usize) {
+    assert!((1..=8).contains(&cfg.mu), "µ = {} unsupported", cfg.mu);
+    let (batch, n) = x.shape();
+    let (m, wn) = w.shape();
+    assert_eq!(
+        n, wn,
+        "activation width {n} does not match weight reduction dim {wn}"
+    );
+    (batch, m, n)
+}
+
+/// FIGLUT-I fast path: `y = x·Wᵀ`, bit-identical to
+/// `figlut_gemm::figlut::gemm_i` (and hence to iFPU), using `threads`
+/// worker threads.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `µ ∉ 1..=8`.
+pub fn exec_i_threads(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig, threads: usize) -> Mat<f64> {
+    let (batch, m, n) = check(x, w, cfg);
+    let gs = w.group_size();
+    let groups = w.groups();
+    let mu = effective_mu(gs, cfg.mu);
+    let wins = windows(n, gs, mu);
+    let mut y = Mat::zeros(batch, m);
+    for b in 0..batch {
+        let xa: Vec<f64> = x.row(b).iter().map(|&v| cfg.act.quantize(v)).collect();
+        let aligned = AlignedVector::align(&xa, cfg.act, cfg.guard_bits, cfg.align);
+        let lambda = aligned.scale();
+        let mant = aligned.mantissas();
+        // Offset term Σx per group (the all-ones-key read of every
+        // window), pre-folded to `mul32(Σx·λ)` — it is identical for
+        // every output row.
+        let gsum_fold: Vec<f64> = (0..groups)
+            .map(|g| {
+                let p: i128 = mant[g * gs..(g + 1) * gs].iter().map(|&v| v as i128).sum();
+                mul32(p as f64, lambda)
+            })
+            .collect();
+        // Large-k shapes are bound by table-read bandwidth, so narrow the
+        // table entries to i32 whenever every window sum (and every build
+        // intermediate, all bounded by µ·max|mantissa|) provably fits.
+        // Sign extension is exact: both widths produce bit-identical
+        // results; the i64 path is kept for extreme activation ranges.
+        let maxm = mant.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+        if (mu as u64).saturating_mul(maxm) <= i32::MAX as u64 {
+            let m32: Vec<i32> = mant.iter().map(|&v| v as i32).collect();
+            let luts = FlatLuts::build(&m32, &wins, mu as u32);
+            run_row_panels(y.row_mut(b), threads, |r0, panel| {
+                panel_i(w, &wins, &luts, &gsum_fold, lambda, r0, panel);
+            });
+        } else {
+            let luts = FlatLuts::build(mant, &wins, mu as u32);
+            run_row_panels(y.row_mut(b), threads, |r0, panel| {
+                panel_i(w, &wins, &luts, &gsum_fold, lambda, r0, panel);
+            });
+        }
+    }
+    y
+}
+
+/// [`exec_i_threads`] with the default worker count
+/// ([`crate::parallel::thread_count`]; override via `FIGLUT_EXEC_THREADS`).
+pub fn exec_i(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> Mat<f64> {
+    exec_i_threads(x, w, cfg, thread_count())
+}
+
+/// FIGLUT-F fast path: `y = x·Wᵀ` with `f64` accumulation, tracking
+/// `figlut_gemm::figlut::gemm_f` within scale-aware tolerance, using
+/// `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `µ ∉ 1..=8`.
+pub fn exec_f_threads(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig, threads: usize) -> Mat<f64> {
+    let (batch, m, n) = check(x, w, cfg);
+    let gs = w.group_size();
+    let groups = w.groups();
+    let mu = effective_mu(gs, cfg.mu);
+    let wins = windows(n, gs, mu);
+    let mut y = Mat::zeros(batch, m);
+    for b in 0..batch {
+        let xa: Vec<f64> = x.row(b).iter().map(|&v| cfg.act.quantize(v)).collect();
+        let luts = FlatLuts::build(&xa, &wins, mu as u32);
+        let gsum: Vec<f64> = (0..groups)
+            .map(|g| xa[g * gs..(g + 1) * gs].iter().sum())
+            .collect();
+        run_row_panels(y.row_mut(b), threads, |r0, panel| {
+            panel_f(w, &wins, &luts, &gsum, r0, panel);
+        });
+    }
+    y
+}
+
+/// [`exec_f_threads`] with the default worker count
+/// ([`crate::parallel::thread_count`]; override via `FIGLUT_EXEC_THREADS`).
+pub fn exec_f(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> Mat<f64> {
+    exec_f_threads(x, w, cfg, thread_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_gemm::figlut::{gemm_f, gemm_i};
+    use figlut_quant::bcq::{BcqParams, BcqWeight};
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    fn setup(m: usize, n: usize, bits: u32) -> (Mat<f64>, BcqWeight) {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.201).sin() * 0.5);
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(bits));
+        let x = Mat::from_fn(3, n, |bb, c| ((bb * n + c) as f64 * 0.063).cos());
+        (x, b)
+    }
+
+    #[test]
+    fn exec_i_bit_identical_to_gemm_i() {
+        for (m, n, bits) in [(4, 32, 2), (6, 48, 3), (5, 130, 4), (1, 7, 1)] {
+            let (x, b) = setup(m, n, bits);
+            let cfg = EngineConfig::paper_default();
+            let p = PackedBcq::pack(&b);
+            for threads in [1usize, 3] {
+                let ye = exec_i_threads(&x, &p, &cfg, threads);
+                let ym = gemm_i(&x, &b, &cfg);
+                assert_eq!(
+                    ye.as_slice(),
+                    ym.as_slice(),
+                    "m={m} n={n} q={bits} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exec_i_bit_identical_all_mu() {
+        // Per-row scales (gs = 40, even): `effective_mu` widens every
+        // configured µ to 8, so all eight iterations take the fast path.
+        let (x, b) = setup(4, 40, 3);
+        let p = PackedBcq::pack(&b);
+        // gs = 15 (no even divisor): `effective_mu` keeps the configured
+        // µ, so µ ∈ {3, 5, 6, 7} (64 % µ ≠ 0) and µ ∈ {2, 4, 8}
+        // (15 % µ ≠ 0, ragged tails) all walk the generic descriptor
+        // path; only µ = 1 stays fast.
+        let w9 = Mat::from_fn(5, 45, |r, c| ((r * 45 + c) as f64 * 0.201).sin() * 0.5);
+        let b9 = BcqWeight::quantize(&w9, BcqParams::grouped(3, 15));
+        let x9 = Mat::from_fn(3, 45, |bb, c| ((bb * 45 + c) as f64 * 0.063).cos());
+        let p9 = PackedBcq::pack(&b9);
+        for mu in 1..=8u32 {
+            let cfg = EngineConfig {
+                mu,
+                ..EngineConfig::paper_default()
+            };
+            assert_eq!(
+                exec_i(&x, &p, &cfg).as_slice(),
+                gemm_i(&x, &b, &cfg).as_slice(),
+                "fast µ={mu}"
+            );
+            assert_eq!(
+                exec_i(&x9, &p9, &cfg).as_slice(),
+                gemm_i(&x9, &b9, &cfg).as_slice(),
+                "generic µ={mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_i_spans_sub_panels_and_tiles() {
+        // m > PANEL_ROWS forces multiple sub-panels; n > 64·µ spans words.
+        let m = PANEL_ROWS + 17;
+        let (x, b) = setup(m, 288, 2);
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        assert_eq!(
+            exec_i_threads(&x, &p, &cfg, 2).as_slice(),
+            gemm_i(&x, &b, &cfg).as_slice()
+        );
+    }
+
+    #[test]
+    fn exec_f_tracks_gemm_f() {
+        let (x, b) = setup(6, 64, 3);
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        let ye = exec_f(&x, &p, &cfg);
+        let ym = gemm_f(&x, &b, &cfg);
+        for bb in 0..x.rows() {
+            let xs: f64 = x.row(bb).iter().map(|v| v.abs()).sum();
+            for r in 0..6 {
+                let denom = xs.max(1.0);
+                assert!(
+                    ((ye[(bb, r)] - ym[(bb, r)]) / denom).abs() < 1e-4,
+                    "({bb},{r}): {} vs {}",
+                    ye[(bb, r)],
+                    ym[(bb, r)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_scales_and_ragged_tail() {
+        // gs = 10 with µ = 4: `effective_mu` narrows to 2 (the largest
+        // even divisor), so this runs the fast path at MU = 2 with five
+        // windows per group and tile boundaries landing mid-group;
+        // n = 70 spans words. (The truly ragged generic walk is pinned by
+        // `exec_i_bit_identical_all_mu`'s gs = 15 half.)
+        let w = Mat::from_fn(7, 70, |r, c| ((r * 70 + c) as f64 * 0.113).sin());
+        let b = BcqWeight::quantize(&w, BcqParams::grouped(3, 10));
+        let x = Mat::from_fn(2, 70, |bb, c| ((bb + c) as f64 * 0.091).cos());
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        assert_eq!(
+            exec_i_threads(&x, &p, &cfg, 4).as_slice(),
+            gemm_i(&x, &b, &cfg).as_slice()
+        );
+    }
+
+    #[test]
+    fn grouped_scales_fast_path() {
+        // gs = 12 with µ = 4 → full-width windows, several groups per tile.
+        let w = Mat::from_fn(9, 132, |r, c| ((r * 132 + c) as f64 * 0.119).sin());
+        let b = BcqWeight::quantize(&w, BcqParams::grouped(2, 12));
+        let x = Mat::from_fn(2, 132, |bb, c| ((bb + c) as f64 * 0.087).cos());
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        assert_eq!(
+            exec_i_threads(&x, &p, &cfg, 3).as_slice(),
+            gemm_i(&x, &b, &cfg).as_slice()
+        );
+    }
+
+    #[test]
+    fn uniform_via_bcq_offset_path() {
+        let w = Mat::from_fn(5, 32, |r, c| ((r * 32 + c) as f64 * 0.157).sin());
+        let u = rtn(&w, RtnParams::per_row(4));
+        let b = BcqWeight::from_uniform(&u);
+        let x = Mat::from_fn(2, 32, |bb, c| ((bb + c) as f64 * 0.091).cos());
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        assert_eq!(
+            exec_i(&x, &p, &cfg).as_slice(),
+            gemm_i(&x, &b, &cfg).as_slice()
+        );
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let (x, b) = setup(2, 16, 2);
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        assert_eq!(
+            exec_i_threads(&x, &p, &cfg, 64).as_slice(),
+            gemm_i(&x, &b, &cfg).as_slice()
+        );
+    }
+}

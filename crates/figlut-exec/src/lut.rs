@@ -1,0 +1,224 @@
+//! Flat per-window FFLUT precomputation.
+//!
+//! The datapath models in `figlut-gemm` rebuild a boxed
+//! [`figlut_lut::table::HalfLut`] per window per activation row and decode
+//! every read through [`figlut_lut::key::Key::fold`]. That is the right
+//! shape for proving the hardware's MSB-fold decoder transparent; it is the
+//! wrong shape for throughput. This module precomputes, per activation
+//! tile, the *full* `2^µ`-entry table of every window into one flat buffer
+//! with a constant power-of-two stride, so the kernel's inner loop is
+//! `table[base | key]` with no branches.
+//!
+//! The build still uses the hFFLUT semantics (DESIGN.md §3, paper Fig. 10):
+//! only the MSB-clear half is computed with additions; the MSB-set half is
+//! mirrored by exact negation (vertical symmetry `lut[~k] = −lut[k]`).
+//! For integer tables every entry is the exact signed sum
+//! `Σ ±mantissa`, so any build order yields bit-identical tables — which is
+//! what makes [`crate::kernel::exec_i`] bit-exact against
+//! `figlut_gemm::figlut::gemm_i` (integer addition is associative). The
+//! unit tests pin the tables against `figlut-lut` reads key by key.
+
+/// One µ-wide column window of a scale group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Scale-group index.
+    pub group: u32,
+    /// First column.
+    pub start: u32,
+    /// Width in columns (`≤ µ`; narrower at a ragged group tail).
+    pub width: u32,
+}
+
+/// The window decomposition the FIGLUT engines use: each scale group is cut
+/// into `⌈gs/µ⌉` windows; windows never straddle a group boundary, and the
+/// last window of a group may be narrower than µ. Identical to the
+/// decomposition inside `figlut_gemm::figlut` (asserted by the differential
+/// tests).
+pub fn windows(cols: usize, group_size: usize, mu: usize) -> Vec<Window> {
+    assert!(
+        group_size > 0 && cols.is_multiple_of(group_size),
+        "bad group size"
+    );
+    let groups = cols / group_size;
+    let mut out = Vec::with_capacity(groups * group_size.div_ceil(mu));
+    for g in 0..groups {
+        let c0 = g * group_size;
+        let mut start = c0;
+        while start < c0 + group_size {
+            let width = mu.min(c0 + group_size - start);
+            out.push(Window {
+                group: g as u32,
+                start: start as u32,
+                width: width as u32,
+            });
+            start += width;
+        }
+    }
+    out
+}
+
+/// Flat full tables for every window of one activation row.
+///
+/// Entry `k` of window `w` lives at `entries[(w << mu) | k]`; windows of
+/// width `< µ` only populate their first `2^width` slots (keys never
+/// address beyond them, because the kernel masks to the window width).
+#[derive(Clone, Debug)]
+pub struct FlatLuts<T> {
+    mu: u32,
+    entries: Vec<T>,
+}
+
+impl<T: Copy + Default + core::ops::Add<Output = T> + core::ops::Neg<Output = T>> FlatLuts<T> {
+    /// Precompute the tables for `values` (aligned mantissas or rounded
+    /// activations) under the given window decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `µ ∉ 1..=8`.
+    pub fn build(values: &[T], wins: &[Window], mu: u32) -> Self {
+        assert!((1..=8).contains(&mu), "µ = {mu} unsupported");
+        let stride = 1usize << mu;
+        let mut entries = vec![T::default(); wins.len() * stride];
+        for (wi, win) in wins.iter().enumerate() {
+            let xs = &values[win.start as usize..(win.start + win.width) as usize];
+            let table = &mut entries[wi * stride..(wi + 1) * stride];
+            fill_window(table, xs);
+        }
+        Self { mu, entries }
+    }
+}
+
+impl<T: Copy> FlatLuts<T> {
+    /// Table stride shift (the configured µ).
+    #[inline]
+    pub fn mu(&self) -> u32 {
+        self.mu
+    }
+
+    /// The flat entry buffer (`windows × 2^µ`).
+    #[inline]
+    pub fn entries(&self) -> &[T] {
+        &self.entries
+    }
+
+    /// Read entry `key` of window `wi`.
+    #[inline]
+    pub fn read(&self, wi: usize, key: usize) -> T {
+        self.entries[(wi << self.mu) | key]
+    }
+}
+
+/// Fill one window's `2^width` entries: compute the MSB-clear half with
+/// additions, mirror the MSB-set half by negation (hFFLUT vertical
+/// symmetry).
+fn fill_window<T: Copy + core::ops::Add<Output = T> + core::ops::Neg<Output = T>>(
+    table: &mut [T],
+    xs: &[T],
+) {
+    let width = xs.len();
+    // Key 0 = −x₀ −x₁ … ; then each remaining MSB-clear key flips exactly
+    // one sign relative to an already-computed key: k with lowest set bit b
+    // equals (k without b) + 2·x_b.
+    let mut all_minus = -xs[0];
+    for &x in &xs[1..] {
+        all_minus = all_minus + (-x);
+    }
+    table[0] = all_minus;
+    let half = 1usize << (width - 1);
+    for k in 1..half {
+        let b = k.trailing_zeros() as usize;
+        table[k] = table[k & (k - 1)] + xs[b] + xs[b];
+    }
+    // MSB-set half: lut[k] = −lut[~k] (exact negation, Fig. 10 decoder).
+    let mask = (1usize << width) - 1;
+    for k in half..=mask {
+        table[k] = -table[k ^ mask];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_lut::key::Key;
+    use figlut_lut::table::{FullLut, HalfLut, LutRead};
+
+    #[test]
+    fn windows_match_engine_decomposition() {
+        // cols 30, gs 15, µ 4 → per group: widths 4,4,4,3.
+        let w = windows(30, 15, 4);
+        assert_eq!(w.len(), 8);
+        assert_eq!(
+            w[3],
+            Window {
+                group: 0,
+                start: 12,
+                width: 3
+            }
+        );
+        assert_eq!(
+            w[4],
+            Window {
+                group: 1,
+                start: 15,
+                width: 4
+            }
+        );
+        let total: u32 = w.iter().map(|w| w.width).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn float_tables_match_figlut_lut_definition() {
+        let xs: Vec<f64> = (0..11).map(|i| 0.3 * (i as f64) - 1.1).collect();
+        let wins = windows(11, 11, 4); // widths 4,4,3
+        let luts = FlatLuts::build(&xs, &wins, 4);
+        for (wi, win) in wins.iter().enumerate() {
+            let slice = &xs[win.start as usize..(win.start + win.width) as usize];
+            let oracle = FullLut::build(slice, |a, b| a + b);
+            for k in 0..(1u16 << win.width) {
+                let want = oracle.read(Key::new(k, win.width));
+                let got = luts.read(wi, k as usize);
+                assert!((got - want).abs() < 1e-12, "win {wi} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_tables_are_exact_and_match_half_lut() {
+        let mant: Vec<i64> = vec![13, -7, 29, 5, -3, 11, 2];
+        let wins = windows(7, 7, 3); // widths 3,3,1
+        let luts = FlatLuts::build(&mant, &wins, 3);
+        for (wi, win) in wins.iter().enumerate() {
+            let slice = &mant[win.start as usize..(win.start + win.width) as usize];
+            let half = HalfLut::build(slice, |a, b| a + b);
+            for k in 0..(1u16 << win.width) {
+                assert_eq!(
+                    luts.read(wi, k as usize),
+                    half.read(Key::new(k, win.width)),
+                    "win {wi} key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_half_is_exact_negation() {
+        let xs = [0.1f64, 0.25, -0.5, 0.75];
+        let wins = windows(4, 4, 4);
+        let luts = FlatLuts::build(&xs, &wins, 4);
+        for k in 0..16usize {
+            assert_eq!(luts.read(0, k), -luts.read(0, k ^ 0xf), "k={k}");
+        }
+    }
+
+    #[test]
+    fn mu_one_windows() {
+        let xs = [3i64, -4];
+        let wins = windows(2, 2, 1);
+        let luts = FlatLuts::build(&xs, &wins, 1);
+        assert_eq!(luts.read(0, 0), -3);
+        assert_eq!(luts.read(0, 1), 3);
+        assert_eq!(luts.read(1, 0), 4);
+        assert_eq!(luts.read(1, 1), -4);
+    }
+}

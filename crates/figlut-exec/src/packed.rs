@@ -1,0 +1,261 @@
+//! [`PackedBcq`] — BCQ weights re-packed for the execution kernels.
+//!
+//! `figlut_quant::BcqWeight` is organized for *construction* (one
+//! `BitMatrix` per plane, one scale matrix per plane). The kernels instead
+//! want the memory walked by the inner loop to be contiguous:
+//!
+//! * **Sign planes** stay bit-packed `u64` words (bit = `+1`), but are laid
+//!   out plane-major → row-major in one flat buffer, so streaming one
+//!   plane of one output row is a single sequential slice — the software
+//!   analogue of FIGLUT streaming a weight bit-plane through the MPU.
+//! * **Scales** are transposed to `[row][group][plane]` order, which is
+//!   exactly the order the final per-row fold visits them, and the offsets
+//!   to `[row][group]`.
+//!
+//! Packing is lossless and cheap (a `memcpy` per plane row via
+//! [`figlut_quant::BitMatrix::row_words`]); [`PackedBcq::unpack`] hands the
+//! weights back to the bit-accurate engines for differential testing.
+
+use figlut_num::Mat;
+use figlut_quant::{BcqWeight, BitMatrix};
+
+/// A BCQ weight matrix packed for the `figlut-exec` kernels.
+#[derive(Clone, Debug)]
+pub struct PackedBcq {
+    rows: usize,
+    cols: usize,
+    group_size: usize,
+    bits: usize,
+    words_per_row: usize,
+    /// Flat plane bits: `planes[(i·rows + r)·words_per_row ..]` is plane
+    /// `i`, row `r`.
+    planes: Vec<u64>,
+    /// Flat scales in fold order: `scales[(r·groups + g)·bits + i]` is
+    /// `αᵢ(r, g)`.
+    scales: Vec<f64>,
+    /// Flat offsets: `offsets[r·groups + g]` (empty when the source format
+    /// carries no offset).
+    offsets: Vec<f64>,
+}
+
+impl PackedBcq {
+    /// Pack `w` for execution.
+    pub fn pack(w: &BcqWeight) -> Self {
+        let (rows, cols) = w.shape();
+        let q = w.bits() as usize;
+        let gs = w.group_size();
+        let groups = w.groups();
+        let words_per_row = cols.div_ceil(64);
+        let mut planes = Vec::with_capacity(q * rows * words_per_row);
+        for plane in w.planes() {
+            for r in 0..rows {
+                planes.extend_from_slice(plane.row_words(r));
+            }
+        }
+        let mut scales = Vec::with_capacity(rows * groups * q);
+        for r in 0..rows {
+            for g in 0..groups {
+                for i in 0..q {
+                    scales.push(w.alpha(i, r, g * gs));
+                }
+            }
+        }
+        let offsets = if w.has_offset() {
+            let mut z = Vec::with_capacity(rows * groups);
+            for r in 0..rows {
+                for g in 0..groups {
+                    z.push(w.offset(r, g * gs));
+                }
+            }
+            z
+        } else {
+            Vec::new()
+        };
+        Self {
+            rows,
+            cols,
+            group_size: gs,
+            bits: q,
+            words_per_row,
+            planes,
+            scales,
+            offsets,
+        }
+    }
+
+    /// `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Output rows `m`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reduction width `n`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of binary planes `q`.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Columns per scale group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Scale groups per row.
+    pub fn groups(&self) -> usize {
+        self.cols / self.group_size
+    }
+
+    /// `true` if the format carries an offset plane.
+    pub fn has_offset(&self) -> bool {
+        !self.offsets.is_empty()
+    }
+
+    /// Packed `u64` words of plane `i`, row `r` (bit `c % 64` of word
+    /// `c / 64` ↔ column `c`; bits beyond `cols` are 0).
+    #[inline]
+    pub fn plane_row(&self, i: usize, r: usize) -> &[u64] {
+        let base = (i * self.rows + r) * self.words_per_row;
+        &self.planes[base..base + self.words_per_row]
+    }
+
+    /// The `groups × bits` scale slice of row `r`, in `[group][plane]`
+    /// (fold) order.
+    #[inline]
+    pub fn row_scales(&self, r: usize) -> &[f64] {
+        let gq = self.groups() * self.bits;
+        &self.scales[r * gq..(r + 1) * gq]
+    }
+
+    /// The `groups` offsets of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format has no offset.
+    #[inline]
+    pub fn row_offsets(&self, r: usize) -> &[f64] {
+        assert!(self.has_offset(), "format has no offset plane");
+        let groups = self.groups();
+        &self.offsets[r * groups..(r + 1) * groups]
+    }
+
+    /// Sign of plane `i` at `(r, c)` as a bool (`true` = `+1`).
+    #[inline]
+    pub fn get(&self, i: usize, r: usize, c: usize) -> bool {
+        let w = self.plane_row(i, r)[c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Dequantized value of one element.
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        let g = c / self.group_size;
+        let scales = &self.row_scales(r)[g * self.bits..(g + 1) * self.bits];
+        let mut v = if self.has_offset() {
+            self.offsets[r * self.groups() + g]
+        } else {
+            0.0
+        };
+        for (i, &a) in scales.iter().enumerate() {
+            v += if self.get(i, r, c) { a } else { -a };
+        }
+        v
+    }
+
+    /// Dequantize the whole matrix.
+    pub fn dequantize(&self) -> Mat<f64> {
+        Mat::from_fn(self.rows, self.cols, |r, c| self.value(r, c))
+    }
+
+    /// Convert back to the construction-oriented container (for running the
+    /// bit-accurate `figlut-gemm` engines on the same weights).
+    pub fn unpack(&self) -> BcqWeight {
+        let groups = self.groups();
+        let q = self.bits;
+        let planes: Vec<BitMatrix> = (0..q)
+            .map(|i| BitMatrix::from_fn(self.rows, self.cols, |r, c| self.get(i, r, c)))
+            .collect();
+        let alpha: Vec<Mat<f64>> = (0..q)
+            .map(|i| {
+                Mat::from_fn(self.rows, groups, |r, g| {
+                    self.scales[(r * groups + g) * q + i]
+                })
+            })
+            .collect();
+        let offset = self
+            .has_offset()
+            .then(|| Mat::from_fn(self.rows, groups, |r, g| self.offsets[r * groups + g]));
+        BcqWeight::from_parts(planes, alpha, offset, self.group_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_quant::bcq::BcqParams;
+    use figlut_quant::uniform::{rtn, RtnParams};
+
+    fn weights(rows: usize, cols: usize) -> Mat<f64> {
+        Mat::from_fn(rows, cols, |r, c| ((r * cols + c) as f64 * 0.217).sin())
+    }
+
+    #[test]
+    fn pack_preserves_values() {
+        let w = weights(5, 70); // spans two words per row
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(3));
+        let p = PackedBcq::pack(&b);
+        assert_eq!(p.shape(), (5, 70));
+        assert_eq!(p.bits(), 3);
+        assert_eq!(p.groups(), 1);
+        assert!(p.has_offset());
+        assert_eq!(b.dequantize().max_abs_diff(&p.dequantize()), 0.0);
+    }
+
+    #[test]
+    fn pack_grouped_and_offsetless() {
+        let w = weights(3, 24);
+        let b = BcqWeight::quantize(
+            &w,
+            BcqParams {
+                bits: 2,
+                group_size: 8,
+                with_offset: false,
+                refine_iters: 4,
+            },
+        );
+        let p = PackedBcq::pack(&b);
+        assert_eq!(p.groups(), 3);
+        assert!(!p.has_offset());
+        assert_eq!(b.dequantize().max_abs_diff(&p.dequantize()), 0.0);
+    }
+
+    #[test]
+    fn unpack_roundtrips_exactly() {
+        let w = weights(4, 40);
+        let u = rtn(&w, RtnParams::grouped(4, 10));
+        let b = BcqWeight::from_uniform(&u);
+        let p = PackedBcq::pack(&b);
+        let back = p.unpack();
+        assert_eq!(back.bits(), b.bits());
+        assert_eq!(back.group_size(), b.group_size());
+        assert_eq!(b.dequantize().max_abs_diff(&back.dequantize()), 0.0);
+    }
+
+    #[test]
+    fn plane_rows_match_bitmatrix() {
+        let w = weights(2, 130);
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(2));
+        let p = PackedBcq::pack(&b);
+        for i in 0..2 {
+            for r in 0..2 {
+                assert_eq!(p.plane_row(i, r), b.plane(i).row_words(r));
+            }
+        }
+    }
+}

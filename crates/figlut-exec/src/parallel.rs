@@ -1,0 +1,86 @@
+//! Row-panel parallelism over `std::thread::scope` (no external deps;
+//! DESIGN.md §5 keeps the workspace registry-free).
+//!
+//! The kernels parallelize over contiguous panels of *output rows*: every
+//! output element is computed start-to-finish by exactly one thread, with a
+//! fixed window order and a fixed fold order, so results are bit-identical
+//! for every thread count — the determinism contract the tests pin.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker count (`≥ 1`).
+pub const THREADS_ENV: &str = "FIGLUT_EXEC_THREADS";
+
+/// Effective worker count: [`THREADS_ENV`] if set to a positive integer,
+/// else the machine's available parallelism, else 1.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `out` (the `m` outputs of one batch row) into at most `threads`
+/// contiguous panels and run `work(first_row, panel)` on each, in parallel.
+///
+/// `work` must fill `panel[j]` with the value of output row
+/// `first_row + j`; because panel boundaries never change *what* is
+/// computed per element, the result is independent of `threads`.
+pub fn run_row_panels<F>(out: &mut [f64], threads: usize, work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let m = out.len();
+    if m == 0 {
+        return;
+    }
+    let t = threads.clamp(1, m);
+    if t == 1 {
+        work(0, out);
+        return;
+    }
+    let chunk = m.div_ceil(t);
+    std::thread::scope(|s| {
+        for (idx, panel) in out.chunks_mut(chunk).enumerate() {
+            let work = &work;
+            s.spawn(move || work(idx * chunk, panel));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_cover_every_row_once() {
+        for threads in [1usize, 2, 3, 7, 64] {
+            let mut out = vec![0.0; 23];
+            run_row_panels(&mut out, threads, |r0, panel| {
+                for (j, v) in panel.iter_mut().enumerate() {
+                    *v += (r0 + j) as f64 + 1.0;
+                }
+            });
+            for (r, &v) in out.iter().enumerate() {
+                assert_eq!(v, r as f64 + 1.0, "threads={threads} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_output_is_a_noop() {
+        let mut out: Vec<f64> = Vec::new();
+        run_row_panels(&mut out, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

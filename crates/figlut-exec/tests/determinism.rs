@@ -1,0 +1,45 @@
+//! The `FIGLUT_EXEC_THREADS` override must never change output bits: the
+//! kernels' reduction order is fixed per output element regardless of how
+//! rows are split into panels (pins the contract of `parallel.rs`).
+//!
+//! This lives in its own integration-test binary (own process) because it
+//! mutates the process environment; the property tests use the explicit
+//! `*_threads` API instead.
+
+use figlut_exec::parallel::{thread_count, THREADS_ENV};
+use figlut_exec::{exec_f, exec_i, PackedBcq};
+use figlut_gemm::EngineConfig;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+
+#[test]
+fn env_thread_override_is_bit_invariant() {
+    let w = Mat::from_fn(37, 150, |r, c| ((r * 150 + c) as f64 * 0.137).sin());
+    let b = BcqWeight::quantize(&w, BcqParams::grouped(3, 30));
+    let p = PackedBcq::pack(&b);
+    let x = Mat::from_fn(4, 150, |bb, c| ((bb * 150 + c) as f64 * 0.071).cos());
+    let cfg = EngineConfig::paper_default();
+
+    let mut runs_i: Vec<Vec<f64>> = Vec::new();
+    let mut runs_f: Vec<Vec<f64>> = Vec::new();
+    for t in ["1", "2", "8"] {
+        std::env::set_var(THREADS_ENV, t);
+        assert_eq!(thread_count(), t.parse::<usize>().unwrap());
+        runs_i.push(exec_i(&x, &p, &cfg).into_vec());
+        runs_f.push(exec_f(&x, &p, &cfg).into_vec());
+    }
+    std::env::remove_var(THREADS_ENV);
+
+    for t in 1..runs_i.len() {
+        assert_eq!(runs_i[0], runs_i[t], "exec_i diverged at thread set {t}");
+        assert_eq!(runs_f[0], runs_f[t], "exec_f diverged at thread set {t}");
+    }
+
+    // Garbage override values fall back to a sane positive count. Kept in
+    // the same #[test] because tests in one binary share the environment.
+    std::env::set_var(THREADS_ENV, "not-a-number");
+    assert!(thread_count() >= 1);
+    std::env::set_var(THREADS_ENV, "0");
+    assert!(thread_count() >= 1);
+    std::env::remove_var(THREADS_ENV);
+}

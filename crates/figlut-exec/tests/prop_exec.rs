@@ -1,0 +1,152 @@
+//! Differential property tests: the packed execution backend against the
+//! bit-accurate datapath models, over arbitrary shapes, µ, group sizes,
+//! thread counts, and ragged tails (m, n, k not multiples of the
+//! tile/word/µ sizes).
+
+use figlut_exec::{exec_f_threads, exec_i_threads, PackedBcq};
+use figlut_gemm::figlut::{gemm_f, gemm_i};
+use figlut_gemm::EngineConfig;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_quant::uniform::{rtn, RtnParams};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Problem {
+    x: Mat<f64>,
+    w: Mat<f64>,
+    bits: u32,
+    group_size: usize,
+    mu: u32,
+    threads: usize,
+}
+
+/// Shapes deliberately include ragged everything: n = groups·gs with gs
+/// coprime to µ, m often not a multiple of the panel split, n spanning a
+/// `u64` word boundary when gs·groups > 64.
+fn problem() -> impl Strategy<Value = Problem> {
+    (
+        1usize..=3,  // batch
+        1usize..=12, // m
+        1usize..=5,  // groups
+        1usize..=17, // group size
+        1u32..=4,    // bits (binary planes)
+        1u32..=4,    // µ
+        0usize..4,   // thread-count choice index
+    )
+        .prop_flat_map(|(batch, m, groups, gs, bits, mu, tix)| {
+            let threads = [1usize, 2, 3, 8][tix];
+            let n = groups * gs;
+            (
+                prop::collection::vec(-4.0f64..4.0, batch * n),
+                prop::collection::vec(-1.0f64..1.0, m * n),
+            )
+                .prop_map(move |(xv, wv)| Problem {
+                    x: Mat::from_vec(batch, n, xv),
+                    w: Mat::from_vec(m, n, wv),
+                    bits,
+                    group_size: gs,
+                    mu,
+                    threads,
+                })
+        })
+}
+
+fn quantize(p: &Problem) -> BcqWeight {
+    BcqWeight::quantize(
+        &p.w,
+        BcqParams {
+            bits: p.bits,
+            group_size: p.group_size,
+            with_offset: true,
+            refine_iters: 2,
+        },
+    )
+}
+
+fn cfg(mu: u32) -> EngineConfig {
+    EngineConfig {
+        mu,
+        ..EngineConfig::paper_default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exec_i_bit_exact_against_gemm_i(p in problem()) {
+        let b = quantize(&p);
+        let packed = PackedBcq::pack(&b);
+        let c = cfg(p.mu);
+        let fast = exec_i_threads(&p.x, &packed, &c, p.threads);
+        let model = gemm_i(&p.x, &b, &c);
+        prop_assert_eq!(fast.as_slice(), model.as_slice(), "p={:?}", p);
+    }
+
+    #[test]
+    fn exec_i_bit_exact_on_uniform_grids(p in problem()) {
+        // The offset-heavy Eq. 3 path (uniform → BCQ) as the models run it.
+        let u = rtn(&p.w, RtnParams::grouped(p.bits, p.group_size));
+        let b = BcqWeight::from_uniform(&u);
+        let packed = PackedBcq::pack(&b);
+        let c = cfg(p.mu);
+        let fast = exec_i_threads(&p.x, &packed, &c, p.threads);
+        let model = gemm_i(&p.x, &b, &c);
+        prop_assert_eq!(fast.as_slice(), model.as_slice());
+    }
+
+    #[test]
+    fn exec_f_within_scale_aware_tolerance_of_gemm_f(p in problem()) {
+        let b = quantize(&p);
+        let packed = PackedBcq::pack(&b);
+        let c = cfg(p.mu);
+        let fast = exec_f_threads(&p.x, &packed, &c, p.threads);
+        let model = gemm_f(&p.x, &b, &c);
+        let wd = b.dequantize();
+        for bb in 0..p.x.rows() {
+            let xs: f64 = p.x.row(bb).iter().map(|v| v.abs()).sum();
+            for r in 0..wd.rows() {
+                // Scale-aware: FP32 accumulation in the model drifts by
+                // O(n·2⁻²⁴) of Σ|x|·max|w|; 1e-4 is ~4 decades of margin
+                // at these sizes.
+                let wmax = wd.row(r).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                let denom = (xs * wmax).max(1e-6);
+                let err = (fast[(bb, r)] - model[(bb, r)]).abs() / denom;
+                prop_assert!(
+                    err < 1e-4,
+                    "({bb},{r}): exec {} vs model {} rel {err}",
+                    fast[(bb, r)],
+                    model[(bb, r)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits(p in problem()) {
+        let b = quantize(&p);
+        let packed = PackedBcq::pack(&b);
+        let c = cfg(p.mu);
+        let i1 = exec_i_threads(&p.x, &packed, &c, 1);
+        let f1 = exec_f_threads(&p.x, &packed, &c, 1);
+        for t in [2usize, 3, 8] {
+            let it = exec_i_threads(&p.x, &packed, &c, t);
+            let ft = exec_f_threads(&p.x, &packed, &c, t);
+            prop_assert_eq!(it.as_slice(), i1.as_slice(), "exec_i t={}", t);
+            prop_assert_eq!(ft.as_slice(), f1.as_slice(), "exec_f t={}", t);
+        }
+    }
+
+    #[test]
+    fn unpack_is_transparent_to_the_models(p in problem()) {
+        // pack → unpack hands the models identical weights: gemm_i on the
+        // unpacked container matches gemm_i on the original, bit for bit.
+        let b = quantize(&p);
+        let back = PackedBcq::pack(&b).unpack();
+        let c = cfg(p.mu);
+        let y_back = gemm_i(&p.x, &back, &c);
+        let y_orig = gemm_i(&p.x, &b, &c);
+        prop_assert_eq!(y_back.as_slice(), y_orig.as_slice());
+    }
+}

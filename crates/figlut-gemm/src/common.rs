@@ -93,21 +93,30 @@ pub(crate) fn round_activations(x: &Mat<f64>, fmt: FpFormat) -> Mat<f64> {
     x.map(|&v| fmt.quantize(v))
 }
 
-/// One FP32-rounded addition (the accumulator datapath all engines share).
+/// Round to FP32 (the accumulator precision all engines share).
+///
+/// Uses the host FPU's `f64 → f32` conversion: `figlut-num`'s property
+/// suite (`prop_softfloat.rs`) proves the bit-accurate `Sf<8, 23>`
+/// round-trip equals the native cast on arbitrary bit patterns including
+/// subnormals, so this is the same rounding at a fraction of the cost —
+/// it is on the per-partial fold path of every engine and of
+/// `figlut-exec`'s kernels.
 #[inline]
 pub(crate) fn fp32(v: f64) -> f64 {
-    FpFormat::Fp32.quantize(v)
+    v as f32 as f64
 }
 
-/// FP32-rounded `a + b`.
+/// FP32-rounded `a + b` — the accumulator addition every engine shares.
+/// Public so fast software backends (`figlut-exec`) can replicate the exact
+/// rounding sequence of the datapath models.
 #[inline]
-pub(crate) fn add32(a: f64, b: f64) -> f64 {
+pub fn add32(a: f64, b: f64) -> f64 {
     fp32(a + b)
 }
 
-/// FP32-rounded `a × b`.
+/// FP32-rounded `a × b` (see [`add32`]).
 #[inline]
-pub(crate) fn mul32(a: f64, b: f64) -> f64 {
+pub fn mul32(a: f64, b: f64) -> f64 {
     fp32(a * b)
 }
 

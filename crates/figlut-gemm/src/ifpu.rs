@@ -20,9 +20,11 @@ use figlut_quant::BcqWeight;
 /// Fold one integer plane partial `p` into the FP32 accumulator:
 /// `acc + α·(p·λ)` with every operation FP32-rounded. Shared verbatim with
 /// FIGLUT-I so the two engines are bit-identical (they produce the same
-/// integer `p` by associativity of integer addition).
+/// integer `p` by associativity of integer addition). Public so the packed
+/// execution backend (`figlut-exec`) can reproduce the exact rounding
+/// sequence and stay bit-identical to [`crate::figlut::gemm_i`].
 #[inline]
-pub(crate) fn fold_partial(acc: f64, alpha: f64, p: i128, lambda: f64) -> f64 {
+pub fn fold_partial(acc: f64, alpha: f64, p: i128, lambda: f64) -> f64 {
     let real = mul32(p as f64, lambda);
     add32(acc, mul32(alpha, real))
 }

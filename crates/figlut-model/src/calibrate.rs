@@ -173,6 +173,24 @@ pub fn to_bcq(model: &Transformer) -> Transformer {
     out
 }
 
+/// Re-pack every quantized linear for the `figlut-exec` fast kernels
+/// (`Backend::Exec`): BCQ layers are packed directly, uniform layers go
+/// through the lossless Eq. 3 conversion first. Values are unchanged, so
+/// perplexity under `Backend::Exec` is bit-identical to
+/// `Backend::Engine(Engine::FiglutI, cfg)` on the source model.
+pub fn to_packed(model: &Transformer) -> Transformer {
+    use figlut_exec::PackedBcq;
+    let mut out = model.clone();
+    out.map_linears(|_, lin| match &lin.weights {
+        LinearWeights::Bcq(b) => lin.weights = LinearWeights::Packed(PackedBcq::pack(b)),
+        LinearWeights::Uniform(u) => {
+            lin.weights = LinearWeights::Packed(PackedBcq::pack(&BcqWeight::from_uniform(u)));
+        }
+        LinearWeights::Fp(_) | LinearWeights::Packed(_) => {}
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! claim.
 
 use crate::rng::Rng;
+use figlut_exec::{exec_i, PackedBcq};
 use figlut_gemm::{Engine, EngineConfig, Weights};
 use figlut_num::Mat;
 use figlut_quant::{BcqWeight, UniformWeight};
@@ -72,6 +73,10 @@ pub enum LinearWeights {
     Uniform(UniformWeight),
     /// Binary-coding quantization (ShiftAddLLM output or Eq. 3 conversion).
     Bcq(BcqWeight),
+    /// BCQ re-packed for the `figlut-exec` fast kernels (see
+    /// [`crate::calibrate::to_packed`]). Represents exactly the same values
+    /// as the [`LinearWeights::Bcq`] it was packed from.
+    Packed(PackedBcq),
 }
 
 impl LinearWeights {
@@ -81,6 +86,7 @@ impl LinearWeights {
             LinearWeights::Fp(w) => w.shape(),
             LinearWeights::Uniform(u) => u.shape(),
             LinearWeights::Bcq(b) => b.shape(),
+            LinearWeights::Packed(p) => p.shape(),
         }
     }
 
@@ -90,6 +96,7 @@ impl LinearWeights {
             LinearWeights::Fp(_) => 16.0,
             LinearWeights::Uniform(u) => u.bits() as f64,
             LinearWeights::Bcq(b) => b.bits() as f64,
+            LinearWeights::Packed(p) => p.bits() as f64,
         }
     }
 }
@@ -111,6 +118,13 @@ pub enum Backend {
     Exact,
     /// A `figlut-gemm` hardware datapath model.
     Engine(Engine, EngineConfig),
+    /// The `figlut-exec` packed fast path: **bit-identical** logits to
+    /// `Backend::Engine(Engine::FiglutI, cfg)` on quantized layers (the
+    /// exec kernel reproduces the FIGLUT-I datapath exactly; DESIGN.md
+    /// §6), at host-GEMM speed. Pre-pack the model with
+    /// [`crate::calibrate::to_packed`] to avoid re-packing per forward
+    /// call.
+    Exec(EngineConfig),
 }
 
 impl Linear {
@@ -119,10 +133,11 @@ impl Linear {
             (Backend::Exact, LinearWeights::Fp(w)) => x.matmul(&w.transposed()),
             (Backend::Exact, LinearWeights::Uniform(u)) => x.matmul(&u.dequantize().transposed()),
             (Backend::Exact, LinearWeights::Bcq(b)) => x.matmul(&b.dequantize().transposed()),
-            // FP weights under an engine backend: the engine only handles
-            // quantized layers; FP layers run on the reference datapath
-            // (GPU-style FP16 tensor ops modeled exactly).
-            (Backend::Engine(_, cfg), LinearWeights::Fp(w)) => {
+            (Backend::Exact, LinearWeights::Packed(p)) => x.matmul(&p.dequantize().transposed()),
+            // FP weights under an engine/exec backend: the engine only
+            // handles quantized layers; FP layers run on the reference
+            // datapath (GPU-style FP16 tensor ops modeled exactly).
+            (Backend::Engine(_, cfg) | Backend::Exec(cfg), LinearWeights::Fp(w)) => {
                 let xa = x.map(|&v| cfg.act.quantize(v));
                 xa.matmul(&w.map(|&v| cfg.act.quantize(v)).transposed())
             }
@@ -130,6 +145,19 @@ impl Linear {
                 e.run(x, &Weights::Uniform(u), cfg)
             }
             (Backend::Engine(e, cfg), LinearWeights::Bcq(b)) => e.run(x, &Weights::Bcq(b), cfg),
+            // Datapath models don't consume the packed layout directly;
+            // unpack (slow path — kept for differential testing).
+            (Backend::Engine(e, cfg), LinearWeights::Packed(p)) => {
+                e.run(x, &Weights::Bcq(&p.unpack()), cfg)
+            }
+            // Exec fast path. Non-packed quantized weights are packed on
+            // the fly (correct, but pay the packing cost per call — use
+            // `to_packed` for repeated evaluation).
+            (Backend::Exec(cfg), LinearWeights::Packed(p)) => exec_i(x, p, cfg),
+            (Backend::Exec(cfg), LinearWeights::Bcq(b)) => exec_i(x, &PackedBcq::pack(b), cfg),
+            (Backend::Exec(cfg), LinearWeights::Uniform(u)) => {
+                exec_i(x, &PackedBcq::pack(&BcqWeight::from_uniform(u)), cfg)
+            }
         };
         for r in 0..y.rows() {
             let row = y.row_mut(r);

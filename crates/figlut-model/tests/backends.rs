@@ -2,7 +2,7 @@
 //! results whichever execution backend carries its linear layers.
 
 use figlut_gemm::{Engine, EngineConfig};
-use figlut_model::calibrate::{quantize_model, to_bcq, Method};
+use figlut_model::calibrate::{quantize_model, to_bcq, to_packed, Method};
 use figlut_model::corpus::generate;
 use figlut_model::ppl::perplexity;
 use figlut_model::transformer::{Backend, ModelConfig, Transformer};
@@ -86,6 +86,66 @@ fn kv_cache_decoding_with_engine_backend() {
     let mut cache = qb.new_cache();
     for (pos, &tok) in toks.iter().enumerate() {
         let step = qb.decode_step(tok, &mut cache, &backend);
+        for v in 0..step.len() {
+            assert!((step[v] - full[(pos, v)]).abs() < 1e-6, "pos={pos} v={v}");
+        }
+    }
+}
+
+#[test]
+fn exec_backend_bit_matches_figlut_i_engine() {
+    // The packed fast path is the same datapath: perplexity under
+    // Backend::Exec equals Backend::Engine(FiglutI) to the last bit, both
+    // on a pre-packed model and when packing on the fly.
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::ShiftAdd { bits: 3 });
+    let cfg = EngineConfig::paper_default();
+    let p_model = perplexity(&q, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+    let p_exec_fly = perplexity(&q, &eval, &Backend::Exec(cfg));
+    let p_exec_packed = perplexity(&to_packed(&q), &eval, &Backend::Exec(cfg));
+    assert_eq!(p_model, p_exec_fly, "on-the-fly packing diverged");
+    assert_eq!(p_model, p_exec_packed, "pre-packed model diverged");
+}
+
+#[test]
+fn exec_backend_runs_uniform_models_via_eq3() {
+    // Uniform layers go through the lossless Eq. 3 conversion, exactly as
+    // to_bcq + FIGLUT-I would.
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::Rtn { bits: 4 });
+    let cfg = EngineConfig::paper_default();
+    let p_engine = perplexity(&to_bcq(&q), &eval, &Backend::Engine(Engine::FiglutI, cfg));
+    let p_exec = perplexity(&to_packed(&q), &eval, &Backend::Exec(cfg));
+    assert_eq!(p_engine, p_exec);
+}
+
+#[test]
+fn packed_model_still_serves_every_backend() {
+    // A packed model remains usable under Exact (dequantize) and under the
+    // datapath models (unpack): same values everywhere.
+    let (t, calib, eval) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::ShiftAdd { bits: 3 });
+    let qp = to_packed(&q);
+    let cfg = EngineConfig::paper_default();
+    let exact = perplexity(&q, &eval, &Backend::Exact);
+    let exact_packed = perplexity(&qp, &eval, &Backend::Exact);
+    assert!((exact_packed / exact - 1.0).abs() < 1e-12);
+    let via_model = perplexity(&qp, &eval, &Backend::Engine(Engine::FiglutI, cfg));
+    let via_exec = perplexity(&qp, &eval, &Backend::Exec(cfg));
+    assert_eq!(via_model, via_exec, "unpacked engine diverged from exec");
+}
+
+#[test]
+fn exec_backend_decodes_with_kv_cache() {
+    let (t, calib, _) = setup();
+    let (q, _) = quantize_model(&t, &calib, Method::ShiftAdd { bits: 3 });
+    let qp = to_packed(&q);
+    let cfg = EngineConfig::paper_default();
+    let toks = [0usize, 9, 33, 5];
+    let full = qp.logits(&toks, &Backend::Exec(cfg));
+    let mut cache = qp.new_cache();
+    for (pos, &tok) in toks.iter().enumerate() {
+        let step = qp.decode_step(tok, &mut cache, &Backend::Exec(cfg));
         for v in 0..step.len() {
             assert!((step[v] - full[(pos, v)]).abs() < 1e-6, "pos={pos} v={v}");
         }

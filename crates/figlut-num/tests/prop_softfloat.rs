@@ -29,6 +29,19 @@ proptest! {
     }
 
     #[test]
+    fn fp32_quantize_equals_native_cast(bits in any::<u64>()) {
+        // `figlut_gemm::common::fp32` (the per-partial fold rounding of
+        // every engine and of figlut-exec) uses the host's `f64 → f32`
+        // cast; this pins it to the bit-accurate `Sf<8, 23>` path on
+        // arbitrary f64 patterns — subnormals and infinities included.
+        let x = f64::from_bits(bits);
+        prop_assume!(!x.is_nan());
+        let soft = FpFormat::Fp32.quantize(x);
+        let native = x as f32 as f64;
+        prop_assert_eq!(soft.to_bits(), native.to_bits(), "x={:e}", x);
+    }
+
+    #[test]
     fn fp32_add_matches_host(a in f32_from_bits(), b in f32_from_bits()) {
         prop_assume!(!a.is_nan() && !b.is_nan());
         let host = a + b;

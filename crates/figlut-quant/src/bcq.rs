@@ -192,6 +192,57 @@ impl BcqWeight {
         }
     }
 
+    /// Reassemble a `BcqWeight` from raw planes and scales.
+    ///
+    /// This is the inverse direction of accessor-based deconstruction: an
+    /// execution backend that re-packs planes into its own layout (e.g.
+    /// `figlut-exec`) uses it to hand weights back to the datapath models
+    /// for differential testing. The represented values are exactly
+    /// `Σᵢ αᵢ·bᵢ (+ z)` per element, as for every other constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is empty or exceeds 8 entries, plane shapes
+    /// disagree, `group_size` is 0 or does not divide the columns, or the
+    /// `alpha`/`offset` matrices are not `rows × cols/group_size`.
+    pub fn from_parts(
+        planes: Vec<BitMatrix>,
+        alpha: Vec<Mat<f64>>,
+        offset: Option<Mat<f64>>,
+        group_size: usize,
+    ) -> Self {
+        assert!(
+            (1..=8).contains(&planes.len()),
+            "plane count {} outside 1..=8",
+            planes.len()
+        );
+        let rows = planes[0].rows();
+        let cols = planes[0].cols();
+        for p in &planes {
+            assert_eq!((p.rows(), p.cols()), (rows, cols), "plane shape mismatch");
+        }
+        assert!(
+            group_size > 0 && cols.is_multiple_of(group_size),
+            "group size {group_size} does not divide {cols}"
+        );
+        let groups = cols / group_size;
+        assert_eq!(alpha.len(), planes.len(), "one alpha matrix per plane");
+        for a in &alpha {
+            assert_eq!(a.shape(), (rows, groups), "alpha shape mismatch");
+        }
+        if let Some(z) = &offset {
+            assert_eq!(z.shape(), (rows, groups), "offset shape mismatch");
+        }
+        Self {
+            rows,
+            cols,
+            group_size,
+            planes,
+            alpha,
+            offset,
+        }
+    }
+
     /// Greedy + alternating BCQ quantization of `w` (uniform column
     /// importance).
     pub fn quantize(w: &Mat<f64>, params: BcqParams) -> Self {
@@ -549,6 +600,31 @@ mod tests {
         assert!(b2.payload_bits() < b3.payload_bits());
         // Dominated by rows·cols·q.
         assert!(b3.payload_bits() >= 2 * 64 * 3);
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let w = test_weights(4, 24);
+        let b = BcqWeight::quantize(&w, BcqParams::grouped(3, 8));
+        let rebuilt = BcqWeight::from_parts(
+            b.planes().to_vec(),
+            (0..3)
+                .map(|i| Mat::from_fn(4, 3, |r, g| b.alpha(i, r, g * 8)))
+                .collect(),
+            Some(Mat::from_fn(4, 3, |r, g| b.offset(r, g * 8))),
+            8,
+        );
+        assert_eq!(rebuilt.bits(), b.bits());
+        assert_eq!(rebuilt.shape(), b.shape());
+        assert!(b.dequantize().max_abs_diff(&rebuilt.dequantize()) == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn from_parts_checks_group_size() {
+        let w = test_weights(2, 8);
+        let b = BcqWeight::quantize(&w, BcqParams::per_row(2));
+        let _ = BcqWeight::from_parts(b.planes().to_vec(), vec![Mat::zeros(2, 1); 2], None, 3);
     }
 
     #[test]

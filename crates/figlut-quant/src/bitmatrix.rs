@@ -126,6 +126,18 @@ impl BitMatrix {
         (bits as u16) & mask & (((1u32 << width) - 1) as u16)
     }
 
+    /// The packed words of row `r` (bit `c % 64` of word `c / 64` ↔ column
+    /// `c`; padding bits beyond `cols` are always 0). This is the layout
+    /// fast executors copy verbatim instead of re-reading bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
     /// Count of `+1` entries.
     pub fn count_plus(&self) -> usize {
         // Padding bits beyond `cols` are always zero, so popcount is safe.
@@ -218,6 +230,21 @@ mod tests {
             .filter(|&b| b)
             .count();
         assert_eq!(m.count_plus(), expect);
+    }
+
+    #[test]
+    fn row_words_match_bits() {
+        let m = BitMatrix::from_fn(3, 130, |r, c| (r * 130 + c) % 5 == 0);
+        for r in 0..3 {
+            let words = m.row_words(r);
+            assert_eq!(words.len(), 3);
+            for c in 0..130 {
+                let bit = (words[c / 64] >> (c % 64)) & 1 == 1;
+                assert_eq!(bit, m.get(r, c), "({r},{c})");
+            }
+            // Padding beyond `cols` is zero.
+            assert_eq!(words[2] >> (130 - 128), 0);
+        }
     }
 
     #[test]

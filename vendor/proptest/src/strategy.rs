@@ -156,4 +156,6 @@ tuple_strategies! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, G)
+    (A, B, C, D, E, G, H)
+    (A, B, C, D, E, G, H, I)
 }
