@@ -1,0 +1,58 @@
+//! Serving-layer benchmarks: batched decode steps and whole-trace serving
+//! through the scheduler (the software counterpart of `repro ext-serving`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use figlut_gemm::EngineConfig;
+use figlut_model::calibrate::{quantize_model, to_packed, Method};
+use figlut_model::corpus::generate;
+use figlut_model::transformer::KvCache;
+use figlut_model::{Backend, ModelConfig, Transformer};
+use figlut_serve::{serve, synthetic_trace, BatchEngine, Policy, ServeConfig, TraceParams};
+
+fn packed_model() -> Transformer {
+    let teacher = Transformer::teacher(ModelConfig::scaled(2, 48, 4), 102);
+    let calib = generate(&teacher, 2, 10, 3);
+    let (q, _) = quantize_model(&teacher, &calib, Method::ShiftAdd { bits: 3 });
+    to_packed(&q)
+}
+
+fn bench_decode_batch(c: &mut Criterion) {
+    let model = packed_model();
+    let backend = Backend::Exec(EngineConfig::paper_default());
+    let mut g = c.benchmark_group("decode_batch_opt1p3b_synth");
+    for batch in [1usize, 4, 8] {
+        // Sessions parked at different positions, as in live serving.
+        let caches: Vec<KvCache> = (0..batch)
+            .map(|i| {
+                let mut cache = model.new_cache();
+                let prompt: Vec<usize> = (0..=i + 2).map(|t| t % model.cfg.vocab).collect();
+                let _ = model.prefill(&prompt, &mut cache, &backend);
+                cache
+            })
+            .collect();
+        let tokens = vec![5usize; batch];
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut cs = caches.clone();
+                black_box(model.decode_batch(&tokens, &mut cs, &backend))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_serve_trace(c: &mut Criterion) {
+    let model = packed_model();
+    let engine = BatchEngine::new(&model, Backend::Exec(EngineConfig::paper_default()));
+    let trace = synthetic_trace(&model.cfg, &TraceParams::light(8), 11);
+    let mut g = c.benchmark_group("serve_8req_trace");
+    for policy in Policy::ALL {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(serve(&engine, &trace, &ServeConfig::new(4, policy))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode_batch, bench_serve_trace);
+criterion_main!(benches);

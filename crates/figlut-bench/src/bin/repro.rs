@@ -5,18 +5,28 @@
 //! repro fig16 table5             # run specific experiments
 //! repro calibration              # cost-model calibration report
 //! repro --out-dir /tmp/r fig16   # write CSVs somewhere else
+//! repro --threads 2 ext-serving  # pin the exec kernels' worker count
 //! repro --list                   # list experiment ids
 //! ```
 //!
 //! Output: aligned text tables on stdout, CSVs under `--out-dir` (default
-//! `results/`, created if absent).
+//! `results/`, created if absent). `--threads N` sets the `figlut-exec`
+//! worker count for the throughput/serving experiments; an explicit
+//! `FIGLUT_EXEC_THREADS` environment variable still wins (results are
+//! bit-identical either way — thread count only moves the measured rates).
 
 use figlut_bench::{run, EXPERIMENTS};
+use figlut_exec::parallel::THREADS_ENV;
 use std::path::PathBuf;
 
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
+    let mut threads: Option<String> = None;
+    // "Pinned" means the env holds a value thread_count() would actually
+    // honor (same predicate); a garbage value must not eat the flag.
+    let env_pinned =
+        std::env::var(THREADS_ENV).is_ok_and(|v| v.trim().parse::<usize>().is_ok_and(|n| n >= 1));
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -34,12 +44,31 @@ fn main() {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--threads" => {
+                let Some(n) = args.next() else {
+                    eprintln!("error: --threads needs a positive integer argument");
+                    std::process::exit(2);
+                };
+                if !n.parse::<usize>().is_ok_and(|v| v >= 1) {
+                    eprintln!("error: --threads needs a positive integer, got '{n}'");
+                    std::process::exit(2);
+                }
+                threads = Some(n);
+            }
             other if other.starts_with('-') => {
-                eprintln!("error: unknown flag '{other}' (try --list or --out-dir <dir>)");
+                eprintln!(
+                    "error: unknown flag '{other}' (try --list, --out-dir <dir>, or --threads <n>)"
+                );
                 std::process::exit(2);
             }
             other => ids.push(other.to_string()),
         }
+    }
+    // Applied once after the parse (last --threads wins); an environment
+    // override present at startup still takes precedence — the flag is a
+    // convenience default, not a way to lie to a pinned run.
+    if let (Some(n), false) = (&threads, env_pinned) {
+        std::env::set_var(THREADS_ENV, n);
     }
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("error: cannot create {}: {e}", out_dir.display());

@@ -74,7 +74,9 @@ impl Table {
         out
     }
 
-    /// Write the table as CSV under `dir`.
+    /// Write the table as CSV under `dir`. Notes are appended as trailing
+    /// `# note:` comment lines so the CSV carries the same caveats as the
+    /// printed table (a committed CSV must be self-describing).
     pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let mut s = String::new();
@@ -93,6 +95,9 @@ impl Table {
                 .collect();
             s.push_str(&esc.join(","));
             s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(&format!("# note: {n}\n"));
         }
         fs::write(dir.join(format!("{name}.csv")), s)
     }
@@ -136,6 +141,21 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_carries_notes_as_comment_lines() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        t.note("measured at batch 2, extrapolated");
+        let dir = std::env::temp_dir().join("figlut-fmt-test");
+        t.write_csv(&dir, "demo").unwrap();
+        let s = fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(
+            s,
+            "a,b\n1,\"x,y\"\n# note: measured at batch 2, extrapolated\n"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"table5"));
     assert!(EXPERIMENTS.contains(&"fig17"));
     assert!(EXPERIMENTS.contains(&"ext-throughput"));
-    assert_eq!(EXPERIMENTS.len(), 22);
+    assert!(EXPERIMENTS.contains(&"ext-serving"));
+    assert_eq!(EXPERIMENTS.len(), 23);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

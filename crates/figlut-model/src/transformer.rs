@@ -471,53 +471,179 @@ impl Transformer {
     /// Panics if the cache is full (`max_seq`) or the token is out of
     /// vocabulary.
     pub fn decode_step(&self, token: usize, cache: &mut KvCache, backend: &Backend) -> Vec<f64> {
+        self.prefill(&[token], cache, backend).row(0).to_vec()
+    }
+
+    /// Consume a chunk of tokens starting at the cache's current position
+    /// and return the next-token logits for every consumed position
+    /// (`chunk × vocab`).
+    ///
+    /// This is the serving *prefill* path: the whole prompt flows through
+    /// each linear layer as one `chunk × d` GEMM over the shared weights —
+    /// the amortized-weight-traffic regime the paper's batched evaluation
+    /// targets — while attention stays causal over cache + earlier chunk
+    /// rows. Every per-row operation is performed in exactly the order
+    /// [`Transformer::decode_step`] performs it, so feeding a prompt as one
+    /// chunk, token by token, or any split in between yields bit-identical
+    /// logits and cache contents (pinned by `tests/prop_decode.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is empty, overflows `max_seq`, or contains
+    /// out-of-vocabulary ids.
+    pub fn prefill(&self, tokens: &[usize], cache: &mut KvCache, backend: &Backend) -> Mat<f64> {
         let cfg = &self.cfg;
-        let pos = cache.keys[0].len();
-        assert!(pos < cfg.max_seq, "KV cache full ({})", cfg.max_seq);
-        assert!(token < cfg.vocab, "token {token} out of vocabulary");
+        let p0 = cache.len();
+        let chunk = tokens.len();
+        assert!(chunk > 0, "empty chunk");
+        assert!(
+            p0 + chunk <= cfg.max_seq,
+            "KV cache full ({} + {chunk} > {})",
+            p0,
+            cfg.max_seq
+        );
         let d = cfg.d_model;
         let dh = d / cfg.heads;
         let scale = 1.0 / (dh as f64).sqrt();
-        let mut x = Mat::from_fn(1, d, |_, c| self.embed[(token, c)] + self.pos[(pos, c)]);
+        let mut x = Mat::from_fn(chunk, d, |t, c| {
+            let tok = tokens[t];
+            assert!(tok < cfg.vocab, "token {tok} out of vocabulary");
+            self.embed[(tok, c)] + self.pos[(p0 + t, c)]
+        });
         for (li, block) in self.blocks.iter().enumerate() {
             let h = block.ln1.forward(&x);
             let q = block.wq.forward(&h, backend);
             let k = block.wk.forward(&h, backend);
             let v = block.wv.forward(&h, backend);
-            cache.keys[li].push(k.row(0).to_vec());
-            cache.values[li].push(v.row(0).to_vec());
-            let mut ctx = Mat::zeros(1, d);
+            for t in 0..chunk {
+                cache.keys[li].push(k.row(t).to_vec());
+                cache.values[li].push(v.row(t).to_vec());
+            }
+            let mut ctx = Mat::zeros(chunk, d);
             for head in 0..cfg.heads {
                 let off = head * dh;
-                let mut scores: Vec<f64> = cache.keys[li]
-                    .iter()
-                    .map(|krow| {
-                        let mut s = 0.0;
+                for t in 0..chunk {
+                    // Causal: row t sees the pre-existing cache plus chunk
+                    // rows 0..=t (all already pushed above).
+                    let mut scores: Vec<f64> = cache.keys[li][..=p0 + t]
+                        .iter()
+                        .map(|krow| {
+                            let mut s = 0.0;
+                            for j in 0..dh {
+                                s += q[(t, off + j)] * krow[off + j];
+                            }
+                            s * scale
+                        })
+                        .collect();
+                    softmax_row(&mut scores);
+                    for (u, &a) in scores.iter().enumerate() {
+                        let vrow = &cache.values[li][u];
                         for j in 0..dh {
-                            s += q[(0, off + j)] * krow[off + j];
+                            ctx[(t, off + j)] += a * vrow[off + j];
                         }
-                        s * scale
-                    })
-                    .collect();
-                softmax_row(&mut scores);
-                for (u, &a) in scores.iter().enumerate() {
-                    let vrow = &cache.values[li][u];
-                    for j in 0..dh {
-                        ctx[(0, off + j)] += a * vrow[off + j];
                     }
                 }
             }
             let attn_out = block.wo.forward(&ctx, backend);
-            x = Mat::from_fn(1, d, |_, c| x[(0, c)] + attn_out[(0, c)]);
+            x = Mat::from_fn(chunk, d, |t, c| x[(t, c)] + attn_out[(t, c)]);
             let h = block.ln2.forward(&x);
             let up = block.fc1.forward(&h, backend);
             let act = up.map(|&v| gelu(v));
             let down = block.fc2.forward(&act, backend);
-            x = Mat::from_fn(1, d, |_, c| x[(0, c)] + down[(0, c)]);
+            x = Mat::from_fn(chunk, d, |t, c| x[(t, c)] + down[(t, c)]);
         }
         let h = self.ln_f.forward(&x);
-        let logits = h.matmul(&self.embed.transposed());
-        logits.row(0).to_vec()
+        h.matmul(&self.embed.transposed())
+    }
+
+    /// One decoding step for a *batch of independent sessions*: consume
+    /// `tokens[i]` at session `i`'s current position (which may differ per
+    /// session) and return the `batch × vocab` next-token logits.
+    ///
+    /// This is the continuous-batching step `figlut-serve` runs: the six
+    /// linear projections execute as one `batch × d` GEMM over the shared
+    /// (packed) weights — a single weight fetch serves every session, the
+    /// software analogue of the paper's weight-traffic amortization — while
+    /// attention, LayerNorm, and the residual stream remain strictly
+    /// per-row against each session's own [`KvCache`].
+    ///
+    /// Because every backend computes GEMM outputs row by row in a fixed
+    /// per-row order, row `i` is **bit-identical** to running
+    /// [`Transformer::decode_step`] alone on session `i` — batching can
+    /// change *when* a token is produced, never *which* token (pinned by
+    /// `tests/prop_decode.rs` and `figlut-serve`'s property suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, `tokens` and `caches` disagree in
+    /// length, any session's cache is full, or any token is out of
+    /// vocabulary.
+    pub fn decode_batch(
+        &self,
+        tokens: &[usize],
+        caches: &mut [KvCache],
+        backend: &Backend,
+    ) -> Mat<f64> {
+        let cfg = &self.cfg;
+        let batch = tokens.len();
+        assert!(batch > 0, "empty batch");
+        assert_eq!(batch, caches.len(), "tokens/caches length mismatch");
+        let positions: Vec<usize> = caches.iter().map(KvCache::len).collect();
+        for (i, (&tok, &pos)) in tokens.iter().zip(&positions).enumerate() {
+            assert!(pos < cfg.max_seq, "session {i}: KV cache full ({pos})");
+            assert!(
+                tok < cfg.vocab,
+                "session {i}: token {tok} out of vocabulary"
+            );
+        }
+        let d = cfg.d_model;
+        let dh = d / cfg.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let mut x = Mat::from_fn(batch, d, |i, c| {
+            self.embed[(tokens[i], c)] + self.pos[(positions[i], c)]
+        });
+        for (li, block) in self.blocks.iter().enumerate() {
+            let h = block.ln1.forward(&x);
+            let q = block.wq.forward(&h, backend);
+            let k = block.wk.forward(&h, backend);
+            let v = block.wv.forward(&h, backend);
+            for (i, cache) in caches.iter_mut().enumerate() {
+                cache.keys[li].push(k.row(i).to_vec());
+                cache.values[li].push(v.row(i).to_vec());
+            }
+            let mut ctx = Mat::zeros(batch, d);
+            for head in 0..cfg.heads {
+                let off = head * dh;
+                for (i, cache) in caches.iter().enumerate() {
+                    let mut scores: Vec<f64> = cache.keys[li]
+                        .iter()
+                        .map(|krow| {
+                            let mut s = 0.0;
+                            for j in 0..dh {
+                                s += q[(i, off + j)] * krow[off + j];
+                            }
+                            s * scale
+                        })
+                        .collect();
+                    softmax_row(&mut scores);
+                    for (u, &a) in scores.iter().enumerate() {
+                        let vrow = &cache.values[li][u];
+                        for j in 0..dh {
+                            ctx[(i, off + j)] += a * vrow[off + j];
+                        }
+                    }
+                }
+            }
+            let attn_out = block.wo.forward(&ctx, backend);
+            x = Mat::from_fn(batch, d, |i, c| x[(i, c)] + attn_out[(i, c)]);
+            let h = block.ln2.forward(&x);
+            let up = block.fc1.forward(&h, backend);
+            let act = up.map(|&v| gelu(v));
+            let down = block.fc2.forward(&act, backend);
+            x = Mat::from_fn(batch, d, |i, c| x[(i, c)] + down[(i, c)]);
+        }
+        let h = self.ln_f.forward(&x);
+        h.matmul(&self.embed.transposed())
     }
 
     /// Autoregressively sample `len` tokens after a BOS token (id 0) at the
@@ -681,6 +807,92 @@ mod tests {
             }
         }
         assert_eq!(cache.len(), toks.len());
+    }
+
+    #[test]
+    fn prefill_chunk_bit_matches_step_by_step() {
+        // Any chunking of the prompt must produce bit-identical logits and
+        // cache contents (the per-row operation order is the same).
+        let m = Transformer::teacher(ModelConfig::tiny(), 21);
+        let toks = [0usize, 7, 19, 3, 88, 42, 11];
+        let mut by_step = m.new_cache();
+        let mut step_logits: Vec<Vec<f64>> = Vec::new();
+        for &tok in &toks {
+            step_logits.push(m.decode_step(tok, &mut by_step, &Backend::Exact));
+        }
+        for split in [1usize, 2, 3, 7] {
+            let mut cache = m.new_cache();
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for chunk in toks.chunks(split) {
+                let l = m.prefill(chunk, &mut cache, &Backend::Exact);
+                for t in 0..l.rows() {
+                    rows.push(l.row(t).to_vec());
+                }
+            }
+            assert_eq!(rows, step_logits, "split={split}");
+            assert_eq!(cache.len(), by_step.len());
+            assert_eq!(cache.keys, by_step.keys, "split={split}");
+            assert_eq!(cache.values, by_step.values, "split={split}");
+        }
+    }
+
+    #[test]
+    fn decode_batch_rows_bit_match_solo_steps() {
+        // Sessions at *different* positions, decoded together: each row must
+        // equal the solo decode of that session, bit for bit.
+        let m = Transformer::teacher(ModelConfig::tiny(), 23);
+        let prompts: [&[usize]; 3] = [&[0, 5], &[0, 9, 33, 2], &[0, 61]];
+        let steps: [usize; 3] = [4, 2, 3];
+        // Solo reference: prefill + decode each session alone.
+        let mut solo_logits: Vec<Vec<Vec<f64>>> = Vec::new();
+        for (p, &n) in prompts.iter().zip(&steps) {
+            let mut cache = m.new_cache();
+            let _ = m.prefill(p, &mut cache, &Backend::Exact);
+            let mut out = Vec::new();
+            for s in 0..n {
+                out.push(m.decode_step(40 + s, &mut cache, &Backend::Exact));
+            }
+            solo_logits.push(out);
+        }
+        // Batched: same sessions advance together while any has steps left.
+        let mut caches: Vec<KvCache> = Vec::new();
+        for p in prompts {
+            let mut cache = m.new_cache();
+            let _ = m.prefill(p, &mut cache, &Backend::Exact);
+            caches.push(cache);
+        }
+        let mut s = 0usize;
+        loop {
+            let live: Vec<usize> = (0..3).filter(|&i| s < steps[i]).collect();
+            if live.is_empty() {
+                break;
+            }
+            let tokens: Vec<usize> = live.iter().map(|_| 40 + s).collect();
+            let mut batch_caches: Vec<KvCache> = live.iter().map(|&i| caches[i].clone()).collect();
+            let l = m.decode_batch(&tokens, &mut batch_caches, &Backend::Exact);
+            for (row, &i) in live.iter().enumerate() {
+                assert_eq!(l.row(row), &solo_logits[i][s][..], "session {i} step {s}");
+                caches[i] = batch_caches[row].clone();
+            }
+            s += 1;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn decode_batch_checks_lengths() {
+        let m = Transformer::teacher(ModelConfig::tiny(), 1);
+        let mut caches = vec![m.new_cache()];
+        let _ = m.decode_batch(&[0, 1], &mut caches, &Backend::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV cache full")]
+    fn prefill_overflow_panics() {
+        let m = Transformer::teacher(ModelConfig::tiny(), 13);
+        let mut cache = m.new_cache();
+        let toks: Vec<usize> = vec![0; m.cfg.max_seq + 1];
+        let _ = m.prefill(&toks, &mut cache, &Backend::Exact);
     }
 
     #[test]

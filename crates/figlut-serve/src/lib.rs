@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # figlut-serve — deterministic continuous-batching LLM serving
+//!
+//! The paper's pitch is LLM *serving*: single-sequence decode is DRAM-bound
+//! and LUT-GEMM amortizes weight traffic across the sequences in flight.
+//! This crate closes that loop in software: a request-level serving
+//! subsystem that batches live sessions into single steps over the shared
+//! (packed) weights, scheduled on a deterministic virtual clock so every
+//! throughput and latency number is bit-reproducible.
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) |
+//! | [`engine`] | [`BatchEngine`]: prefill + batched decode over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
+//! | [`scheduler`] | [`serve`]: admission, prefill/decode interleaving, [`Policy`] × `max_batch` |
+//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, occupancy, `figlut-sim` energy per token |
+//!
+//! **The correctness commitment** is the repo's signature move applied at
+//! the serving layer: for any trace, policy, batch limit, and thread
+//! count, every session's emitted token stream is **bit-identical** to
+//! running that session alone at batch 1. It holds because every
+//! batch-level operation is per-row independent — the GEMM backends
+//! compute output rows in a fixed per-row order (`figlut-exec`'s property
+//! suite pins this), and attention/normalization/sampling never cross
+//! session rows — so scheduling decides *when* tokens appear, never
+//! *which* tokens. The property tests in `tests/` and the
+//! `repro ext-serving` experiment assert it before reporting any rate.
+//!
+//! ```
+//! use figlut_model::{Backend, ModelConfig, Transformer};
+//! use figlut_serve::{serve, BatchEngine, Policy, ServeConfig, TraceParams};
+//!
+//! let model = Transformer::teacher(ModelConfig::tiny(), 7);
+//! let trace = figlut_serve::synthetic_trace(&model.cfg, &TraceParams::light(4), 42);
+//! let engine = BatchEngine::new(&model, Backend::Exact);
+//! let report = serve(&engine, &trace, &ServeConfig::new(4, Policy::PrefillPriority));
+//! assert_eq!(report.requests.len(), 4);
+//! for r in &report.requests {
+//!     let solo = engine.solo_run(&trace.requests[r.id]);
+//!     assert_eq!(r.generated, solo); // batch-invariant tokens
+//! }
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+
+pub use engine::{BatchEngine, FinishReason, SessionState};
+pub use metrics::{RequestMetrics, ServeReport, StepKind, StepRecord};
+pub use request::{synthetic_trace, Request, Sampling, Trace, TraceParams};
+pub use scheduler::{serve, Policy, ServeConfig};

@@ -1,0 +1,323 @@
+//! Serving metrics: throughput, TTFT, latency percentiles, occupancy, and
+//! cost-model pricing of the served trace.
+//!
+//! All times are virtual-clock ticks (see [`crate::scheduler`]), so every
+//! number here is deterministic. [`ServeReport::workload`] re-expresses the
+//! *exact* step sequence the scheduler executed as a `figlut-sim`
+//! [`Workload`] at a real OPT shape, which turns a served trace into
+//! energy-per-token on the modeled accelerator — the paper's
+//! efficiency-under-serving story closed end to end.
+
+use crate::engine::FinishReason;
+use figlut_model::workload::decode_workload;
+use figlut_model::OptConfig;
+use figlut_sim::engine::evaluate;
+use figlut_sim::mpu::EngineSpec;
+use figlut_sim::tech::Tech;
+use figlut_sim::Workload;
+use std::collections::BTreeMap;
+
+/// What a step did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// One session's whole-prompt prefill.
+    Prefill,
+    /// One batched decode over every running session.
+    Decode,
+}
+
+/// One executed scheduler step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Step kind.
+    pub kind: StepKind,
+    /// Token-rows processed (prompt length for prefill, batch for decode).
+    pub rows: usize,
+    /// Virtual-clock cost charged.
+    pub cost: u64,
+}
+
+/// Per-request outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestMetrics {
+    /// Request id.
+    pub id: usize,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Tick at which the first token was emitted (end of prefill).
+    pub first_token: u64,
+    /// Tick at which the session finished.
+    pub finish: u64,
+    /// Tokens emitted.
+    pub tokens: usize,
+    /// Why the session ended.
+    pub reason: FinishReason,
+    /// The emitted token stream (the batch-invariance artifact).
+    pub generated: Vec<usize>,
+}
+
+impl RequestMetrics {
+    /// Time to first token, in ticks.
+    pub fn ttft(&self) -> u64 {
+        self.first_token - self.arrival
+    }
+
+    /// End-to-end latency, in ticks.
+    pub fn latency(&self) -> u64 {
+        self.finish - self.arrival
+    }
+}
+
+/// Everything a serving run produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Per-request outcomes, sorted by request id.
+    pub requests: Vec<RequestMetrics>,
+    /// Every executed step, in order.
+    pub steps: Vec<StepRecord>,
+    /// Final virtual-clock value.
+    pub ticks: u64,
+    /// The scheduler's batch capacity (for occupancy).
+    pub max_batch: usize,
+}
+
+impl ServeReport {
+    /// Total tokens emitted across all requests.
+    pub fn total_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.tokens).sum()
+    }
+
+    /// Serving throughput: tokens per 1000 virtual ticks.
+    pub fn tokens_per_kilotick(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.total_tokens() as f64 * 1000.0 / self.ticks as f64
+    }
+
+    /// Mean time-to-first-token, in ticks.
+    pub fn mean_ttft(&self) -> f64 {
+        let n = self.requests.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| r.ttft() as f64).sum::<f64>() / n as f64
+    }
+
+    /// Nearest-rank latency percentile (`p` in `(0, 100]`), in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or no request finished.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+        assert!(!self.requests.is_empty(), "no finished requests");
+        let mut lat: Vec<u64> = self.requests.iter().map(RequestMetrics::latency).collect();
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.saturating_sub(1)]
+    }
+
+    /// Number of decode steps executed.
+    pub fn decode_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Decode)
+            .count()
+    }
+
+    /// Mean decode-batch occupancy in `(0, 1]`: decoded rows over
+    /// `decode_steps × max_batch`. 1.0 means every decode ran a full batch.
+    pub fn mean_decode_occupancy(&self) -> f64 {
+        let steps = self.decode_steps();
+        if steps == 0 {
+            return 0.0;
+        }
+        let rows: usize = self
+            .steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Decode)
+            .map(|s| s.rows)
+            .sum();
+        rows as f64 / (steps * self.max_batch) as f64
+    }
+
+    /// Re-express the executed step sequence as the GEMM workload it would
+    /// be at a real OPT shape: every step with `r` token-rows is one
+    /// [`decode_workload`](figlut_model::workload::decode_workload) pass at
+    /// batch `r` (steps with equal `r` merge into the shapes' `repeat`), so
+    /// the cost model prices serving with exactly the same per-pass
+    /// inventory as every other experiment.
+    pub fn workload(&self, opt: &OptConfig) -> Workload {
+        let mut by_rows: BTreeMap<usize, f64> = BTreeMap::new();
+        for s in &self.steps {
+            *by_rows.entry(s.rows).or_insert(0.0) += 1.0;
+        }
+        let mut gemms = Vec::with_capacity(3 * by_rows.len());
+        let mut nongemm_flops = 0.0;
+        for (&rows, &count) in &by_rows {
+            let mut pass = decode_workload(opt, rows);
+            for g in &mut pass.gemms {
+                g.repeat *= count;
+            }
+            gemms.extend(pass.gemms);
+            nongemm_flops += pass.nongemm_flops * count;
+        }
+        Workload {
+            gemms,
+            nongemm_flops,
+        }
+    }
+
+    /// Price the served trace on the cost model: energy per emitted token
+    /// (pJ) for an accelerator `spec` at technology `tech` and average
+    /// weight precision `weight_bits`, with the model scaled up to the real
+    /// OPT shape `opt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tokens were emitted.
+    pub fn energy_per_token_pj(
+        &self,
+        tech: &Tech,
+        spec: &EngineSpec,
+        opt: &OptConfig,
+        weight_bits: f64,
+    ) -> f64 {
+        let tokens = self.total_tokens();
+        assert!(tokens > 0, "no tokens served");
+        let report = evaluate(tech, spec, &self.workload(opt), weight_bits);
+        report.energy.total_pj() / tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_model::config::by_name;
+    use figlut_num::fp::FpFormat;
+    use figlut_sim::mpu::SimEngine;
+
+    fn demo_report() -> ServeReport {
+        let m = |id, arrival, first, finish, tokens| RequestMetrics {
+            id,
+            arrival,
+            first_token: first,
+            finish,
+            tokens,
+            reason: FinishReason::Completed,
+            generated: vec![1; tokens],
+        };
+        ServeReport {
+            requests: vec![m(0, 0, 5, 20, 4), m(1, 2, 9, 30, 5), m(2, 10, 16, 26, 3)],
+            steps: vec![
+                StepRecord {
+                    kind: StepKind::Prefill,
+                    rows: 4,
+                    cost: 5,
+                },
+                StepRecord {
+                    kind: StepKind::Decode,
+                    rows: 2,
+                    cost: 3,
+                },
+                StepRecord {
+                    kind: StepKind::Decode,
+                    rows: 3,
+                    cost: 4,
+                },
+            ],
+            ticks: 30,
+            max_batch: 4,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = demo_report();
+        assert_eq!(r.total_tokens(), 12);
+        assert_eq!(r.tokens_per_kilotick(), 400.0);
+        assert_eq!(r.mean_ttft(), (5.0 + 7.0 + 6.0) / 3.0);
+        assert_eq!(r.decode_steps(), 2);
+        assert_eq!(r.mean_decode_occupancy(), 5.0 / 8.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = demo_report();
+        // Latencies: 20, 28, 16 → sorted 16, 20, 28.
+        assert_eq!(r.latency_percentile(50.0), 20);
+        assert_eq!(r.latency_percentile(99.0), 28);
+        assert_eq!(r.latency_percentile(1.0), 16);
+    }
+
+    #[test]
+    fn workload_counts_all_rows() {
+        let r = demo_report();
+        let opt = by_name("OPT-1.3B").unwrap();
+        let wl = r.workload(opt);
+        // ops = 2 × gemm-params × total rows (4 + 2 + 3).
+        let want = 2.0 * opt.gemm_params() * 9.0;
+        assert!(
+            (wl.ops() / want - 1.0).abs() < 1e-12,
+            "{} vs {want}",
+            wl.ops()
+        );
+    }
+
+    #[test]
+    fn energy_per_token_positive_and_batch_sensitive() {
+        let opt = by_name("OPT-1.3B").unwrap();
+        let tech = Tech::cmos28();
+        let spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
+        let r = demo_report();
+        let e = r.energy_per_token_pj(&tech, &spec, opt, 4.0);
+        assert!(e > 0.0);
+        // The same tokens served at batch 1 (each decode row its own step)
+        // must cost more energy per token: weight traffic is re-paid.
+        let mut solo = r.clone();
+        solo.steps = vec![
+            StepRecord {
+                kind: StepKind::Prefill,
+                rows: 4,
+                cost: 5,
+            },
+            StepRecord {
+                kind: StepKind::Decode,
+                rows: 1,
+                cost: 2,
+            },
+            StepRecord {
+                kind: StepKind::Decode,
+                rows: 1,
+                cost: 2,
+            },
+            StepRecord {
+                kind: StepKind::Decode,
+                rows: 1,
+                cost: 2,
+            },
+            StepRecord {
+                kind: StepKind::Decode,
+                rows: 1,
+                cost: 2,
+            },
+            StepRecord {
+                kind: StepKind::Decode,
+                rows: 1,
+                cost: 2,
+            },
+        ];
+        let e_solo = solo.energy_per_token_pj(&tech, &spec, opt, 4.0);
+        assert!(
+            e_solo > 1.5 * e,
+            "batch-1 serving should be much costlier: {e_solo} vs {e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = demo_report().latency_percentile(0.0);
+    }
+}

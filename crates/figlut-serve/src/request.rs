@@ -1,0 +1,239 @@
+//! Serving requests and seeded arrival traces.
+//!
+//! A [`Request`] is one user session: a prompt, a generation budget, a
+//! sampling rule, and a per-session seed. A [`Trace`] is a reproducible
+//! workload — requests with virtual-clock arrival times — so every
+//! throughput or latency number the scheduler reports is measured under a
+//! *named*, regenerable load (the "realistic, reproducible workload"
+//! requirement benchmarking methodology keeps insisting on).
+
+use figlut_model::rng::Rng;
+use figlut_model::ModelConfig;
+
+/// How a session turns next-token logits into a token.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sampling {
+    /// Argmax (ties break toward the lowest token id).
+    Greedy,
+    /// Softmax sampling at the given temperature, driven by the session's
+    /// own seeded RNG — deterministic, and independent of every other
+    /// session in the batch.
+    Temperature(f64),
+}
+
+/// One serving request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Stable identifier (also the tie-breaker for simultaneous arrivals).
+    pub id: usize,
+    /// Arrival time on the virtual clock (ticks).
+    pub arrival: u64,
+    /// Prompt token ids (non-empty; first token is conventionally BOS 0).
+    pub prompt: Vec<usize>,
+    /// Generation budget: the session completes after this many new tokens.
+    pub max_new: usize,
+    /// Token selection rule.
+    pub sampling: Sampling,
+    /// Seed of the session's sampling RNG.
+    pub seed: u64,
+}
+
+/// A reproducible arrival trace: requests sorted by `(arrival, id)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Check the trace against a model: prompts non-empty and in-vocab,
+    /// the prompt within `max_seq`, sampling temperatures positive and
+    /// finite, arrivals sorted.
+    ///
+    /// A *budget* exceeding the remaining context is allowed: such a
+    /// session is served until its KV cache fills and is then evicted
+    /// ([`FinishReason::CacheFull`](crate::engine::FinishReason)) — the
+    /// standard serving behavior at the context limit. Only prompts that
+    /// cannot even be prefilled are rejected (prefill emits the first
+    /// token, so a fitting prompt always produces at least one token).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending request id) on any violation.
+    pub fn validate(&self, cfg: &ModelConfig) {
+        let mut last = (0u64, 0usize);
+        for r in &self.requests {
+            assert!(!r.prompt.is_empty(), "request {}: empty prompt", r.id);
+            assert!(r.max_new > 0, "request {}: zero generation budget", r.id);
+            if let Sampling::Temperature(t) = r.sampling {
+                assert!(
+                    t > 0.0 && t.is_finite(),
+                    "request {}: temperature {t} must be positive and finite",
+                    r.id
+                );
+            }
+            for &t in &r.prompt {
+                assert!(t < cfg.vocab, "request {}: token {t} out of vocab", r.id);
+            }
+            assert!(
+                r.prompt.len() <= cfg.max_seq,
+                "request {}: prompt of {} exceeds max_seq {}",
+                r.id,
+                r.prompt.len(),
+                cfg.max_seq
+            );
+            assert!(
+                (r.arrival, r.id) >= last,
+                "request {}: trace not sorted by (arrival, id)",
+                r.id
+            );
+            last = (r.arrival, r.id);
+        }
+    }
+}
+
+/// Knobs of [`synthetic_trace`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceParams {
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap in ticks (exponential; 0 = all at tick 0).
+    pub mean_interarrival: f64,
+    /// Inclusive prompt-length range (first token is always BOS 0).
+    pub prompt_len: (usize, usize),
+    /// Inclusive range of the per-request generation budget.
+    pub new_tokens: (usize, usize),
+    /// Sampling rule shared by every request.
+    pub sampling: Sampling,
+}
+
+impl TraceParams {
+    /// A light open-loop load: a handful of short-prompt requests.
+    pub fn light(requests: usize) -> Self {
+        Self {
+            requests,
+            mean_interarrival: 24.0,
+            prompt_len: (2, 6),
+            new_tokens: (3, 8),
+            sampling: Sampling::Greedy,
+        }
+    }
+}
+
+/// Generate a seeded open-loop arrival trace for a model of shape `cfg`.
+///
+/// Arrival gaps are exponential with mean `mean_interarrival` (the standard
+/// open-loop Poisson arrival model), prompt bodies are uniform over the
+/// vocabulary, and each request gets a distinct sampling seed derived from
+/// `seed` — everything is a pure function of `(cfg, params, seed)`.
+///
+/// # Panics
+///
+/// Panics if a range is inverted or the longest request cannot fit in
+/// `cfg.max_seq`.
+pub fn synthetic_trace(cfg: &ModelConfig, params: &TraceParams, seed: u64) -> Trace {
+    let (pmin, pmax) = params.prompt_len;
+    let (nmin, nmax) = params.new_tokens;
+    assert!(pmin >= 1 && pmin <= pmax, "inverted prompt_len range");
+    assert!(nmin >= 1 && nmin <= nmax, "inverted new_tokens range");
+    assert!(
+        pmax + nmax <= cfg.max_seq,
+        "prompt {pmax} + new {nmax} exceeds max_seq {}",
+        cfg.max_seq
+    );
+    let mut rng = Rng::new(seed);
+    let mut clock = 0u64;
+    let requests = (0..params.requests)
+        .map(|id| {
+            if id > 0 && params.mean_interarrival > 0.0 {
+                let u = rng.uniform();
+                clock += (-params.mean_interarrival * (1.0 - u).ln()).ceil() as u64;
+            }
+            let plen = pmin + rng.below(pmax - pmin + 1);
+            let mut prompt = vec![0usize];
+            for _ in 1..plen {
+                prompt.push(rng.below(cfg.vocab));
+            }
+            Request {
+                id,
+                arrival: clock,
+                prompt,
+                max_new: nmin + rng.below(nmax - nmin + 1),
+                sampling: params.sampling,
+                seed: seed ^ (0x5e1e_c7ed_u64.wrapping_add(id as u64).wrapping_mul(0x9e37)),
+            }
+        })
+        .collect();
+    let trace = Trace { requests };
+    trace.validate(cfg);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_valid() {
+        let cfg = ModelConfig::tiny();
+        let p = TraceParams::light(6);
+        let a = synthetic_trace(&cfg, &p, 9);
+        let b = synthetic_trace(&cfg, &p, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let c = synthetic_trace(&cfg, &p, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_spread() {
+        let cfg = ModelConfig::tiny();
+        let t = synthetic_trace(&cfg, &TraceParams::light(8), 3);
+        let arr: Vec<u64> = t.requests.iter().map(|r| r.arrival).collect();
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.last().unwrap() > &0, "gaps should accumulate");
+    }
+
+    #[test]
+    fn zero_interarrival_means_burst() {
+        let cfg = ModelConfig::tiny();
+        let p = TraceParams {
+            mean_interarrival: 0.0,
+            ..TraceParams::light(4)
+        };
+        let t = synthetic_trace(&cfg, &p, 1);
+        assert!(t.requests.iter().all(|r| r.arrival == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn oversized_requests_rejected() {
+        let cfg = ModelConfig::tiny();
+        let p = TraceParams {
+            prompt_len: (30, 30),
+            new_tokens: (20, 20),
+            ..TraceParams::light(1)
+        };
+        let _ = synthetic_trace(&cfg, &p, 0);
+    }
+
+    #[test]
+    fn seeds_differ_per_request() {
+        let cfg = ModelConfig::tiny();
+        let t = synthetic_trace(&cfg, &TraceParams::light(5), 2);
+        let mut seeds: Vec<u64> = t.requests.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Thread-count invariance of the whole serving pipeline: the
+//! `FIGLUT_EXEC_THREADS` override changes how the packed kernels split row
+//! panels, and must change nothing about a served trace — not one token,
+//! not one tick.
+//!
+//! Lives in its own integration-test binary (own process) because it
+//! mutates the process environment, mirroring `figlut-exec`'s
+//! `tests/determinism.rs`.
+
+use figlut_exec::parallel::THREADS_ENV;
+use figlut_gemm::EngineConfig;
+use figlut_model::calibrate::{quantize_model, to_packed, Method};
+use figlut_model::corpus::generate;
+use figlut_model::{Backend, ModelConfig, Transformer};
+use figlut_serve::{serve, synthetic_trace, BatchEngine, Policy, ServeConfig, TraceParams};
+
+#[test]
+fn served_trace_is_invariant_under_thread_override() {
+    let teacher = Transformer::teacher(ModelConfig::tiny(), 55);
+    let calib = generate(&teacher, 2, 10, 3);
+    let (q, _) = quantize_model(&teacher, &calib, Method::ShiftAdd { bits: 3 });
+    let model = to_packed(&q);
+    let engine = BatchEngine::new(&model, Backend::Exec(EngineConfig::paper_default()));
+    let trace = synthetic_trace(&model.cfg, &TraceParams::light(4), 7);
+
+    let mut reports = Vec::new();
+    for threads in ["1", "2", "5"] {
+        std::env::set_var(THREADS_ENV, threads);
+        for policy in Policy::ALL {
+            reports.push(serve(&engine, &trace, &ServeConfig::new(3, policy)));
+        }
+    }
+    std::env::remove_var(THREADS_ENV);
+
+    // Per thread count: 3 reports (one per policy). Across thread counts,
+    // each policy's report must be identical in full — tokens, TTFT,
+    // ticks, the step log, everything.
+    for t in 1..3 {
+        for p in 0..3 {
+            assert_eq!(
+                reports[p],
+                reports[3 * t + p],
+                "policy {p} diverged at thread set {t}"
+            );
+        }
+    }
+}

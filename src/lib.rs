@@ -18,6 +18,7 @@
 //! | [`exec`] (`figlut-exec`) | packed high-throughput LUT-GEMM kernels, bit-exact vs FIGLUT-I |
 //! | [`sim`] (`figlut-sim`) | 28 nm cost model: power, area, cycles, TOPS/W |
 //! | [`model`] (`figlut-model`) | synthetic OPT-style transformer + perplexity |
+//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (traces, scheduler, metrics) |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use figlut_lut as lut;
 pub use figlut_model as model;
 pub use figlut_num as num;
 pub use figlut_quant as quant;
+pub use figlut_serve as serve;
 pub use figlut_sim as sim;
 
 /// The most commonly used items, one `use` away.
@@ -50,5 +52,9 @@ pub mod prelude {
     pub use figlut_model::{Backend, ModelConfig, OptConfig, Transformer, OPT_FAMILY};
     pub use figlut_num::{AlignMode, AlignedVector, Bf16, Fp16, Fp32, FpFormat, Mat};
     pub use figlut_quant::{BcqParams, BcqWeight, BitMatrix, RtnParams, UniformWeight};
+    pub use figlut_serve::{
+        synthetic_trace, BatchEngine, Policy, Request, Sampling, ServeConfig, ServeReport, Trace,
+        TraceParams,
+    };
     pub use figlut_sim::{evaluate, EngineSpec, GemmShape, Report, SimEngine, Tech, Workload};
 }

@@ -51,6 +51,21 @@ fn prelude_reexports_resolve() {
     let _: &Backend = &Backend::Exact;
     assert!(t.cfg.d_model > 0);
 
+    // figlut-serve
+    let trace: Trace = synthetic_trace(&t.cfg, &TraceParams::light(2), 3);
+    let _: &Request = &trace.requests[0];
+    let _: Sampling = Sampling::Greedy;
+    let engine = BatchEngine::new(&t, Backend::Exact);
+    let sr: ServeReport = figlut::serve::serve(
+        &engine,
+        &trace,
+        &ServeConfig::new(2, Policy::PrefillPriority),
+    );
+    assert_eq!(sr.requests.len(), 2);
+    for r in &sr.requests {
+        assert_eq!(r.generated, engine.solo_run(&trace.requests[r.id]));
+    }
+
     // figlut-sim
     let tech = Tech::cmos28();
     let spec = EngineSpec::paper(SimEngine::FiglutI, FpFormat::Fp16);
