@@ -1,13 +1,15 @@
 //! Packed execution backend benchmarks: the `figlut-exec` kernels against
-//! the bit-accurate FIGLUT-I datapath model, plus packing and thread
-//! scaling (the software counterpart of `repro ext-throughput`).
+//! the bit-accurate FIGLUT-I datapath model, plus packing, thread
+//! scaling, and batch-column amortization (the software counterparts of
+//! `repro ext-throughput` and `repro ext-batch-scaling`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use figlut_exec::{exec_f_threads, exec_i_threads, PackedBcq};
+use figlut_exec::{exec_f_threads, exec_i_threads, ExecPlan, PackedBcq};
 use figlut_gemm::{figlut, EngineConfig};
 use figlut_num::Mat;
 use figlut_quant::bcq::BcqWeight;
 use figlut_quant::uniform::{rtn, RtnParams};
+use std::time::Instant;
 
 fn problem(m: usize, n: usize, batch: usize) -> (Mat<f64>, BcqWeight) {
     let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
@@ -46,6 +48,40 @@ fn bench_exec_thread_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_exec_batch_scaling(c: &mut Criterion) {
+    // Batch-column amortization at an OPT-1.3B decode shape (the QKV/out
+    // projection, 2048 × 2048 Q4): one batched call streams the packed
+    // planes once for all B columns, so per-column tokens/s should climb
+    // with B. Single worker thread — this isolates the blocking, not the
+    // thread scaling. The criterion number is time per *call*; per-column
+    // tokens/s (= B / time) is printed alongside.
+    let (m, n) = (2048usize, 2048usize);
+    let (x16, bcq) = problem(m, n, 16);
+    let packed = PackedBcq::pack(&bcq);
+    let cfg = EngineConfig::paper_default();
+    let plan = ExecPlan::new(&packed, &cfg);
+    let mut g = c.benchmark_group("exec_i_2048x2048_q4_batch_1t");
+    for batch in [1usize, 2, 4, 8, 16] {
+        let x = Mat::from_fn(batch, n, |b, cc| x16[(b, cc)]);
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| black_box(plan.exec_i_threads(&x, &packed, &cfg, 1)))
+        });
+        // Per-column rate, so the amortization is visible in the output.
+        let started = Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            black_box(plan.exec_i_threads(&x, &packed, &cfg, 1));
+        }
+        let per_call = started.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "    B={batch}: {:.1} tok/s total, {:.1} tok/s per column",
+            batch as f64 / per_call,
+            1.0 / per_call
+        );
+    }
+    g.finish();
+}
+
 fn bench_packing(c: &mut Criterion) {
     let (_, bcq) = problem(1024, 1024, 1);
     let mut g = c.benchmark_group("pack_1024x1024_q4");
@@ -57,6 +93,7 @@ criterion_group!(
     benches,
     bench_exec_vs_model,
     bench_exec_thread_scaling,
+    bench_exec_batch_scaling,
     bench_packing
 );
 criterion_main!(benches);

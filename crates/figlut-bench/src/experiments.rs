@@ -33,7 +33,7 @@ use std::path::Path;
 
 /// All experiment ids, in paper order, plus the reproduction's extensions
 /// (`ablation`, `ext-node`, `ext-prefill` are not in the paper).
-pub const EXPERIMENTS: [&str; 23] = [
+pub const EXPERIMENTS: [&str; 24] = [
     "table1",
     "fig1",
     "fig2",
@@ -56,6 +56,7 @@ pub const EXPERIMENTS: [&str; 23] = [
     "ext-prefill",
     "ext-quant",
     "ext-throughput",
+    "ext-batch-scaling",
     "ext-serving",
 ];
 
@@ -103,6 +104,7 @@ fn dispatch(id: &str) -> Vec<(String, Table)> {
         "ext-prefill" => ext_prefill(),
         "ext-quant" => ext_quant(),
         "ext-throughput" => ext_throughput(),
+        "ext-batch-scaling" => ext_batch_scaling(),
         "ext-serving" => ext_serving(),
         other => panic!("unknown experiment '{other}' (try one of {EXPERIMENTS:?} or 'all')"),
     }
@@ -960,6 +962,129 @@ fn ext_throughput() -> Vec<(String, Table)> {
     t.note("timings are host-dependent; outputs are asserted bit-identical across");
     t.note("backend, batch subset, and thread count before any rate is reported");
     vec![("ext_throughput".into(), t)]
+}
+
+fn ext_batch_scaling() -> Vec<(String, Table)> {
+    // Extension: the batch-column blocking of PR 4 measured end to end —
+    // one batched `exec_i` call over B activation rows vs B sequential
+    // batch-1 calls on the same rows, across the OPT-1.3B decode GEMM
+    // set. The blocked kernel streams the packed weight planes once per
+    // k-tile for all B columns (B plane sweeps → 1), reads each decoded
+    // key's B line-sharing table entries in one contiguous (vectorizable)
+    // run, and folds four columns in lockstep — so the batched call
+    // approaches batch-1 cost as B grows. Before any rate is reported,
+    // the batched output is asserted bit-identical to the per-column runs
+    // — the invariance `prop_exec`/`prop_serve` pin, re-checked on the
+    // measured inputs.
+    use figlut_exec::{ExecPlan, PackedBcq};
+    use std::time::Instant;
+
+    let opt = by_name("OPT-1.3B").unwrap();
+    let d = opt.d_model;
+    let shapes: [(&str, usize, usize); 3] = [
+        ("QKV/out proj", d, d),
+        ("FFN up", opt.ffn, d),
+        ("FFN down", d, opt.ffn),
+    ];
+    let cfg = EngineConfig::paper_default();
+    let threads_nt = figlut_exec::parallel::thread_count();
+
+    // Best-of-5 wall times: the container clock is noisy and this is a
+    // measurement, not a statistics suite (`benches/exec_kernels.rs` has
+    // the criterion run).
+    let time = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let started = Instant::now();
+            f();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut t = Table::new(
+        format!(
+            "Extension — batch-blocked exec_i amortization \
+             (OPT-1.3B decode GEMMs, Q4, 1 thread; NT = {threads_nt} threads)"
+        ),
+        &[
+            "GEMM (m x n)",
+            "batch B",
+            "1 call @ B (ms)",
+            "B x batch-1 (ms)",
+            "speedup",
+            "tok/s total",
+            "tok/s total NT",
+        ],
+    );
+    let mut best_speedup_at_8 = 0.0f64;
+    for (name, m, n) in shapes {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.173).sin() * 0.2);
+        let u = rtn(&w, RtnParams::grouped(4, 128));
+        let bcq = BcqWeight::from_uniform(&u);
+        let packed = PackedBcq::pack(&bcq);
+        let plan = ExecPlan::new(&packed, &cfg);
+        let x16 = Mat::from_fn(16, n, |b, c| ((b * n + c) as f64 * 0.059).cos());
+        for batch in [1usize, 2, 4, 8, 16] {
+            let x = Mat::from_fn(batch, n, |b, c| x16[(b, c)]);
+            let rows: Vec<Mat<f64>> = (0..batch)
+                .map(|b| Mat::from_fn(1, n, |_, c| x[(b, c)]))
+                .collect();
+
+            // Bit-identity gate: batched ≡ per-column, before any timing
+            // is reported.
+            let yb = plan.exec_i_threads(&x, &packed, &cfg, 1);
+            for (b, row) in rows.iter().enumerate() {
+                let solo = plan.exec_i_threads(row, &packed, &cfg, 1);
+                assert_eq!(
+                    yb.row(b),
+                    solo.row(0),
+                    "{name} B={batch}: batched row {b} diverged from its batch-1 run"
+                );
+            }
+
+            let batched = time(&|| {
+                let _ = plan.exec_i_threads(&x, &packed, &cfg, 1);
+            });
+            let sequential = time(&|| {
+                for row in &rows {
+                    let _ = plan.exec_i_threads(row, &packed, &cfg, 1);
+                }
+            });
+            let batched_nt = time(&|| {
+                let _ = plan.exec_i_threads(&x, &packed, &cfg, threads_nt);
+            });
+            let speedup = sequential / batched;
+            if batch == 8 {
+                best_speedup_at_8 = best_speedup_at_8.max(speedup);
+            }
+            t.row(vec![
+                format!("{name} ({m} x {n})"),
+                batch.to_string(),
+                f3(batched * 1e3),
+                f3(sequential * 1e3),
+                ratio(speedup),
+                f3(batch as f64 / batched),
+                f3(batch as f64 / batched_nt),
+            ]);
+        }
+    }
+    t.note(format!(
+        "best batched-vs-sequential speedup at B = 8 across the decode set: {} \
+         (single thread)",
+        ratio(best_speedup_at_8)
+    ));
+    t.note("outputs asserted bit-identical (batched row b == batch-1 run of row b)");
+    t.note("before any rate is reported; gemm_i parity is pinned by prop_exec");
+    t.note("why it scales: the packed weight planes are streamed once per k-tile for");
+    t.note("all B columns (B sweeps -> 1 sweep per token batch), each decoded key's B");
+    t.note("table reads are one contiguous line-sharing run (vectorized from B >= 8),");
+    t.note("and the FP32 fold interleaves 4 independent per-column rounding chains");
+    t.note("timings are host-dependent and this container's clock is noisy; on this");
+    t.note("host the 2 MB-8 MB packed planes stay cache-resident, so the kernel is");
+    t.note("lookup-latency-bound rather than DRAM-bound and the batch speedup is");
+    t.note("sublinear; a DRAM-bound host amortizes closer to linearly");
+    vec![("ext_batch_scaling".into(), t)]
 }
 
 fn ext_serving() -> Vec<(String, Table)> {

@@ -46,8 +46,9 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"table5"));
     assert!(EXPERIMENTS.contains(&"fig17"));
     assert!(EXPERIMENTS.contains(&"ext-throughput"));
+    assert!(EXPERIMENTS.contains(&"ext-batch-scaling"));
     assert!(EXPERIMENTS.contains(&"ext-serving"));
-    assert_eq!(EXPERIMENTS.len(), 23);
+    assert_eq!(EXPERIMENTS.len(), 24);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

@@ -1,9 +1,9 @@
-//! Cache-blocked LUT-GEMM kernels over [`PackedBcq`] weights.
+//! Cache-blocked, batch-blocked LUT-GEMM kernels over [`PackedBcq`] weights.
 //!
 //! Both kernels follow the FIGLUT pipeline: per activation row, precompute
 //! one flat FFLUT per µ-column window ([`crate::lut`]); then every output
 //! row *reads* its µ-bit weight keys out of the packed bit-planes instead
-//! of multiplying. Work is blocked three ways:
+//! of multiplying. Work is blocked four ways:
 //!
 //! * **row panels** — output rows are split into contiguous panels, one per
 //!   worker thread ([`crate::parallel`]);
@@ -13,39 +13,93 @@
 //! * **k-tiles** — windows are visited in cache-sized tiles
 //!   (`tile_windows`), swept across the whole sub-panel before moving
 //!   on, so table reads stay cache-resident while plane bits stream
-//!   sequentially.
+//!   sequentially;
+//! * **batch columns** — a batched call processes *all* B activation rows
+//!   per streamed weight word: each µ-bit key is decoded once and read out
+//!   of the per-key-stacked FFLUTs ([`crate::lut::FlatLuts`]) for every
+//!   batch column before the next word loads, so the packed planes — the
+//!   kernel's only non-resident traffic — are swept once per call instead
+//!   of once per batch row, and the B reads of one key land on contiguous,
+//!   line-sharing entries. The k-tile size is rescaled by B so the stacked
+//!   tables stay L2-resident. Two column engines cover the batch range:
+//!   below `WIDE_MIN` columns, `COL_BLOCK`-wide *register* blocks (a
+//!   const-generic `[A; CB]` per row — up to `2·COL_BLOCK` independent
+//!   read chains per row pair, hiding table-read latency); from
+//!   `WIDE_MIN` up, *memory-backed* full-batch accumulator rows whose
+//!   per-key column zips auto-vectorize into packed adds
+//!   (`tile_pass_fast*_wide`).
+//!
+//! The final per-(row, column) fold interleaves four batch columns in
+//! lockstep — the FP32-rounded accumulator chain is serial per column, so
+//! independent columns hide its latency without reordering any single
+//! column's operations — and the integer path narrows tables *and*
+//! accumulators to i32 whenever the plan proves the group-partial bound
+//! (see `Accum`), which is what lets the wide pass vectorize on plain
+//! SSE2-class lanes.
 //!
 //! When µ divides both 64 and the scale-group size — which covers the
 //! paper's operating point (µ = 4) and every power-of-two config — windows
 //! are contiguous µ-bit fields of the packed words, and a monomorphized
-//! fast path (`tile_pass_fast`) extracts keys by shifting one `u64` at a
+//! fast path (`tile_pass_fast*`) extracts keys by shifting one `u64` at a
 //! time, with no per-window descriptors, branches, or bounds checks in the
 //! lookup loop. Ragged group tails and odd µ fall back to the generic
 //! descriptor walk (`tile_pass_generic`).
 //!
 //! [`exec_i`] reproduces the *exact* arithmetic of the FIGLUT-I datapath
 //! model: the same pre-alignment ([`AlignedVector`]), exact integer window
-//! sums (associativity makes the blocking invisible), and the same
-//! FP32-rounded fold sequence (`figlut_gemm::ifpu::fold_partial`) per `(group, plane)` in
+//! sums (associativity makes the blocking — including the batch and
+//! column-block splits — invisible), and the same FP32-rounded fold
+//! sequence (`figlut_gemm::ifpu::fold_partial`) per `(group, plane)` in
 //! the same order — so its output is bit-identical to
-//! `figlut_gemm::figlut::gemm_i` (and therefore to iFPU; DESIGN.md §3).
-//! [`exec_f`] accumulates window partials in native `f64` in a fixed
-//! (window-order) sequence, so it tracks `figlut_gemm::figlut::gemm_f` to
-//! within the scale-aware tolerance the property tests assert, at much
-//! higher throughput.
+//! `figlut_gemm::figlut::gemm_i` (and therefore to iFPU; DESIGN.md §3),
+//! *and* each batch row is bit-identical to a batch-1 call on that row
+//! alone (the invariance `figlut-serve` builds on, pinned by
+//! `tests/prop_exec.rs`). [`exec_f`] accumulates window partials in native
+//! `f64` in a fixed (window-order) sequence, so it tracks
+//! `figlut_gemm::figlut::gemm_f` to within the scale-aware tolerance the
+//! property tests assert, at much higher throughput.
+//!
+//! The entry points here build a throwaway [`ExecPlan`] per call; repeated
+//! execution over the same weights should build the plan once and call its
+//! methods instead ([`crate::plan`]).
+//!
+//! [`AlignedVector`]: figlut_num::align::AlignedVector
 
-use crate::lut::{windows, FlatLuts, Window};
+use crate::lut::{FlatLuts, Window};
 use crate::packed::PackedBcq;
-use crate::parallel::{run_row_panels, thread_count};
+use crate::parallel::thread_count;
+use crate::plan::ExecPlan;
 use figlut_gemm::common::{add32, mul32};
-use figlut_gemm::ifpu::fold_partial;
 use figlut_gemm::EngineConfig;
-use figlut_num::align::AlignedVector;
 use figlut_num::Mat;
 
 /// Rows per sub-panel: bounds the live partial-accumulator footprint
-/// (`PANEL_ROWS × groups × q` scalars) independently of the thread count.
-const PANEL_ROWS: usize = 64;
+/// (`PANEL_ROWS × batch × groups × q` scalars) independently of the thread
+/// count.
+pub(crate) const PANEL_ROWS: usize = 64;
+
+/// Batch columns processed per register-blocked fast-path pass (batches
+/// below `WIDE_MIN`). The per-column accumulators are a `[A; CB]` with
+/// `CB ≤ COL_BLOCK` monomorphized, so they live in registers — the row
+/// pair then carries `2·CB` independent `acc += table[key]` chains,
+/// hiding the table-read latency that serializes a batch-1 pass. 4 is the
+/// sweet spot on x86-64: the pair pass holds 8 accumulator registers plus
+/// keys/pointers without spilling.
+const COL_BLOCK: usize = 4;
+
+/// Batch threshold for the *wide* fast passes (`tile_pass_fast*_wide`):
+/// memory-backed full-batch accumulator rows whose per-key column zips
+/// auto-vectorize into packed adds. Below this, register-chain column
+/// blocks win (a vector round-trip through the stack costs more than it
+/// saves on a handful of lanes); from 8 columns up — one or two full
+/// vectors per key — the wide pass wins and keeps widening with the
+/// batch. Measured on the OPT-1.3B decode shapes (`ext-batch-scaling`).
+const WIDE_MIN: usize = 8;
+
+/// Upper bound on the wide passes' stack-resident accumulator rows;
+/// larger batches fall back to `COL_BLOCK`-at-a-time register blocks
+/// (correct at any batch, just not the fastest shape for 8..=64).
+const WIDE_MAX: usize = 64;
 
 /// Windows per k-tile, sized so one tile's tables stay around 256 KiB
 /// (assuming 8-byte entries; half that on the narrowed integer path) —
@@ -53,10 +107,15 @@ const PANEL_ROWS: usize = 64;
 /// tile is reused across the whole sub-panel (`PANEL_ROWS × q` passes)
 /// before the next tile streams in. Measured on the OPT decode shapes,
 /// smaller (L1-sized) tiles lose to per-pass loop overhead and larger
-/// ones thrash L2 once k·2^µ tables outgrow it. Always a multiple of the
-/// windows-per-word count for every µ dividing 64.
-fn tile_windows(mu: u32) -> usize {
-    (262144usize >> (mu + 3)).max(4)
+/// ones thrash L2 once k·2^µ tables outgrow it. A batched call stacks
+/// `batch` tables per window, so the window count is rescaled by `batch`
+/// to hold the byte budget. Always a multiple of the windows-per-word
+/// count for every µ dividing 64 (the fast path needs word-aligned tile
+/// boundaries).
+pub(crate) fn tile_windows(mu: u32, batch: usize) -> usize {
+    let kpw = if 64 % mu == 0 { (64 / mu) as usize } else { 1 };
+    let t = ((262144usize >> (mu + 3)) / batch.max(1)).max(4);
+    t.next_multiple_of(kpw)
 }
 
 /// Accumulator `Self` absorbing table entries of type `E`. Decoupling the
@@ -65,11 +124,17 @@ fn tile_windows(mu: u32) -> usize {
 /// shapes are bound by table-read bandwidth, not arithmetic. Sign extension
 /// is exact, so narrowing never changes a result (the build site proves the
 /// no-overflow bound first).
-trait Accum<E: Copy>: Copy + Default {
+pub(crate) trait Accum<E: Copy>: Copy + Default {
     /// Fold one table entry into the accumulator.
     fn absorb(&mut self, e: E);
     /// Fold another accumulator (a completed window sum) into this one.
     fn merge(&mut self, other: Self);
+    /// The accumulated value as `f64`, for the final fold. Converting the
+    /// native-width integer directly is bit-identical to the datapath
+    /// API's `i128 as f64` (same integer value, same round-to-nearest) but
+    /// is one hardware instruction instead of a softfloat libcall — this
+    /// sits on the per-(row, column) fold path.
+    fn to_f64(self) -> f64;
 }
 impl Accum<i64> for i64 {
     #[inline(always)]
@@ -79,6 +144,10 @@ impl Accum<i64> for i64 {
     #[inline(always)]
     fn merge(&mut self, other: i64) {
         *self += other;
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
     }
 }
 impl Accum<i32> for i64 {
@@ -90,6 +159,33 @@ impl Accum<i32> for i64 {
     fn merge(&mut self, other: i64) {
         *self += other;
     }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+/// The fully-narrow tier: i32 entries into i32 accumulators. Exact only
+/// when every group partial provably fits — the plan proves
+/// `group_size·max|mantissa| ≤ i32::MAX` first, which bounds every window
+/// sum, build intermediate, and running group partial (a group spans
+/// `group_size` columns, so any partial sum of its ±mantissa terms is
+/// within that bound). The payoff over `i32 → i64`: the batched pass's
+/// contiguous per-key column reads and its accumulators are both 32-bit
+/// lanes, so the column block vectorizes on plain SSE2 (`paddd`) instead
+/// of needing widening loads.
+impl Accum<i32> for i32 {
+    #[inline(always)]
+    fn absorb(&mut self, e: i32) {
+        *self += e;
+    }
+    #[inline(always)]
+    fn merge(&mut self, other: i32) {
+        *self += other;
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
 }
 impl Accum<f64> for f64 {
     #[inline(always)]
@@ -100,19 +196,29 @@ impl Accum<f64> for f64 {
     fn merge(&mut self, other: f64) {
         *self += other;
     }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
 }
 
 /// Fast tile pass for contiguous full-width windows (`µ | 64` and
-/// `µ | group_size`): walk the packed words of one plane row, peel µ-bit
-/// keys by shifting, and accumulate each scale group's window reads into a
-/// scalar before spilling to `prow[group·q + plane]`.
+/// `µ | group_size`) over one output row and the `CB` batch columns
+/// starting at `col0`: walk the packed words of one plane row, peel µ-bit
+/// keys by shifting, read each key's `CB` contiguous per-key-stacked
+/// entries, and accumulate each scale group's reads in `CB` register
+/// accumulators before spilling to
+/// `prow[(group·q + plane)·batch + col0 + j]`.
 ///
 /// `win_lo` must be word-aligned (a multiple of `64/MU`), which
-/// [`tile_windows`] guarantees for tile boundaries.
+/// [`tile_windows`] guarantees for tile boundaries. A batch-1 call is the
+/// `CB = 1` instantiation with `col0 = 0` — the classic scalar pass.
 #[allow(clippy::too_many_arguments)]
-fn tile_pass_fast<E: Copy, A: Accum<E>, const MU: usize>(
+fn tile_pass_fast<E: Copy, A: Accum<E>, const MU: usize, const CB: usize>(
     words: &[u64],
     entries: &[E],
+    batch: usize,
+    col0: usize,
     win_lo: usize,
     win_hi: usize,
     wpg: usize,
@@ -126,43 +232,57 @@ fn tile_pass_fast<E: Copy, A: Accum<E>, const MU: usize>(
     let kpw = 64 / MU; // windows (keys) per packed word
     let stride = 1usize << MU;
     let mask = stride - 1;
-    let mut tables = entries[win_lo * stride..win_hi * stride].chunks_exact(stride);
+    let bstride = batch * stride;
+    let mut tables = entries[win_lo * bstride..win_hi * bstride].chunks_exact(bstride);
     let mut g = win_lo / wpg;
     let mut left = wpg - (win_lo % wpg);
-    let mut acc = A::default();
+    let mut acc = [A::default(); CB];
     let mut remaining = win_hi - win_lo;
     for &wordv in &words[win_lo / kpw..(win_hi).div_ceil(kpw)] {
         let mut bits = wordv;
         for table in tables.by_ref().take(kpw.min(remaining)) {
             let key = (bits as usize) & mask;
             bits >>= MU;
-            acc.absorb(table[key]);
+            // Per-key column stacking: the CB reads are contiguous (they
+            // share cache lines — see `FlatLuts`).
+            let sub = &table[key * batch + col0..key * batch + col0 + CB];
+            for j in 0..CB {
+                acc[j].absorb(sub[j]);
+            }
             left -= 1;
             if left == 0 {
-                prow[g * q + plane].merge(acc);
-                acc = A::default();
+                let d0 = (g * q + plane) * batch + col0;
+                for (j, a) in acc.iter_mut().enumerate() {
+                    prow[d0 + j].merge(*a);
+                    *a = A::default();
+                }
                 g += 1;
                 left = wpg;
             }
         }
         remaining = remaining.saturating_sub(kpw);
     }
-    // Tile ended mid-group: spill the partial group sum.
+    // Tile ended mid-group: spill the partial group sums.
     if left != wpg {
-        prow[g * q + plane].merge(acc);
+        let d0 = (g * q + plane) * batch + col0;
+        for (j, a) in acc.iter().enumerate() {
+            prow[d0 + j].merge(*a);
+        }
     }
 }
 
 /// [`tile_pass_fast`] over a *pair* of output rows sharing one table
-/// walk. The two rows' accumulator chains are independent, so the CPU can
-/// keep twice as many table loads in flight — the single-row pass is bound
-/// by its serial `acc += table[key]` dependency chain, not by arithmetic —
-/// and each streamed table line is reused by both rows while resident.
+/// walk: `2·CB` independent accumulator chains keep that many table loads
+/// in flight — a single-row single-column pass is bound by its serial
+/// `acc += table[key]` dependency chain, not by arithmetic — and each
+/// streamed table line is reused by both rows while resident.
 #[allow(clippy::too_many_arguments)]
-fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize>(
+fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize, const CB: usize>(
     words0: &[u64],
     words1: &[u64],
     entries: &[E],
+    batch: usize,
+    col0: usize,
     win_lo: usize,
     win_hi: usize,
     wpg: usize,
@@ -177,11 +297,12 @@ fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize>(
     let kpw = 64 / MU;
     let stride = 1usize << MU;
     let mask = stride - 1;
-    let mut tables = entries[win_lo * stride..win_hi * stride].chunks_exact(stride);
+    let bstride = batch * stride;
+    let mut tables = entries[win_lo * bstride..win_hi * bstride].chunks_exact(bstride);
     let mut g = win_lo / wpg;
     let mut left = wpg - (win_lo % wpg);
-    let mut acc0 = A::default();
-    let mut acc1 = A::default();
+    let mut acc0 = [A::default(); CB];
+    let mut acc1 = [A::default(); CB];
     let mut remaining = win_hi - win_lo;
     let lo = win_lo / kpw;
     let hi = win_hi.div_ceil(kpw);
@@ -193,14 +314,23 @@ fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize>(
             let k1 = (bits1 as usize) & mask;
             bits0 >>= MU;
             bits1 >>= MU;
-            acc0.absorb(table[k0]);
-            acc1.absorb(table[k1]);
+            // Per-key column stacking: each row's CB reads are contiguous
+            // (they share cache lines — see `FlatLuts`).
+            let sub0 = &table[k0 * batch + col0..k0 * batch + col0 + CB];
+            let sub1 = &table[k1 * batch + col0..k1 * batch + col0 + CB];
+            for j in 0..CB {
+                acc0[j].absorb(sub0[j]);
+                acc1[j].absorb(sub1[j]);
+            }
             left -= 1;
             if left == 0 {
-                prow0[g * q + plane].merge(acc0);
-                prow1[g * q + plane].merge(acc1);
-                acc0 = A::default();
-                acc1 = A::default();
+                let d0 = (g * q + plane) * batch + col0;
+                for j in 0..CB {
+                    prow0[d0 + j].merge(acc0[j]);
+                    prow1[d0 + j].merge(acc1[j]);
+                    acc0[j] = A::default();
+                    acc1[j] = A::default();
+                }
                 g += 1;
                 left = wpg;
             }
@@ -208,17 +338,185 @@ fn tile_pass_fast2<E: Copy, A: Accum<E>, const MU: usize>(
         remaining = remaining.saturating_sub(kpw);
     }
     if left != wpg {
-        prow0[g * q + plane].merge(acc0);
-        prow1[g * q + plane].merge(acc1);
+        let d0 = (g * q + plane) * batch + col0;
+        for j in 0..CB {
+            prow0[d0 + j].merge(acc0[j]);
+            prow1[d0 + j].merge(acc1[j]);
+        }
+    }
+}
+
+/// Single-row variant of [`tile_pass_fast2_wide`] (ragged last row).
+#[allow(clippy::too_many_arguments)]
+fn tile_pass_fast_wide<E: Copy, A: Accum<E>, const MU: usize>(
+    words: &[u64],
+    entries: &[E],
+    batch: usize,
+    win_lo: usize,
+    win_hi: usize,
+    wpg: usize,
+    plane: usize,
+    q: usize,
+    prow: &mut [A],
+    accs: &mut [A],
+) {
+    if win_hi == win_lo {
+        return;
+    }
+    let kpw = 64 / MU;
+    let stride = 1usize << MU;
+    let mask = stride - 1;
+    let bstride = batch * stride;
+    let mut tables = entries[win_lo * bstride..win_hi * bstride].chunks_exact(bstride);
+    let mut g = win_lo / wpg;
+    let mut left = wpg - (win_lo % wpg);
+    accs.fill(A::default());
+    let mut remaining = win_hi - win_lo;
+    for &wordv in &words[win_lo / kpw..win_hi.div_ceil(kpw)] {
+        let mut bits = wordv;
+        for table in tables.by_ref().take(kpw.min(remaining)) {
+            let key = (bits as usize) & mask;
+            bits >>= MU;
+            let sub = &table[key * batch..key * batch + batch];
+            let r4 = batch & !3;
+            for (ac, sc) in accs[..r4]
+                .chunks_exact_mut(4)
+                .zip(sub[..r4].chunks_exact(4))
+            {
+                for j in 0..4 {
+                    ac[j].absorb(sc[j]);
+                }
+            }
+            for (a, &e) in accs[r4..].iter_mut().zip(&sub[r4..]) {
+                a.absorb(e);
+            }
+            left -= 1;
+            if left == 0 {
+                let d0 = (g * q + plane) * batch;
+                for (j, a) in accs.iter_mut().enumerate() {
+                    prow[d0 + j].merge(*a);
+                    *a = A::default();
+                }
+                g += 1;
+                left = wpg;
+            }
+        }
+        remaining = remaining.saturating_sub(kpw);
+    }
+    if left != wpg {
+        let d0 = (g * q + plane) * batch;
+        for (j, a) in accs.iter().enumerate() {
+            prow[d0 + j].merge(*a);
+        }
+    }
+}
+
+/// Full-batch-width [`tile_pass_fast2`]: the per-row accumulators are
+/// *memory-backed* `batch`-wide arrays and every per-key operation is a
+/// contiguous `accs[j] += sub[j]` zip over the whole batch, which the loop
+/// vectorizer lowers to packed adds (the register-array passes stay scalar
+/// — LLVM's SLP pass does not form vector PHIs for loop-carried register
+/// accumulators). Used when the batch is wide enough that the vectorized
+/// zip beats `COL_BLOCK`-at-a-time register chains.
+#[allow(clippy::too_many_arguments)]
+fn tile_pass_fast2_wide<E: Copy, A: Accum<E>, const MU: usize>(
+    words0: &[u64],
+    words1: &[u64],
+    entries: &[E],
+    batch: usize,
+    win_lo: usize,
+    win_hi: usize,
+    wpg: usize,
+    plane: usize,
+    q: usize,
+    prow0: &mut [A],
+    prow1: &mut [A],
+    accs0: &mut [A],
+    accs1: &mut [A],
+) {
+    if win_hi == win_lo {
+        return;
+    }
+    let kpw = 64 / MU;
+    let stride = 1usize << MU;
+    let mask = stride - 1;
+    let bstride = batch * stride;
+    let mut tables = entries[win_lo * bstride..win_hi * bstride].chunks_exact(bstride);
+    let mut g = win_lo / wpg;
+    let mut left = wpg - (win_lo % wpg);
+    accs0.fill(A::default());
+    accs1.fill(A::default());
+    let mut remaining = win_hi - win_lo;
+    let lo = win_lo / kpw;
+    let hi = win_hi.div_ceil(kpw);
+    for (&w0, &w1) in words0[lo..hi].iter().zip(&words1[lo..hi]) {
+        let mut bits0 = w0;
+        let mut bits1 = w1;
+        for table in tables.by_ref().take(kpw.min(remaining)) {
+            let k0 = (bits0 as usize) & mask;
+            let k1 = (bits1 as usize) & mask;
+            bits0 >>= MU;
+            bits1 >>= MU;
+            let sub0 = &table[k0 * batch..k0 * batch + batch];
+            let sub1 = &table[k1 * batch..k1 * batch + batch];
+            // Exact-4 chunks: straight-line column adds with contiguous
+            // loads and memory-backed accumulators — the shape SLP lowers
+            // to packed adds without a runtime-checked vector preamble.
+            let r4 = batch & !3;
+            for (ac, sc) in accs0[..r4]
+                .chunks_exact_mut(4)
+                .zip(sub0[..r4].chunks_exact(4))
+            {
+                for j in 0..4 {
+                    ac[j].absorb(sc[j]);
+                }
+            }
+            for (a, &e) in accs0[r4..].iter_mut().zip(&sub0[r4..]) {
+                a.absorb(e);
+            }
+            for (ac, sc) in accs1[..r4]
+                .chunks_exact_mut(4)
+                .zip(sub1[..r4].chunks_exact(4))
+            {
+                for j in 0..4 {
+                    ac[j].absorb(sc[j]);
+                }
+            }
+            for (a, &e) in accs1[r4..].iter_mut().zip(&sub1[r4..]) {
+                a.absorb(e);
+            }
+            left -= 1;
+            if left == 0 {
+                let d0 = (g * q + plane) * batch;
+                for (j, (a0, a1)) in accs0.iter_mut().zip(accs1.iter_mut()).enumerate() {
+                    prow0[d0 + j].merge(*a0);
+                    prow1[d0 + j].merge(*a1);
+                    *a0 = A::default();
+                    *a1 = A::default();
+                }
+                g += 1;
+                left = wpg;
+            }
+        }
+        remaining = remaining.saturating_sub(kpw);
+    }
+    if left != wpg {
+        let d0 = (g * q + plane) * batch;
+        for (j, (a0, a1)) in accs0.iter().zip(accs1.iter()).enumerate() {
+            prow0[d0 + j].merge(*a0);
+            prow1[d0 + j].merge(*a1);
+        }
     }
 }
 
 /// Generic tile pass: per-window descriptors, arbitrary widths/starts
-/// (ragged group tails, µ ∤ 64).
+/// (ragged group tails, µ ∤ 64). The key of each descriptor window is
+/// decoded from the weight bits once, then read for every batch column.
 #[allow(clippy::too_many_arguments)]
 fn tile_pass_generic<E: Copy, A: Accum<E>>(
     words: &[u64],
     entries: &[E],
+    batch: usize,
     shift: u32,
     tile: &[Window],
     win_lo: usize,
@@ -236,14 +534,47 @@ fn tile_pass_generic<E: Copy, A: Accum<E>>(
             bits |= words[wi + 1] << (64 - off);
         }
         let key = (bits as usize) & ((1usize << win.width) - 1);
-        prow[win.group as usize * q + plane].absorb(entries[((win_lo + wo) << shift) | key]);
+        let d0 = (win.group as usize * q + plane) * batch;
+        let base = ((win_lo + wo) << shift | key) * batch;
+        for b in 0..batch {
+            prow[d0 + b].absorb(entries[base + b]);
+        }
     }
 }
 
-/// Accumulate all window partials of rows `r0..r0+rows` for one batch row:
-/// the shared tile walk of both kernels. `partials` is `rows × groups × q`
-/// in `[row][group][plane]` order.
-fn accumulate_panel<E: Copy, A: Accum<E>>(
+/// Invoke `$mac!(MU, CB)` for the runtime `(mu, cb)` pair — the fast-path
+/// monomorphization grid (µ ∈ {1,2,4,8} are the divisors of 64 in range,
+/// cb ∈ 1..=[`COL_BLOCK`]).
+macro_rules! dispatch_mu_cb {
+    ($mu:expr, $cb:expr, $mac:ident) => {
+        match ($mu, $cb) {
+            (1, 1) => $mac!(1, 1),
+            (1, 2) => $mac!(1, 2),
+            (1, 3) => $mac!(1, 3),
+            (1, 4) => $mac!(1, 4),
+            (2, 1) => $mac!(2, 1),
+            (2, 2) => $mac!(2, 2),
+            (2, 3) => $mac!(2, 3),
+            (2, 4) => $mac!(2, 4),
+            (4, 1) => $mac!(4, 1),
+            (4, 2) => $mac!(4, 2),
+            (4, 3) => $mac!(4, 3),
+            (4, 4) => $mac!(4, 4),
+            (8, 1) => $mac!(8, 1),
+            (8, 2) => $mac!(8, 2),
+            (8, 3) => $mac!(8, 3),
+            (8, 4) => $mac!(8, 4),
+            _ => unreachable!("64 % µ == 0 with µ ∈ 1..=8, 1 ≤ cb ≤ COL_BLOCK"),
+        }
+    };
+}
+
+/// Accumulate all window partials of rows `r0..r0+rows` for every batch
+/// column: the shared tile walk of both kernels. `partials` is
+/// `rows × groups × q × batch` in `[row][group][plane][column]` order —
+/// columns innermost, so both the kernel's per-key spills and the final
+/// fold's column-interleaved reads are contiguous.
+pub(crate) fn accumulate_panel<E: Copy, A: Accum<E>>(
     w: &PackedBcq,
     wins: &[Window],
     luts: &FlatLuts<E>,
@@ -251,77 +582,130 @@ fn accumulate_panel<E: Copy, A: Accum<E>>(
     rows: usize,
     partials: &mut [A],
 ) {
+    let batch = luts.batch();
     let q = w.bits();
     let gq = w.groups() * q;
+    let prow_len = batch * gq;
     let shift = luts.mu();
     let mu = shift as usize;
     let entries = luts.entries();
     let gs = w.group_size();
     let fast = 64 % mu == 0 && gs.is_multiple_of(mu);
     let wpg = gs / mu; // windows per group (fast path only)
-    let tile = tile_windows(shift);
+    let tile = tile_windows(shift, batch);
+    let wide = (WIDE_MIN..=WIDE_MAX).contains(&batch);
+    let mut wacc0 = [A::default(); WIDE_MAX];
+    let mut wacc1 = [A::default(); WIDE_MAX];
     for (t, tile_wins) in wins.chunks(tile).enumerate() {
         let win_lo = t * tile;
         let win_hi = win_lo + tile_wins.len();
-        if fast {
-            // Row pairs: two independent accumulator chains per pass hide
-            // table-read latency (see [`tile_pass_fast2`]); a ragged last
-            // row falls back to the single-row pass.
-            let mut pairs = partials[..rows * gq].chunks_mut(2 * gq);
+        if fast && wide {
+            let (a0, a1) = (&mut wacc0[..batch], &mut wacc1[..batch]);
+            let mut pairs = partials[..rows * prow_len].chunks_mut(2 * prow_len);
             let mut ri = 0;
             for chunk in pairs.by_ref() {
-                if chunk.len() == 2 * gq {
-                    let (p0, p1) = chunk.split_at_mut(gq);
+                if chunk.len() == 2 * prow_len {
+                    let (p0, p1) = chunk.split_at_mut(prow_len);
                     let (ra, rb) = (r0 + ri, r0 + ri + 1);
                     for i in 0..q {
                         let (w0, w1) = (w.plane_row(i, ra), w.plane_row(i, rb));
+                        macro_rules! pass2w {
+                            ($m:literal) => {
+                                tile_pass_fast2_wide::<E, A, $m>(
+                                    w0, w1, entries, batch, win_lo, win_hi, wpg, i, q, p0, p1, a0,
+                                    a1,
+                                )
+                            };
+                        }
                         match mu {
-                            1 => tile_pass_fast2::<E, A, 1>(
-                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
-                            ),
-                            2 => tile_pass_fast2::<E, A, 2>(
-                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
-                            ),
-                            4 => tile_pass_fast2::<E, A, 4>(
-                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
-                            ),
-                            8 => tile_pass_fast2::<E, A, 8>(
-                                w0, w1, entries, win_lo, win_hi, wpg, i, q, p0, p1,
-                            ),
+                            1 => pass2w!(1),
+                            2 => pass2w!(2),
+                            4 => pass2w!(4),
+                            8 => pass2w!(8),
                             _ => unreachable!("64 % µ == 0 with µ ∈ 1..=8"),
                         }
                     }
                 } else {
-                    // Odd tail row.
-                    let prow = &mut chunk[..gq];
+                    let prow = &mut chunk[..prow_len];
                     let r = r0 + ri;
                     for i in 0..q {
                         let words = w.plane_row(i, r);
+                        macro_rules! pass1w {
+                            ($m:literal) => {
+                                tile_pass_fast_wide::<E, A, $m>(
+                                    words, entries, batch, win_lo, win_hi, wpg, i, q, prow, a0,
+                                )
+                            };
+                        }
                         match mu {
-                            1 => tile_pass_fast::<E, A, 1>(
-                                words, entries, win_lo, win_hi, wpg, i, q, prow,
-                            ),
-                            2 => tile_pass_fast::<E, A, 2>(
-                                words, entries, win_lo, win_hi, wpg, i, q, prow,
-                            ),
-                            4 => tile_pass_fast::<E, A, 4>(
-                                words, entries, win_lo, win_hi, wpg, i, q, prow,
-                            ),
-                            8 => tile_pass_fast::<E, A, 8>(
-                                words, entries, win_lo, win_hi, wpg, i, q, prow,
-                            ),
+                            1 => pass1w!(1),
+                            2 => pass1w!(2),
+                            4 => pass1w!(4),
+                            8 => pass1w!(8),
                             _ => unreachable!("64 % µ == 0 with µ ∈ 1..=8"),
                         }
                     }
                 }
                 ri += 2;
             }
+        } else if fast {
+            // Row pairs × column blocks: up to 2·COL_BLOCK independent
+            // accumulator chains per pass hide table-read latency (see
+            // [`tile_pass_fast2`]); a ragged last row falls back to the
+            // single-row pass, a ragged column tail to a narrower block.
+            let mut pairs = partials[..rows * prow_len].chunks_mut(2 * prow_len);
+            let mut ri = 0;
+            for chunk in pairs.by_ref() {
+                if chunk.len() == 2 * prow_len {
+                    let (p0, p1) = chunk.split_at_mut(prow_len);
+                    let (ra, rb) = (r0 + ri, r0 + ri + 1);
+                    for i in 0..q {
+                        let (w0, w1) = (w.plane_row(i, ra), w.plane_row(i, rb));
+                        let mut col0 = 0;
+                        while col0 < batch {
+                            let cb = (batch - col0).min(COL_BLOCK);
+                            macro_rules! pass2 {
+                                ($m:literal, $c:literal) => {
+                                    tile_pass_fast2::<E, A, $m, $c>(
+                                        w0, w1, entries, batch, col0, win_lo, win_hi, wpg, i, q,
+                                        p0, p1,
+                                    )
+                                };
+                            }
+                            dispatch_mu_cb!(mu, cb, pass2);
+                            col0 += cb;
+                        }
+                    }
+                } else {
+                    // Odd tail row.
+                    let prow = &mut chunk[..prow_len];
+                    let r = r0 + ri;
+                    for i in 0..q {
+                        let words = w.plane_row(i, r);
+                        let mut col0 = 0;
+                        while col0 < batch {
+                            let cb = (batch - col0).min(COL_BLOCK);
+                            macro_rules! pass1 {
+                                ($m:literal, $c:literal) => {
+                                    tile_pass_fast::<E, A, $m, $c>(
+                                        words, entries, batch, col0, win_lo, win_hi, wpg, i, q,
+                                        prow,
+                                    )
+                                };
+                            }
+                            dispatch_mu_cb!(mu, cb, pass1);
+                            col0 += cb;
+                        }
+                    }
+                }
+                ri += 2;
+            }
         } else {
-            for (ri, prow) in partials.chunks_mut(gq).take(rows).enumerate() {
+            for (ri, prow) in partials.chunks_mut(prow_len).take(rows).enumerate() {
                 let r = r0 + ri;
                 for i in 0..q {
                     let words = w.plane_row(i, r);
-                    tile_pass_generic(words, entries, shift, tile_wins, win_lo, i, q, prow);
+                    tile_pass_generic(words, entries, batch, shift, tile_wins, win_lo, i, q, prow);
                 }
             }
         }
@@ -329,92 +713,173 @@ fn accumulate_panel<E: Copy, A: Accum<E>>(
 }
 
 /// One worker's share of `exec_i`: sub-panel blocks of integer partials,
-/// then the datapath model's exact FP32-rounded fold per output row.
-fn panel_i<E: Copy>(
+/// then the datapath model's exact FP32-rounded fold per (output row,
+/// batch column). `panel` is the worker's `rows × batch` slice of the
+/// transposed output; `gsum_folds` is `batch × groups`; `partials` is
+/// caller-owned scratch (reused allocation-free across calls).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn panel_i<E: Copy, A: Accum<E>>(
     w: &PackedBcq,
     wins: &[Window],
     luts: &FlatLuts<E>,
-    gsum_fold: &[f64],
-    lambda: f64,
+    gsum_folds: &[f64],
+    lambdas: &[f64],
     r0: usize,
     panel: &mut [f64],
-) where
-    i64: Accum<E>,
-{
+    partials: &mut Vec<A>,
+) {
+    let batch = luts.batch();
+    debug_assert_eq!(lambdas.len(), batch);
     let q = w.bits();
     let groups = w.groups();
     let gq = groups * q;
-    let mut partials = vec![0i64; PANEL_ROWS.min(panel.len()) * gq];
-    for (s, sub) in panel.chunks_mut(PANEL_ROWS).enumerate() {
-        let sr0 = r0 + s * PANEL_ROWS;
-        let partials = &mut partials[..sub.len() * gq];
-        partials.fill(0);
-        accumulate_panel(w, wins, luts, sr0, sub.len(), partials);
+    let prow_len = batch * gq;
+    let rows = panel.len() / batch;
+    let pr = PANEL_ROWS;
+    partials.clear();
+    partials.resize(pr.min(rows) * prow_len, A::default());
+    for (s, sub) in panel.chunks_mut(pr * batch).enumerate() {
+        let sr0 = r0 + s * pr;
+        let sub_rows = sub.len() / batch;
+        let partials = &mut partials[..sub_rows * prow_len];
+        partials.fill(A::default());
+        accumulate_panel(w, wins, luts, sr0, sub_rows, partials);
         // Fold in exactly the datapath model's order — per group, plane
         // partials then the offset term, via the model's own
         // `fold_partial`; the row-invariant `mul32(Σx, λ)` of the offset
-        // term arrives pre-folded in `gsum_fold`, so its fold stays
-        // open-coded.
-        for (ri, out) in sub.iter_mut().enumerate() {
+        // term arrives pre-folded in `gsum_folds`, so its fold stays
+        // open-coded. Each batch column folds with its own λ and Σx, so
+        // every (row, column) result is bit-identical to a batch-1 call.
+        for (ri, out_row) in sub.chunks_mut(batch).enumerate() {
             let r = sr0 + ri;
             let scales = w.row_scales(r);
-            let prow = &partials[ri * gq..(ri + 1) * gq];
-            let mut acc = 0.0;
-            if w.has_offset() {
-                let zs = w.row_offsets(r);
-                for g in 0..groups {
-                    for i in 0..q {
-                        acc = fold_partial(acc, scales[g * q + i], prow[g * q + i] as i128, lambda);
+            let prow = &partials[ri * prow_len..(ri + 1) * prow_len];
+            // Partials are `[group][plane][column]`, so column b of fold
+            // slot gi is `prow[gi·batch + b]`. Each column's fold sequence
+            // is exactly the datapath model's — `fold(acc, a, p) =
+            // add32(acc, mul32(a, mul32(p, λ)))` is
+            // `figlut_gemm::ifpu::fold_partial` with the i128 partial
+            // replaced by the accumulator's own width ([`Accum::to_f64`]
+            // explains why that is bit-identical) — but *four columns are
+            // folded in lockstep*: the FP32-rounded accumulator chain is
+            // serial per column (~3 dependent rounding steps per slot), so
+            // interleaving independent columns hides most of its latency.
+            // Interleaving never reorders any single column's operations,
+            // so results stay bit-identical to batch-1 folds.
+            let fold = |acc: f64, a: f64, p: A, lambda: f64| -> f64 {
+                add32(acc, mul32(a, mul32(p.to_f64(), lambda)))
+            };
+            let zs = w.has_offset().then(|| w.row_offsets(r));
+            let mut b0 = 0;
+            while b0 + 4 <= batch {
+                let mut acc = [0.0f64; 4];
+                let lam = [
+                    lambdas[b0],
+                    lambdas[b0 + 1],
+                    lambdas[b0 + 2],
+                    lambdas[b0 + 3],
+                ];
+                if let Some(zs) = zs {
+                    for g in 0..groups {
+                        for i in 0..q {
+                            let a = scales[g * q + i];
+                            let base = (g * q + i) * batch + b0;
+                            for j in 0..4 {
+                                acc[j] = fold(acc[j], a, prow[base + j], lam[j]);
+                            }
+                        }
+                        for j in 0..4 {
+                            let gf = gsum_folds[(b0 + j) * groups + g];
+                            acc[j] = add32(acc[j], mul32(zs[g], gf));
+                        }
                     }
-                    acc = add32(acc, mul32(zs[g], gsum_fold[g]));
+                } else {
+                    for (gi, &a) in scales.iter().enumerate() {
+                        let base = gi * batch + b0;
+                        for j in 0..4 {
+                            acc[j] = fold(acc[j], a, prow[base + j], lam[j]);
+                        }
+                    }
                 }
-            } else {
-                for (&a, &p) in scales.iter().zip(prow) {
-                    acc = fold_partial(acc, a, p as i128, lambda);
-                }
+                out_row[b0..b0 + 4].copy_from_slice(&acc);
+                b0 += 4;
             }
-            *out = acc;
+            for (b, out) in out_row.iter_mut().enumerate().skip(b0) {
+                let lambda = lambdas[b];
+                let mut acc = 0.0;
+                if let Some(zs) = zs {
+                    let gsum_fold = &gsum_folds[b * groups..(b + 1) * groups];
+                    for g in 0..groups {
+                        for i in 0..q {
+                            acc = fold(
+                                acc,
+                                scales[g * q + i],
+                                prow[(g * q + i) * batch + b],
+                                lambda,
+                            );
+                        }
+                        acc = add32(acc, mul32(zs[g], gsum_fold[g]));
+                    }
+                } else {
+                    for (gi, &a) in scales.iter().enumerate() {
+                        acc = fold(acc, a, prow[gi * batch + b], lambda);
+                    }
+                }
+                *out = acc;
+            }
         }
     }
 }
 
-/// One worker's share of `exec_f`: f64 partials, plain f64 fold.
-fn panel_f(
+/// One worker's share of `exec_f`: f64 partials, plain f64 fold. Same
+/// layout contract as [`panel_i`]; `gsums` is `batch × groups`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn panel_f(
     w: &PackedBcq,
     wins: &[Window],
     luts: &FlatLuts<f64>,
-    gsum: &[f64],
+    gsums: &[f64],
     r0: usize,
     panel: &mut [f64],
+    partials: &mut Vec<f64>,
 ) {
+    let batch = luts.batch();
     let q = w.bits();
     let groups = w.groups();
     let gq = groups * q;
-    let mut partials = vec![0.0f64; PANEL_ROWS.min(panel.len()) * gq];
-    for (s, sub) in panel.chunks_mut(PANEL_ROWS).enumerate() {
-        let sr0 = r0 + s * PANEL_ROWS;
-        let partials = &mut partials[..sub.len() * gq];
+    let prow_len = batch * gq;
+    let rows = panel.len() / batch;
+    let pr = PANEL_ROWS;
+    partials.clear();
+    partials.resize(pr.min(rows) * prow_len, 0.0);
+    for (s, sub) in panel.chunks_mut(pr * batch).enumerate() {
+        let sr0 = r0 + s * pr;
+        let sub_rows = sub.len() / batch;
+        let partials = &mut partials[..sub_rows * prow_len];
         partials.fill(0.0);
-        accumulate_panel(w, wins, luts, sr0, sub.len(), partials);
-        for (ri, out) in sub.iter_mut().enumerate() {
+        accumulate_panel(w, wins, luts, sr0, sub_rows, partials);
+        for (ri, out_row) in sub.chunks_mut(batch).enumerate() {
             let r = sr0 + ri;
             let scales = w.row_scales(r);
-            let prow = &partials[ri * gq..(ri + 1) * gq];
-            let mut acc = 0.0;
-            if w.has_offset() {
-                let zs = w.row_offsets(r);
-                for g in 0..groups {
-                    for i in 0..q {
-                        acc += scales[g * q + i] * prow[g * q + i];
+            let prow = &partials[ri * prow_len..(ri + 1) * prow_len];
+            for (b, out) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                if w.has_offset() {
+                    let gsum = &gsums[b * groups..(b + 1) * groups];
+                    let zs = w.row_offsets(r);
+                    for g in 0..groups {
+                        for i in 0..q {
+                            acc += scales[g * q + i] * prow[(g * q + i) * batch + b];
+                        }
+                        acc += zs[g] * gsum[g];
                     }
-                    acc += zs[g] * gsum[g];
+                } else {
+                    for (gi, &a) in scales.iter().enumerate() {
+                        acc += a * prow[gi * batch + b];
+                    }
                 }
-            } else {
-                for (&a, &p) in scales.iter().zip(prow) {
-                    acc += a * p;
-                }
+                *out = acc;
             }
-            *out = acc;
         }
     }
 }
@@ -429,7 +894,7 @@ fn panel_f(
 /// tables) is the sweet spot, mirroring the paper's own µ-vs-table-power
 /// trade-off (Fig. 8). Falls back to the configured µ (generic descriptor
 /// walk) when the group size has no even divisor in range.
-fn effective_mu(gs: usize, cfg_mu: u32) -> usize {
+pub(crate) fn effective_mu(gs: usize, cfg_mu: u32) -> usize {
     for e in [8usize, 4, 2] {
         if gs.is_multiple_of(e) {
             return e;
@@ -439,7 +904,7 @@ fn effective_mu(gs: usize, cfg_mu: u32) -> usize {
 }
 
 /// Validate shapes/config shared by both kernels; returns `(batch, m, n)`.
-fn check(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> (usize, usize, usize) {
+pub(crate) fn check(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> (usize, usize, usize) {
     assert!((1..=8).contains(&cfg.mu), "µ = {} unsupported", cfg.mu);
     let (batch, n) = x.shape();
     let (m, wn) = w.shape();
@@ -452,52 +917,14 @@ fn check(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> (usize, usize, usiz
 
 /// FIGLUT-I fast path: `y = x·Wᵀ`, bit-identical to
 /// `figlut_gemm::figlut::gemm_i` (and hence to iFPU), using `threads`
-/// worker threads.
+/// worker threads. Builds a throwaway [`ExecPlan`]; callers that execute
+/// the same weights repeatedly should cache one.
 ///
 /// # Panics
 ///
 /// Panics on shape mismatch or `µ ∉ 1..=8`.
 pub fn exec_i_threads(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig, threads: usize) -> Mat<f64> {
-    let (batch, m, n) = check(x, w, cfg);
-    let gs = w.group_size();
-    let groups = w.groups();
-    let mu = effective_mu(gs, cfg.mu);
-    let wins = windows(n, gs, mu);
-    let mut y = Mat::zeros(batch, m);
-    for b in 0..batch {
-        let xa: Vec<f64> = x.row(b).iter().map(|&v| cfg.act.quantize(v)).collect();
-        let aligned = AlignedVector::align(&xa, cfg.act, cfg.guard_bits, cfg.align);
-        let lambda = aligned.scale();
-        let mant = aligned.mantissas();
-        // Offset term Σx per group (the all-ones-key read of every
-        // window), pre-folded to `mul32(Σx·λ)` — it is identical for
-        // every output row.
-        let gsum_fold: Vec<f64> = (0..groups)
-            .map(|g| {
-                let p: i128 = mant[g * gs..(g + 1) * gs].iter().map(|&v| v as i128).sum();
-                mul32(p as f64, lambda)
-            })
-            .collect();
-        // Large-k shapes are bound by table-read bandwidth, so narrow the
-        // table entries to i32 whenever every window sum (and every build
-        // intermediate, all bounded by µ·max|mantissa|) provably fits.
-        // Sign extension is exact: both widths produce bit-identical
-        // results; the i64 path is kept for extreme activation ranges.
-        let maxm = mant.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
-        if (mu as u64).saturating_mul(maxm) <= i32::MAX as u64 {
-            let m32: Vec<i32> = mant.iter().map(|&v| v as i32).collect();
-            let luts = FlatLuts::build(&m32, &wins, mu as u32);
-            run_row_panels(y.row_mut(b), threads, |r0, panel| {
-                panel_i(w, &wins, &luts, &gsum_fold, lambda, r0, panel);
-            });
-        } else {
-            let luts = FlatLuts::build(mant, &wins, mu as u32);
-            run_row_panels(y.row_mut(b), threads, |r0, panel| {
-                panel_i(w, &wins, &luts, &gsum_fold, lambda, r0, panel);
-            });
-        }
-    }
-    y
+    ExecPlan::new(w, cfg).exec_i_threads(x, w, cfg, threads)
 }
 
 /// [`exec_i_threads`] with the default worker count
@@ -508,29 +935,14 @@ pub fn exec_i(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> Mat<f64> {
 
 /// FIGLUT-F fast path: `y = x·Wᵀ` with `f64` accumulation, tracking
 /// `figlut_gemm::figlut::gemm_f` within scale-aware tolerance, using
-/// `threads` worker threads.
+/// `threads` worker threads. Builds a throwaway [`ExecPlan`]; callers that
+/// execute the same weights repeatedly should cache one.
 ///
 /// # Panics
 ///
 /// Panics on shape mismatch or `µ ∉ 1..=8`.
 pub fn exec_f_threads(x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig, threads: usize) -> Mat<f64> {
-    let (batch, m, n) = check(x, w, cfg);
-    let gs = w.group_size();
-    let groups = w.groups();
-    let mu = effective_mu(gs, cfg.mu);
-    let wins = windows(n, gs, mu);
-    let mut y = Mat::zeros(batch, m);
-    for b in 0..batch {
-        let xa: Vec<f64> = x.row(b).iter().map(|&v| cfg.act.quantize(v)).collect();
-        let luts = FlatLuts::build(&xa, &wins, mu as u32);
-        let gsum: Vec<f64> = (0..groups)
-            .map(|g| xa[g * gs..(g + 1) * gs].iter().sum())
-            .collect();
-        run_row_panels(y.row_mut(b), threads, |r0, panel| {
-            panel_f(w, &wins, &luts, &gsum, r0, panel);
-        });
-    }
-    y
+    ExecPlan::new(w, cfg).exec_f_threads(x, w, cfg, threads)
 }
 
 /// [`exec_f_threads`] with the default worker count
@@ -580,7 +992,8 @@ mod tests {
         // gs = 15 (no even divisor): `effective_mu` keeps the configured
         // µ, so µ ∈ {3, 5, 6, 7} (64 % µ ≠ 0) and µ ∈ {2, 4, 8}
         // (15 % µ ≠ 0, ragged tails) all walk the generic descriptor
-        // path; only µ = 1 stays fast.
+        // path; only µ = 1 stays fast. Batch 3 exercises the batched
+        // variants of both walks.
         let w9 = Mat::from_fn(5, 45, |r, c| ((r * 45 + c) as f64 * 0.201).sin() * 0.5);
         let b9 = BcqWeight::quantize(&w9, BcqParams::grouped(3, 15));
         let x9 = Mat::from_fn(3, 45, |bb, c| ((bb * 45 + c) as f64 * 0.063).cos());
@@ -614,6 +1027,47 @@ mod tests {
             exec_i_threads(&x, &p, &cfg, 2).as_slice(),
             gemm_i(&x, &b, &cfg).as_slice()
         );
+    }
+
+    #[test]
+    fn batched_call_rows_match_single_row_calls() {
+        // The batch-blocking theorem at unit-test scale, with batch sizes
+        // spanning both column engines (1..=7 covers COL_BLOCK register
+        // blocks plus ragged 1/2/3-column tails; 8..=9 the wide
+        // memory-backed pass) over an odd row count, so the odd-tail-row
+        // variant of every pass runs too: each row of one batched call
+        // equals the batch-1 call on that row alone, bit for bit (the
+        // property suite widens this to arbitrary shapes).
+        let (_, b) = setup(9, 96, 3);
+        let cfg = EngineConfig::paper_default();
+        let p = PackedBcq::pack(&b);
+        let x9 = Mat::from_fn(9, 96, |bb, c| ((bb * 96 + c) as f64 * 0.063).cos());
+        for batch in 1..=9usize {
+            let x = Mat::from_fn(batch, 96, |bb, c| x9[(bb, c)]);
+            let batched = exec_i_threads(&x, &p, &cfg, 2);
+            for bb in 0..batch {
+                let row = Mat::from_fn(1, 96, |_, c| x[(bb, c)]);
+                let solo = exec_i_threads(&row, &p, &cfg, 1);
+                assert_eq!(batched.row(bb), solo.row(0), "B={batch} row {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_windows_rescales_with_batch_and_stays_word_aligned() {
+        for mu in [1u32, 2, 4, 8] {
+            let kpw = 64 / mu as usize;
+            let base = tile_windows(mu, 1);
+            assert_eq!(base, (262144usize >> (mu + 3)).max(4), "µ={mu} base");
+            for batch in [1usize, 2, 3, 7, 16, 100_000] {
+                let t = tile_windows(mu, batch);
+                assert!(t >= kpw, "µ={mu} B={batch}: tile {t} < one word");
+                assert!(t.is_multiple_of(kpw), "µ={mu} B={batch}: tile {t} ragged");
+                assert!(t <= base, "µ={mu} B={batch}: tile grew");
+            }
+        }
+        // µ ∤ 64 (generic walk): no alignment constraint, still positive.
+        assert!(tile_windows(3, 9) >= 4);
     }
 
     #[test]

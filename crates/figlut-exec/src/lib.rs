@@ -11,8 +11,9 @@
 //! | Module | Hardware analogue | Contents |
 //! |---|---|---|
 //! | [`packed`] | weight SRAM layout | [`PackedBcq`]: bit-planes as `u64` words, scales in fold order |
-//! | [`lut`] | FFLUT generators | flat per-window `2^µ` tables, built half + mirrored (Fig. 10) |
-//! | [`kernel`] | RAC arrays | cache-blocked [`exec_f`] / [`exec_i`] read-accumulate kernels |
+//! | [`lut`] | FFLUT generators | flat per-window `2^µ` tables, batch-stacked across activation rows, built half + mirrored (Fig. 10) |
+//! | [`kernel`] | RAC arrays | cache-blocked, batch-blocked [`exec_f`] / [`exec_i`] read-accumulate kernels |
+//! | [`plan`] | weight-stationary scheduling | [`ExecPlan`]: per-weight window plan + pooled scratch, allocation-free steady-state calls |
 //! | [`parallel`] | MPU tiling | row-panel `std::thread::scope` workers, `FIGLUT_EXEC_THREADS` |
 //!
 //! The correctness story is *differential*: [`exec_i`] is **bit-identical**
@@ -22,8 +23,12 @@
 //! `figlut_gemm::figlut::gemm_f` within scale-aware tolerance. Both hold
 //! for every thread count: each output element is computed by one thread in
 //! a fixed order, so results are deterministic and
-//! thread-count-independent. The property tests in `tests/` enforce all of
-//! this over arbitrary shapes, µ, group sizes, and ragged tails.
+//! thread-count-independent. A batched call streams each packed weight
+//! word once for *all* batch columns (the paper's weight-traffic
+//! amortization, executed on the host) and every batch row is
+//! bit-identical to its batch-1 run. The property tests in `tests/`
+//! enforce all of this over arbitrary shapes, µ, group sizes, batch
+//! sizes, and ragged tails.
 //!
 //! ```
 //! use figlut_exec::{exec_i, PackedBcq};
@@ -44,6 +49,8 @@ pub mod kernel;
 pub mod lut;
 pub mod packed;
 pub mod parallel;
+pub mod plan;
 
 pub use kernel::{exec_f, exec_f_threads, exec_i, exec_i_threads};
 pub use packed::PackedBcq;
+pub use plan::ExecPlan;

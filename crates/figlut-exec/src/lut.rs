@@ -7,7 +7,11 @@
 //! wrong shape for throughput. This module precomputes, per activation
 //! tile, the *full* `2^µ`-entry table of every window into one flat buffer
 //! with a constant power-of-two stride, so the kernel's inner loop is
-//! `table[base | key]` with no branches.
+//! `table[base | key]` with no branches. For a batched call the tables of
+//! all `B` activation rows are *batch-stacked at key granularity* — the
+//! `B` entries of one `(window, key)` adjacent — so a weight key decoded
+//! once reads one contiguous, line-sharing run covering every batch column
+//! (see [`crate::kernel`]'s batch-column blocking).
 //!
 //! The build still uses the hFFLUT semantics (DESIGN.md §3, paper Fig. 10):
 //! only the MSB-clear half is computed with additions; the MSB-set half is
@@ -57,34 +61,97 @@ pub fn windows(cols: usize, group_size: usize, mu: usize) -> Vec<Window> {
     out
 }
 
-/// Flat full tables for every window of one activation row.
+/// Flat full tables for every window of a *batch* of activation rows, in
+/// the batch-stacked layout the blocked kernels stream.
 ///
-/// Entry `k` of window `w` lives at `entries[(w << mu) | k]`; windows of
-/// width `< µ` only populate their first `2^width` slots (keys never
-/// address beyond them, because the kernel masks to the window width).
+/// Entry `k` of window `w` for batch column `b` lives at
+/// `entries[((w << mu) | k)·batch + b]`: the entries of one `(window,
+/// key)` across batch columns are *adjacent*. That granularity is the
+/// point — the kernel decodes each weight key once and reads it for every
+/// batch column, and with per-key stacking those `batch` reads are one
+/// contiguous run sharing cache lines (16 narrowed-i32 columns per 64-byte
+/// line), instead of `batch` scattered lines from `batch` separate tables.
+/// Table-line traffic per column falls almost `batch`-fold, which is what
+/// makes the batched kernel faster than `batch` solo calls on a
+/// line-bandwidth-bound shape. Windows of width `< µ` only populate their
+/// first `2^width` key slots (keys never address beyond them, because the
+/// kernel masks to the window width). `batch = 1` degenerates to the
+/// classic one-table-per-window layout.
 #[derive(Clone, Debug)]
 pub struct FlatLuts<T> {
     mu: u32,
+    batch: usize,
     entries: Vec<T>,
 }
 
+impl<T> Default for FlatLuts<T> {
+    /// An empty table set (no windows, batch 1) — a placeholder to
+    /// [`FlatLuts::rebuild`] into.
+    fn default() -> Self {
+        Self {
+            mu: 1,
+            batch: 1,
+            entries: Vec::new(),
+        }
+    }
+}
+
 impl<T: Copy + Default + core::ops::Add<Output = T> + core::ops::Neg<Output = T>> FlatLuts<T> {
-    /// Precompute the tables for `values` (aligned mantissas or rounded
-    /// activations) under the given window decomposition.
+    /// Precompute the tables for one activation row `values` (aligned
+    /// mantissas or rounded activations) under the given window
+    /// decomposition.
     ///
     /// # Panics
     ///
     /// Panics if `µ ∉ 1..=8`.
     pub fn build(values: &[T], wins: &[Window], mu: u32) -> Self {
+        Self::build_batched(values, values.len(), wins, mu, 1)
+    }
+
+    /// Precompute the batch-stacked tables for `batch` activation rows.
+    /// `values` is row-major (`values[b·cols + c]` is column `c` of batch
+    /// row `b`); every window's start/width indexes within one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `µ ∉ 1..=8` or `values.len() ≠ batch·cols`.
+    pub fn build_batched(
+        values: &[T],
+        cols: usize,
+        wins: &[Window],
+        mu: u32,
+        batch: usize,
+    ) -> Self {
+        let mut luts = Self::default();
+        luts.rebuild(values, cols, wins, mu, batch);
+        luts
+    }
+
+    /// [`FlatLuts::build_batched`] into `self`, reusing the entry buffer —
+    /// allocation-free once the buffer has seen the shape (the
+    /// `figlut-exec` steady-state contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `µ ∉ 1..=8` or `values.len() ≠ batch·cols`.
+    pub fn rebuild(&mut self, values: &[T], cols: usize, wins: &[Window], mu: u32, batch: usize) {
         assert!((1..=8).contains(&mu), "µ = {mu} unsupported");
+        assert_eq!(values.len(), batch * cols, "values are not batch × cols");
         let stride = 1usize << mu;
-        let mut entries = vec![T::default(); wins.len() * stride];
+        self.mu = mu;
+        self.batch = batch;
+        self.entries.clear();
+        self.entries
+            .resize(wins.len() * batch * stride, T::default());
         for (wi, win) in wins.iter().enumerate() {
-            let xs = &values[win.start as usize..(win.start + win.width) as usize];
-            let table = &mut entries[wi * stride..(wi + 1) * stride];
-            fill_window(table, xs);
+            let t0 = wi * batch * stride;
+            let table = &mut self.entries[t0..t0 + batch * stride];
+            for b in 0..batch {
+                let x0 = b * cols + win.start as usize;
+                let xs = &values[x0..x0 + win.width as usize];
+                fill_window(table, xs, batch, b);
+            }
         }
-        Self { mu, entries }
     }
 }
 
@@ -95,27 +162,44 @@ impl<T: Copy> FlatLuts<T> {
         self.mu
     }
 
-    /// The flat entry buffer (`windows × 2^µ`).
+    /// Number of stacked batch columns.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The flat entry buffer (`windows × batch × 2^µ`).
     #[inline]
     pub fn entries(&self) -> &[T] {
         &self.entries
     }
 
-    /// Read entry `key` of window `wi`.
+    /// Read entry `key` of window `wi` for batch column 0.
     #[inline]
     pub fn read(&self, wi: usize, key: usize) -> T {
-        self.entries[(wi << self.mu) | key]
+        self.read_batched(wi, 0, key)
+    }
+
+    /// Read entry `key` of window `wi` for batch column `b`.
+    #[inline]
+    pub fn read_batched(&self, wi: usize, b: usize, key: usize) -> T {
+        self.entries[((wi << self.mu) | key) * self.batch + b]
     }
 }
 
-/// Fill one window's `2^width` entries: compute the MSB-clear half with
-/// additions, mirror the MSB-set half by negation (hFFLUT vertical
-/// symmetry).
+/// Fill one window's `2^width` entries for one batch column: compute the
+/// MSB-clear half with additions, mirror the MSB-set half by negation
+/// (hFFLUT vertical symmetry). Key `k` lands at `table[k·stride + offset]`
+/// — `stride = batch`, `offset = b` in the per-key-stacked layout
+/// ([`FlatLuts`] docs); `(1, 0)` is the classic dense table.
 fn fill_window<T: Copy + core::ops::Add<Output = T> + core::ops::Neg<Output = T>>(
     table: &mut [T],
     xs: &[T],
+    stride: usize,
+    offset: usize,
 ) {
     let width = xs.len();
+    let idx = |k: usize| k * stride + offset;
     // Key 0 = −x₀ −x₁ … ; then each remaining MSB-clear key flips exactly
     // one sign relative to an already-computed key: k with lowest set bit b
     // equals (k without b) + 2·x_b.
@@ -123,16 +207,16 @@ fn fill_window<T: Copy + core::ops::Add<Output = T> + core::ops::Neg<Output = T>
     for &x in &xs[1..] {
         all_minus = all_minus + (-x);
     }
-    table[0] = all_minus;
+    table[idx(0)] = all_minus;
     let half = 1usize << (width - 1);
     for k in 1..half {
         let b = k.trailing_zeros() as usize;
-        table[k] = table[k & (k - 1)] + xs[b] + xs[b];
+        table[idx(k)] = table[idx(k & (k - 1))] + xs[b] + xs[b];
     }
     // MSB-set half: lut[k] = −lut[~k] (exact negation, Fig. 10 decoder).
     let mask = (1usize << width) - 1;
     for k in half..=mask {
-        table[k] = -table[k ^ mask];
+        table[idx(k)] = -table[idx(k ^ mask)];
     }
 }
 
@@ -209,6 +293,40 @@ mod tests {
         for k in 0..16usize {
             assert_eq!(luts.read(0, k), -luts.read(0, k ^ 0xf), "k={k}");
         }
+    }
+
+    #[test]
+    fn batched_tables_stack_per_window_and_match_per_row_builds() {
+        // 2 rows × 11 cols, µ = 4 → per-row windows of widths 4, 4, 3.
+        let cols = 11usize;
+        let flat: Vec<f64> = (0..2 * cols).map(|i| 0.17 * (i as f64) - 1.3).collect();
+        let wins = windows(cols, cols, 4);
+        let batched = FlatLuts::build_batched(&flat, cols, &wins, 4, 2);
+        assert_eq!(batched.batch(), 2);
+        assert_eq!(batched.entries().len(), wins.len() * 2 * 16);
+        for b in 0..2usize {
+            let solo = FlatLuts::build(&flat[b * cols..(b + 1) * cols], &wins, 4);
+            for (wi, win) in wins.iter().enumerate() {
+                for k in 0..(1usize << win.width) {
+                    assert_eq!(
+                        batched.read_batched(wi, b, k),
+                        solo.read(wi, k),
+                        "b={b} win={wi} key={k}"
+                    );
+                }
+            }
+        }
+        // Same (window, key), consecutive columns: adjacent entries — the
+        // line-sharing property the batched kernel depends on.
+        let e = batched.entries();
+        assert_eq!(batched.read_batched(1, 0, 3), e[((1 << 4) | 3) * 2]);
+        assert_eq!(batched.read_batched(1, 1, 3), e[((1 << 4) | 3) * 2 + 1]);
+        // Rebuild at a new batch reuses the buffer and relabels the layout.
+        let mut reb = batched.clone();
+        reb.rebuild(&flat[..cols], cols, &wins, 4, 1);
+        assert_eq!(reb.batch(), 1);
+        let solo = FlatLuts::build(&flat[..cols], &wins, 4);
+        assert_eq!(reb.entries(), solo.entries());
     }
 
     #[test]

@@ -173,6 +173,14 @@ impl PackedBcq {
         Mat::from_fn(self.rows, self.cols, |r, c| self.value(r, c))
     }
 
+    /// Build a reusable [`crate::plan::ExecPlan`] for these weights under
+    /// `cfg` (shorthand for [`crate::plan::ExecPlan::new`]). Hold the plan
+    /// wherever the same weights execute more than once — it caches the
+    /// window decomposition and recycles every kernel scratch buffer.
+    pub fn plan(&self, cfg: &figlut_gemm::EngineConfig) -> crate::plan::ExecPlan {
+        crate::plan::ExecPlan::new(self, cfg)
+    }
+
     /// Convert back to the construction-oriented container (for running the
     /// bit-accurate `figlut-gemm` engines on the same weights).
     pub fn unpack(&self) -> BcqWeight {

@@ -36,7 +36,32 @@ pub fn run_row_panels<F>(out: &mut [f64], threads: usize, work: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
-    let m = out.len();
+    run_strided_panels(out, 1, threads, work);
+}
+
+/// [`run_row_panels`] for row-major outputs with `stride` values per
+/// output row (the batched kernels' `m × batch` transposed output): `out`
+/// is split on row boundaries into at most `threads` contiguous panels and
+/// `work(first_row, panel)` runs on each, in parallel.
+///
+/// `work` must fill `panel[j·stride + s]` with value `s` of output row
+/// `first_row + j`. As with [`run_row_panels`], panel boundaries never
+/// change *what* is computed per element, so the result is independent of
+/// `threads`.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or does not divide `out.len()`.
+pub fn run_strided_panels<F>(out: &mut [f64], stride: usize, threads: usize, work: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(
+        stride > 0 && out.len().is_multiple_of(stride),
+        "output length {} is not a multiple of the row stride {stride}",
+        out.len()
+    );
+    let m = out.len() / stride;
     if m == 0 {
         return;
     }
@@ -47,7 +72,7 @@ where
     }
     let chunk = m.div_ceil(t);
     std::thread::scope(|s| {
-        for (idx, panel) in out.chunks_mut(chunk).enumerate() {
+        for (idx, panel) in out.chunks_mut(chunk * stride).enumerate() {
             let work = &work;
             s.spawn(move || work(idx * chunk, panel));
         }
@@ -71,6 +96,32 @@ mod tests {
                 assert_eq!(v, r as f64 + 1.0, "threads={threads} row {r}");
             }
         }
+    }
+
+    #[test]
+    fn strided_panels_split_on_row_boundaries() {
+        for threads in [1usize, 2, 3, 7, 64] {
+            let (m, stride) = (11usize, 3usize);
+            let mut out = vec![0.0; m * stride];
+            run_strided_panels(&mut out, stride, threads, |r0, panel| {
+                assert!(panel.len().is_multiple_of(stride), "ragged panel");
+                for (j, row) in panel.chunks_mut(stride).enumerate() {
+                    for (s, v) in row.iter_mut().enumerate() {
+                        *v += ((r0 + j) * stride + s) as f64 + 1.0;
+                    }
+                }
+            });
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as f64 + 1.0, "threads={threads} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn strided_panels_reject_ragged_output() {
+        let mut out = vec![0.0; 7];
+        run_strided_panels(&mut out, 3, 2, |_, _| {});
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! [`ExecPlan`] — a reusable execution handle for one [`PackedBcq`].
+//!
+//! The kernels' per-call preamble is not free: the window decomposition,
+//! the effective-µ decision, the quantize/align/Σx staging buffers, the
+//! batch-stacked FFLUTs, and every worker's partial-accumulator slab. The
+//! original backend recomputed the windows and reallocated every buffer on
+//! *every* call — once per token per layer under `figlut-serve` decode
+//! traffic. An `ExecPlan` hoists all of it:
+//!
+//! * the window plan and effective µ are computed once at construction;
+//! * every per-call buffer lives in pooled call scratch, checked out
+//!   at call entry and returned at exit, so a steady-state call performs
+//!   **zero heap allocations** in the exec hot path (asserted by
+//!   `tests/alloc.rs` with a counting global allocator);
+//! * worker threads check their accumulation slabs (partials)
+//!   out of a second pool, so the multi-threaded path reuses slabs
+//!   across calls too.
+//!
+//! The pools are `Mutex`-guarded free lists: concurrent calls on one plan
+//! are correct (each checks out its own scratch) and steady-state serial
+//! calls are allocation-free. `Clone` clones the plan's *decisions* (shape,
+//! windows, µ) but starts with empty pools — scratch is never shared
+//! between clones — which is what lets `figlut-model` keep a plan inside
+//! its `Clone`-able `LinearWeights::Packed` variant.
+//!
+//! The free functions [`crate::exec_i`] / [`crate::exec_f`] build a
+//! throwaway plan per call, which preserves their historical semantics;
+//! anything that executes the same weights twice should hold a plan.
+
+use crate::kernel::{check, effective_mu, panel_f, panel_i};
+use crate::lut::{windows, FlatLuts, Window};
+use crate::packed::PackedBcq;
+use crate::parallel::{run_strided_panels, thread_count};
+use figlut_gemm::common::mul32;
+use figlut_gemm::EngineConfig;
+use figlut_num::align::AlignedVector;
+use figlut_num::Mat;
+use std::sync::Mutex;
+
+/// Per-call staging buffers (one checkout per `exec_*` call).
+#[derive(Debug, Default)]
+struct CallScratch {
+    /// Quantized activations, `batch × n`.
+    xa: Vec<f64>,
+    /// Aligned integer mantissas, `batch × n`.
+    mant: Vec<i64>,
+    /// Narrowed mantissas (i32 table path), `batch × n`.
+    m32: Vec<i32>,
+    /// Per-batch-row alignment scales λ.
+    lambdas: Vec<f64>,
+    /// Pre-folded offset terms `mul32(Σx·λ)`, `batch × groups`.
+    gsum_folds: Vec<f64>,
+    /// Batch-stacked integer tables (wide path).
+    luts64: FlatLuts<i64>,
+    /// Batch-stacked integer tables (narrowed path).
+    luts32: FlatLuts<i32>,
+    /// Batch-stacked float tables (`exec_f`).
+    lutsf: FlatLuts<f64>,
+    /// Per-group activation sums (`exec_f`), `batch × groups`.
+    gsums: Vec<f64>,
+    /// Transposed output `m × batch` the row panels write into.
+    yt: Vec<f64>,
+}
+
+/// Per-worker accumulation buffers (one checkout per row panel).
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    partials_i32: Vec<i32>,
+    partials_i64: Vec<i64>,
+    partials_f: Vec<f64>,
+}
+
+/// Selects the worker-scratch partial buffer matching an integer
+/// accumulator type (lets `run_i` stay generic over the narrowing tier).
+trait PartialScratch: Sized {
+    fn buffer(ws: &mut WorkerScratch) -> &mut Vec<Self>;
+}
+impl PartialScratch for i32 {
+    fn buffer(ws: &mut WorkerScratch) -> &mut Vec<i32> {
+        &mut ws.partials_i32
+    }
+}
+impl PartialScratch for i64 {
+    fn buffer(ws: &mut WorkerScratch) -> &mut Vec<i64> {
+        &mut ws.partials_i64
+    }
+}
+
+/// A reusable execution plan for one [`PackedBcq`] under one engine
+/// config: precomputed windows, the effective-µ decision, and pooled
+/// scratch for allocation-free steady-state calls (module docs).
+///
+/// ```
+/// use figlut_exec::{exec_i, ExecPlan, PackedBcq};
+/// use figlut_gemm::EngineConfig;
+/// use figlut_num::Mat;
+/// use figlut_quant::bcq::{BcqParams, BcqWeight};
+///
+/// let w = Mat::from_fn(8, 64, |r, c| ((r * 64 + c) as f64 * 0.1).sin());
+/// let bcq = BcqWeight::quantize(&w, BcqParams::per_row(3));
+/// let packed = PackedBcq::pack(&bcq);
+/// let cfg = EngineConfig::paper_default();
+/// let plan = ExecPlan::new(&packed, &cfg);
+/// let x = Mat::from_fn(4, 64, |b, c| ((b + c) as f64 * 0.05).cos());
+/// // Same bits as the plan-free entry point, without its per-call setup.
+/// assert_eq!(
+///     plan.exec_i(&x, &packed, &cfg).as_slice(),
+///     exec_i(&x, &packed, &cfg).as_slice()
+/// );
+/// ```
+#[derive(Debug)]
+pub struct ExecPlan {
+    rows: usize,
+    cols: usize,
+    group_size: usize,
+    bits: usize,
+    /// The window width actually executed (`effective_mu`; [`ExecPlan::matches`]
+    /// re-derives it from a call-site config to decide compatibility).
+    mu: usize,
+    wins: Vec<Window>,
+    calls: Mutex<Vec<CallScratch>>,
+    workers: Mutex<Vec<WorkerScratch>>,
+}
+
+impl Clone for ExecPlan {
+    /// Clones the plan's decisions; the scratch pools start empty (never
+    /// shared between clones).
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            group_size: self.group_size,
+            bits: self.bits,
+            mu: self.mu,
+            wins: self.wins.clone(),
+            calls: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl ExecPlan {
+    /// Build the plan for `w` under `cfg`: effective-µ decision + window
+    /// decomposition, and empty scratch pools that warm up on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.mu ∉ 1..=8`.
+    pub fn new(w: &PackedBcq, cfg: &EngineConfig) -> Self {
+        assert!((1..=8).contains(&cfg.mu), "µ = {} unsupported", cfg.mu);
+        let (rows, cols) = w.shape();
+        let gs = w.group_size();
+        let mu = effective_mu(gs, cfg.mu);
+        Self {
+            rows,
+            cols,
+            group_size: gs,
+            bits: w.bits(),
+            mu,
+            wins: windows(cols, gs, mu),
+            calls: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// `true` if this plan was built for exactly this weight shape and an
+    /// equivalent config (same effective µ, hence the same window plan).
+    /// Callers holding a plan next to interchangeable configs (e.g.
+    /// `figlut-model`'s `Backend::Exec`) use this to decide between the
+    /// cached plan and a throwaway one.
+    pub fn matches(&self, w: &PackedBcq, cfg: &EngineConfig) -> bool {
+        (1..=8).contains(&cfg.mu)
+            && w.shape() == (self.rows, self.cols)
+            && w.group_size() == self.group_size
+            && w.bits() == self.bits
+            && effective_mu(self.group_size, cfg.mu) == self.mu
+    }
+
+    fn assert_matches(&self, w: &PackedBcq, cfg: &EngineConfig) {
+        assert!(
+            self.matches(w, cfg),
+            "ExecPlan built for {}x{} (gs {}, q {}, µ {}) used with {:?}-shaped weights / µ {}",
+            self.rows,
+            self.cols,
+            self.group_size,
+            self.bits,
+            self.mu,
+            w.shape(),
+            cfg.mu,
+        );
+    }
+
+    fn pop_call(&self) -> CallScratch {
+        self.calls
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn push_call(&self, s: CallScratch) {
+        self.calls.lock().unwrap_or_else(|e| e.into_inner()).push(s);
+    }
+
+    fn pop_worker(&self) -> WorkerScratch {
+        self.workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn push_worker(&self, s: WorkerScratch) {
+        self.workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(s);
+    }
+
+    /// [`ExecPlan::exec_i_threads`] writing into a caller-owned
+    /// `batch × m` output — the zero-allocation steady-state entry point
+    /// (the convenience wrappers only add the output allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, `µ ∉ 1..=8`, a plan/weight mismatch
+    /// ([`ExecPlan::matches`]), or an `out` shape other than `batch × m`.
+    pub fn exec_i_into(
+        &self,
+        x: &Mat<f64>,
+        w: &PackedBcq,
+        cfg: &EngineConfig,
+        threads: usize,
+        out: &mut Mat<f64>,
+    ) {
+        let (batch, m, n) = check(x, w, cfg);
+        self.assert_matches(w, cfg);
+        assert_eq!(out.shape(), (batch, m), "output shape mismatch");
+        if batch == 0 {
+            return; // empty activation matrix: nothing to compute
+        }
+        let groups = w.groups();
+        let gs = self.group_size;
+        let mut s = self.pop_call();
+        // Stage all batch rows: quantize, align (per row — λ is a per-row
+        // max-exponent decision, exactly as in a batch-1 call), pre-fold
+        // the per-group offset terms mul32(Σx·λ).
+        s.xa.clear();
+        for b in 0..batch {
+            s.xa.extend(x.row(b).iter().map(|&v| cfg.act.quantize(v)));
+        }
+        s.mant.clear();
+        s.lambdas.clear();
+        for b in 0..batch {
+            let row = &s.xa[b * n..(b + 1) * n];
+            let lambda =
+                AlignedVector::align_into(row, cfg.act, cfg.guard_bits, cfg.align, &mut s.mant);
+            s.lambdas.push(lambda);
+        }
+        s.gsum_folds.clear();
+        for b in 0..batch {
+            let mant = &s.mant[b * n..(b + 1) * n];
+            for g in 0..groups {
+                let p: i128 = mant[g * gs..(g + 1) * gs].iter().map(|&v| v as i128).sum();
+                s.gsum_folds.push(mul32(p as f64, s.lambdas[b]));
+            }
+        }
+        s.yt.clear();
+        s.yt.resize(m * batch, 0.0);
+        // Narrowing tiers, decided over the whole batch (one entry type
+        // per batched table set). Every tier is exact, so they all return
+        // bit-identical results — narrower is just faster:
+        //
+        // * `gs·max|mantissa| ≤ i32::MAX` — i32 tables *and* i32 group
+        //   accumulators: a scale group spans `gs` columns, so every
+        //   window sum, hFFLUT build intermediate, and running group
+        //   partial is a signed sum of at most `gs` mantissas and provably
+        //   fits. This is the whole FP16 operating point, and it makes the
+        //   batched pass's contiguous per-key column reads vectorize on
+        //   plain SSE2 (32-bit lanes).
+        // * `µ·max|mantissa| ≤ i32::MAX` — i32 tables (half the table-read
+        //   bytes), i64 accumulators (group partials may exceed i32).
+        // * otherwise — full i64 tables and accumulators (extreme
+        //   activation ranges).
+        let maxm = s.mant.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+        let fits = |terms: usize| (terms as u64).saturating_mul(maxm) <= i32::MAX as u64;
+        if fits(self.mu) || fits(self.group_size) {
+            s.m32.clear();
+            s.m32.extend(s.mant.iter().map(|&v| v as i32));
+            s.luts32
+                .rebuild(&s.m32, n, &self.wins, self.mu as u32, batch);
+            if fits(self.group_size) {
+                self.run_i::<i32, i32>(w, &s.luts32, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
+            } else {
+                self.run_i::<i32, i64>(w, &s.luts32, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
+            }
+        } else {
+            s.luts64
+                .rebuild(&s.mant, n, &self.wins, self.mu as u32, batch);
+            self.run_i::<i64, i64>(w, &s.luts64, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
+        }
+        scatter(&s.yt, batch, out);
+        self.push_call(s);
+    }
+
+    /// Fan the transposed output across row panels and run the integer
+    /// kernel at one narrowing tier `(E, A)`, each worker checking
+    /// accumulation scratch out of the pool.
+    fn run_i<E, A>(
+        &self,
+        w: &PackedBcq,
+        luts: &FlatLuts<E>,
+        gsum_folds: &[f64],
+        lambdas: &[f64],
+        threads: usize,
+        yt: &mut [f64],
+    ) where
+        E: Copy + Sync,
+        A: crate::kernel::Accum<E> + PartialScratch + Send,
+    {
+        let batch = luts.batch();
+        run_strided_panels(yt, batch, threads, |r0, panel| {
+            let mut ws = self.pop_worker();
+            panel_i(
+                w,
+                &self.wins,
+                luts,
+                gsum_folds,
+                lambdas,
+                r0,
+                panel,
+                A::buffer(&mut ws),
+            );
+            self.push_worker(ws);
+        });
+    }
+
+    /// FIGLUT-I fast path over this plan: `y = x·Wᵀ`, bit-identical to
+    /// `figlut_gemm::figlut::gemm_i` at every batch size, with every batch
+    /// row bit-identical to its batch-1 run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, `µ ∉ 1..=8`, or a plan/weight mismatch.
+    pub fn exec_i_threads(
+        &self,
+        x: &Mat<f64>,
+        w: &PackedBcq,
+        cfg: &EngineConfig,
+        threads: usize,
+    ) -> Mat<f64> {
+        let mut y = Mat::zeros(x.rows(), w.rows());
+        self.exec_i_into(x, w, cfg, threads, &mut y);
+        y
+    }
+
+    /// [`ExecPlan::exec_i_threads`] with the default worker count
+    /// ([`crate::parallel::thread_count`]).
+    pub fn exec_i(&self, x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> Mat<f64> {
+        self.exec_i_threads(x, w, cfg, thread_count())
+    }
+
+    /// [`ExecPlan::exec_f_threads`] writing into a caller-owned
+    /// `batch × m` output (allocation-free in steady state).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ExecPlan::exec_i_into`].
+    pub fn exec_f_into(
+        &self,
+        x: &Mat<f64>,
+        w: &PackedBcq,
+        cfg: &EngineConfig,
+        threads: usize,
+        out: &mut Mat<f64>,
+    ) {
+        let (batch, m, n) = check(x, w, cfg);
+        self.assert_matches(w, cfg);
+        assert_eq!(out.shape(), (batch, m), "output shape mismatch");
+        if batch == 0 {
+            return; // empty activation matrix: nothing to compute
+        }
+        let groups = w.groups();
+        let gs = self.group_size;
+        let mut s = self.pop_call();
+        s.xa.clear();
+        for b in 0..batch {
+            s.xa.extend(x.row(b).iter().map(|&v| cfg.act.quantize(v)));
+        }
+        s.gsums.clear();
+        for b in 0..batch {
+            let row = &s.xa[b * n..(b + 1) * n];
+            for g in 0..groups {
+                s.gsums.push(row[g * gs..(g + 1) * gs].iter().sum());
+            }
+        }
+        s.lutsf.rebuild(&s.xa, n, &self.wins, self.mu as u32, batch);
+        s.yt.clear();
+        s.yt.resize(m * batch, 0.0);
+        {
+            let lutsf = &s.lutsf;
+            let gsums = &s.gsums;
+            run_strided_panels(&mut s.yt, batch, threads, |r0, panel| {
+                let mut ws = self.pop_worker();
+                panel_f(w, &self.wins, lutsf, gsums, r0, panel, &mut ws.partials_f);
+                self.push_worker(ws);
+            });
+        }
+        scatter(&s.yt, batch, out);
+        self.push_call(s);
+    }
+
+    /// FIGLUT-F fast path over this plan: `y = x·Wᵀ` with `f64`
+    /// accumulation, tracking `figlut_gemm::figlut::gemm_f` within the
+    /// scale-aware tolerance the property tests assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, `µ ∉ 1..=8`, or a plan/weight mismatch.
+    pub fn exec_f_threads(
+        &self,
+        x: &Mat<f64>,
+        w: &PackedBcq,
+        cfg: &EngineConfig,
+        threads: usize,
+    ) -> Mat<f64> {
+        let mut y = Mat::zeros(x.rows(), w.rows());
+        self.exec_f_into(x, w, cfg, threads, &mut y);
+        y
+    }
+
+    /// [`ExecPlan::exec_f_threads`] with the default worker count
+    /// ([`crate::parallel::thread_count`]).
+    pub fn exec_f(&self, x: &Mat<f64>, w: &PackedBcq, cfg: &EngineConfig) -> Mat<f64> {
+        self.exec_f_threads(x, w, cfg, thread_count())
+    }
+}
+
+/// Transpose the `m × batch` panel output back into the `batch × m`
+/// result (no allocation; every element written exactly once).
+fn scatter(yt: &[f64], batch: usize, out: &mut Mat<f64>) {
+    for b in 0..batch {
+        for (r, o) in out.row_mut(b).iter_mut().enumerate() {
+            *o = yt[r * batch + b];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figlut_gemm::figlut::gemm_i;
+    use figlut_quant::bcq::{BcqParams, BcqWeight};
+
+    fn setup(m: usize, n: usize, gs: usize, bits: u32) -> (Mat<f64>, BcqWeight) {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.171).sin() * 0.4);
+        let params = if gs == 0 {
+            BcqParams::per_row(bits)
+        } else {
+            BcqParams::grouped(bits, gs)
+        };
+        let b = BcqWeight::quantize(&w, params);
+        let x = Mat::from_fn(5, n, |bb, c| ((bb * n + c) as f64 * 0.057).cos());
+        (x, b)
+    }
+
+    #[test]
+    fn plan_reuse_across_batches_matches_model() {
+        let (x, b) = setup(10, 96, 24, 3);
+        let p = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&p, &cfg);
+        // Same plan, shrinking and growing batch sizes: pools must resize
+        // correctly and results stay bit-exact.
+        for batch in [5usize, 1, 3, 5, 2] {
+            let xb = Mat::from_fn(batch, 96, |bb, c| x[(bb, c)]);
+            let y = plan.exec_i_threads(&xb, &p, &cfg, 2);
+            let ym = gemm_i(&xb, &b, &cfg);
+            assert_eq!(y.as_slice(), ym.as_slice(), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn zero_row_activations_return_empty() {
+        let (_, b) = setup(5, 32, 16, 2);
+        let p = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&p, &cfg);
+        let x = Mat::from_fn(0, 32, |_, _| 0.0);
+        let y = plan.exec_i(&x, &p, &cfg);
+        assert_eq!(y.shape(), (0, 5));
+        let yf = plan.exec_f(&x, &p, &cfg);
+        assert_eq!(yf.shape(), (0, 5));
+    }
+
+    #[test]
+    fn exec_into_writes_every_element() {
+        let (x, b) = setup(7, 48, 0, 2);
+        let p = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&p, &cfg);
+        let mut y = Mat::from_fn(5, 7, |_, _| f64::NAN); // must be overwritten
+        plan.exec_i_into(&x, &p, &cfg, 1, &mut y);
+        assert_eq!(y.as_slice(), gemm_i(&x, &b, &cfg).as_slice());
+    }
+
+    #[test]
+    fn matches_tracks_shape_and_effective_mu() {
+        let (_, b) = setup(4, 30, 15, 2); // gs 15: no even divisor
+        let p = PackedBcq::pack(&b);
+        let cfg3 = EngineConfig {
+            mu: 3,
+            ..EngineConfig::paper_default()
+        };
+        let plan = ExecPlan::new(&p, &cfg3);
+        assert!(plan.matches(&p, &cfg3));
+        // Different configured µ on an odd group size changes the window
+        // plan → incompatible.
+        let cfg4 = EngineConfig {
+            mu: 4,
+            ..EngineConfig::paper_default()
+        };
+        assert!(!plan.matches(&p, &cfg4));
+        // Even group size: every configured µ widens to 8 → compatible.
+        let (_, be) = setup(4, 32, 16, 2);
+        let pe = PackedBcq::pack(&be);
+        let plan_e = ExecPlan::new(&pe, &cfg3);
+        assert!(plan_e.matches(&pe, &cfg4));
+        // Wrong weights for the plan.
+        assert!(!plan.matches(&pe, &cfg3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ExecPlan built for")]
+    fn mismatched_weights_panic() {
+        let (x, b) = setup(4, 32, 16, 2);
+        let p = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let (_, b2) = setup(6, 32, 16, 2);
+        let p2 = PackedBcq::pack(&b2);
+        let plan = ExecPlan::new(&p2, &cfg);
+        let _ = plan.exec_i(&x, &p, &cfg);
+    }
+
+    #[test]
+    fn clone_starts_with_fresh_pools_and_same_bits() {
+        let (x, b) = setup(6, 64, 32, 3);
+        let p = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&p, &cfg);
+        let y1 = plan.exec_i(&x, &p, &cfg);
+        let clone = plan.clone();
+        assert!(clone.calls.lock().unwrap().is_empty());
+        let y2 = clone.exec_i(&x, &p, &cfg);
+        assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+}

@@ -1,0 +1,98 @@
+//! Steady-state allocation audit of the [`ExecPlan`] hot path.
+//!
+//! The plan's contract (DESIGN.md §6) is that once its scratch pools are
+//! warm, an `exec_i_into` call performs **zero** heap allocations: the
+//! windows are precomputed, the staging/LUT/partial buffers are recycled,
+//! and the caller owns the output. This test pins that with a counting
+//! global allocator: warm the plan up, arm the counter, run one decode-like
+//! call per shape, and require the count to still be zero.
+//!
+//! This lives in its own integration-test binary on purpose — a global
+//! allocator is per-process, and a sibling `#[test]` allocating on another
+//! thread while the counter is armed would make the count meaningless.
+//! Keep this file at exactly one test.
+
+use figlut_exec::{exec_i_threads, ExecPlan, PackedBcq};
+use figlut_gemm::EngineConfig;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts allocations (alloc / alloc_zeroed / realloc) while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_exec_plan_calls_are_allocation_free() {
+    // One offset-carrying fast-path shape (the serving operating point)
+    // at both column engines — batch 4 (register column blocks) and
+    // batch 8 (the wide memory-backed pass) — plus a ragged generic-path
+    // shape. Single worker thread: spawning a thread allocates by
+    // definition, and the zero-alloc contract is about the exec hot path,
+    // which is identical on every worker.
+    let cases: [(usize, usize, usize, u32, usize); 3] = [
+        (96, 128, 32, 3, 4), // m, n, gs (even → fast path), q, batch
+        (96, 128, 32, 3, 8), // wide column engine
+        (11, 45, 15, 2, 3),  // gs 15 → generic descriptor walk
+    ];
+    for (m, n, gs, bits, batch) in cases {
+        let w = Mat::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.143).sin() * 0.4);
+        let b = BcqWeight::quantize(&w, BcqParams::grouped(bits, gs));
+        let packed = PackedBcq::pack(&b);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&packed, &cfg);
+        let x = Mat::from_fn(batch, n, |bb, c| ((bb * n + c) as f64 * 0.067).cos());
+        let mut y = Mat::zeros(batch, m);
+
+        // Warm-up: first calls grow the pools and buffer capacities.
+        plan.exec_i_into(&x, &packed, &cfg, 1, &mut y);
+        plan.exec_i_into(&x, &packed, &cfg, 1, &mut y);
+
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        plan.exec_i_into(&x, &packed, &cfg, 1, &mut y);
+        ARMED.store(false, Ordering::SeqCst);
+        let allocs = ALLOCS.load(Ordering::SeqCst);
+
+        assert_eq!(
+            allocs, 0,
+            "steady-state exec_i_into allocated {allocs} times (m={m} n={n} gs={gs} B={batch})"
+        );
+        // And the allocation-free call still produced the right bits.
+        let reference = exec_i_threads(&x, &packed, &cfg, 1);
+        assert_eq!(y.as_slice(), reference.as_slice(), "steady-state bits");
+    }
+}

@@ -3,7 +3,7 @@
 //! thread counts, and ragged tails (m, n, k not multiples of the
 //! tile/word/µ sizes).
 
-use figlut_exec::{exec_f_threads, exec_i_threads, PackedBcq};
+use figlut_exec::{exec_f_threads, exec_i_threads, ExecPlan, PackedBcq};
 use figlut_gemm::figlut::{gemm_f, gemm_i};
 use figlut_gemm::EngineConfig;
 use figlut_num::Mat;
@@ -26,13 +26,13 @@ struct Problem {
 /// `u64` word boundary when gs·groups > 64.
 fn problem() -> impl Strategy<Value = Problem> {
     (
-        1usize..=3,  // batch
+        1usize..=9, // batch (spans both column engines: register blocks and, from 8, the wide pass)
         1usize..=12, // m
-        1usize..=5,  // groups
+        1usize..=5, // groups
         1usize..=17, // group size
-        1u32..=4,    // bits (binary planes)
-        1u32..=4,    // µ
-        0usize..4,   // thread-count choice index
+        1u32..=4,   // bits (binary planes)
+        1u32..=4,   // µ
+        0usize..4,  // thread-count choice index
     )
         .prop_flat_map(|(batch, m, groups, gs, bits, mu, tix)| {
             let threads = [1usize, 2, 3, 8][tix];
@@ -120,6 +120,34 @@ proptest! {
                     model[(bb, r)]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_exec_i_bit_matches_per_column_runs_and_model(p in problem()) {
+        // The batch-blocking invariant figlut-serve stands on: one batched
+        // call over a B-row activation matrix is bit-identical to B
+        // independent 1-row calls AND to the datapath model — for
+        // arbitrary shapes, µ, group sizes, offsets, and thread counts,
+        // including ragged generic-path shapes. Run through a reused
+        // ExecPlan so the cached-plan path (what Backend::Exec executes in
+        // steady state) is the thing being pinned.
+        let b = quantize(&p);
+        let packed = PackedBcq::pack(&b);
+        let c = cfg(p.mu);
+        let plan = ExecPlan::new(&packed, &c);
+        let batched = plan.exec_i_threads(&p.x, &packed, &c, p.threads);
+        let model = gemm_i(&p.x, &b, &c);
+        prop_assert_eq!(batched.as_slice(), model.as_slice(), "batched != model");
+        let n = p.x.cols();
+        for bb in 0..p.x.rows() {
+            let row = Mat::from_fn(1, n, |_, cc| p.x[(bb, cc)]);
+            // Same plan serves the batch-1 shape (pool reuse across batch
+            // sizes), and a fresh throwaway plan must agree too.
+            let solo_plan = plan.exec_i_threads(&row, &packed, &c, 1);
+            let solo_free = exec_i_threads(&row, &packed, &c, p.threads);
+            prop_assert_eq!(batched.row(bb), solo_plan.row(0), "plan row {}", bb);
+            prop_assert_eq!(batched.row(bb), solo_free.row(0), "free row {}", bb);
         }
     }
 

@@ -175,20 +175,36 @@ pub fn to_bcq(model: &Transformer) -> Transformer {
 
 /// Re-pack every quantized linear for the `figlut-exec` fast kernels
 /// (`Backend::Exec`): BCQ layers are packed directly, uniform layers go
-/// through the lossless Eq. 3 conversion first. Values are unchanged, so
+/// through the lossless Eq. 3 conversion first, and each packed layer
+/// gets its [`figlut_exec::ExecPlan`] built once here — so repeated
+/// forward passes reuse the cached window plan and kernel scratch instead
+/// of recomputing them per token per layer. Values are unchanged, so
 /// perplexity under `Backend::Exec` is bit-identical to
 /// `Backend::Engine(Engine::FiglutI, cfg)` on the source model.
-pub fn to_packed(model: &Transformer) -> Transformer {
+///
+/// The plans are built for `cfg`; `Backend::Exec` falls back to a
+/// throwaway plan (same bits) if invoked with a config whose effective µ
+/// differs.
+pub fn to_packed_with(model: &Transformer, cfg: &figlut_gemm::EngineConfig) -> Transformer {
     use figlut_exec::PackedBcq;
     let mut out = model.clone();
+    let pack = |b: &BcqWeight| {
+        let p = PackedBcq::pack(b);
+        let plan = p.plan(cfg);
+        LinearWeights::Packed(p, plan)
+    };
     out.map_linears(|_, lin| match &lin.weights {
-        LinearWeights::Bcq(b) => lin.weights = LinearWeights::Packed(PackedBcq::pack(b)),
-        LinearWeights::Uniform(u) => {
-            lin.weights = LinearWeights::Packed(PackedBcq::pack(&BcqWeight::from_uniform(u)));
-        }
-        LinearWeights::Fp(_) | LinearWeights::Packed(_) => {}
+        LinearWeights::Bcq(b) => lin.weights = pack(b),
+        LinearWeights::Uniform(u) => lin.weights = pack(&BcqWeight::from_uniform(u)),
+        LinearWeights::Fp(_) | LinearWeights::Packed(..) => {}
     });
     out
+}
+
+/// [`to_packed_with`] at the paper's default operating point (the config
+/// every experiment and test in this repo executes `Backend::Exec` with).
+pub fn to_packed(model: &Transformer) -> Transformer {
+    to_packed_with(model, &figlut_gemm::EngineConfig::paper_default())
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! claim.
 
 use crate::rng::Rng;
-use figlut_exec::{exec_i, PackedBcq};
+use figlut_exec::{exec_i, ExecPlan, PackedBcq};
 use figlut_gemm::{Engine, EngineConfig, Weights};
 use figlut_num::Mat;
 use figlut_quant::{BcqWeight, UniformWeight};
@@ -73,10 +73,14 @@ pub enum LinearWeights {
     Uniform(UniformWeight),
     /// Binary-coding quantization (ShiftAddLLM output or Eq. 3 conversion).
     Bcq(BcqWeight),
-    /// BCQ re-packed for the `figlut-exec` fast kernels (see
-    /// [`crate::calibrate::to_packed`]). Represents exactly the same values
-    /// as the [`LinearWeights::Bcq`] it was packed from.
-    Packed(PackedBcq),
+    /// BCQ re-packed for the `figlut-exec` fast kernels, with the
+    /// [`ExecPlan`] built once at packing time (see
+    /// [`crate::calibrate::to_packed`]): the window decomposition and all
+    /// kernel scratch are cached here, so steady-state decode runs the
+    /// exec hot path without recomputing the plan or allocating — once
+    /// per layer, not once per token per layer. Represents exactly the
+    /// same values as the [`LinearWeights::Bcq`] it was packed from.
+    Packed(PackedBcq, ExecPlan),
 }
 
 impl LinearWeights {
@@ -86,7 +90,7 @@ impl LinearWeights {
             LinearWeights::Fp(w) => w.shape(),
             LinearWeights::Uniform(u) => u.shape(),
             LinearWeights::Bcq(b) => b.shape(),
-            LinearWeights::Packed(p) => p.shape(),
+            LinearWeights::Packed(p, _) => p.shape(),
         }
     }
 
@@ -96,7 +100,7 @@ impl LinearWeights {
             LinearWeights::Fp(_) => 16.0,
             LinearWeights::Uniform(u) => u.bits() as f64,
             LinearWeights::Bcq(b) => b.bits() as f64,
-            LinearWeights::Packed(p) => p.bits() as f64,
+            LinearWeights::Packed(p, _) => p.bits() as f64,
         }
     }
 }
@@ -133,7 +137,7 @@ impl Linear {
             (Backend::Exact, LinearWeights::Fp(w)) => x.matmul(&w.transposed()),
             (Backend::Exact, LinearWeights::Uniform(u)) => x.matmul(&u.dequantize().transposed()),
             (Backend::Exact, LinearWeights::Bcq(b)) => x.matmul(&b.dequantize().transposed()),
-            (Backend::Exact, LinearWeights::Packed(p)) => x.matmul(&p.dequantize().transposed()),
+            (Backend::Exact, LinearWeights::Packed(p, _)) => x.matmul(&p.dequantize().transposed()),
             // FP weights under an engine/exec backend: the engine only
             // handles quantized layers; FP layers run on the reference
             // datapath (GPU-style FP16 tensor ops modeled exactly).
@@ -147,13 +151,24 @@ impl Linear {
             (Backend::Engine(e, cfg), LinearWeights::Bcq(b)) => e.run(x, &Weights::Bcq(b), cfg),
             // Datapath models don't consume the packed layout directly;
             // unpack (slow path — kept for differential testing).
-            (Backend::Engine(e, cfg), LinearWeights::Packed(p)) => {
+            (Backend::Engine(e, cfg), LinearWeights::Packed(p, _)) => {
                 e.run(x, &Weights::Bcq(&p.unpack()), cfg)
             }
-            // Exec fast path. Non-packed quantized weights are packed on
-            // the fly (correct, but pay the packing cost per call — use
-            // `to_packed` for repeated evaluation).
-            (Backend::Exec(cfg), LinearWeights::Packed(p)) => exec_i(x, p, cfg),
+            // Exec fast path. A pre-packed layer carries its ExecPlan, so
+            // the steady-state call reuses the cached window plan and
+            // scratch pools; if the call-site config is incompatible with
+            // the cached plan (a different effective µ), fall back to a
+            // throwaway plan — same bits, per-call setup cost. Non-packed
+            // quantized weights are packed on the fly (correct, but pay
+            // the packing cost per call — use `to_packed` for repeated
+            // evaluation).
+            (Backend::Exec(cfg), LinearWeights::Packed(p, plan)) => {
+                if plan.matches(p, cfg) {
+                    plan.exec_i(x, p, cfg)
+                } else {
+                    exec_i(x, p, cfg)
+                }
+            }
             (Backend::Exec(cfg), LinearWeights::Bcq(b)) => exec_i(x, &PackedBcq::pack(b), cfg),
             (Backend::Exec(cfg), LinearWeights::Uniform(u)) => {
                 exec_i(x, &PackedBcq::pack(&BcqWeight::from_uniform(u)), cfg)
@@ -562,10 +577,13 @@ impl Transformer {
     ///
     /// This is the continuous-batching step `figlut-serve` runs: the six
     /// linear projections execute as one `batch × d` GEMM over the shared
-    /// (packed) weights — a single weight fetch serves every session, the
-    /// software analogue of the paper's weight-traffic amortization — while
-    /// attention, LayerNorm, and the residual stream remain strictly
-    /// per-row against each session's own [`KvCache`].
+    /// (packed) weights. Under `Backend::Exec` with a pre-packed model
+    /// that is now literally one weight fetch per layer: the batch-blocked
+    /// kernels stream each packed plane word once and index every
+    /// session's look-up tables with it (`figlut-exec`'s batch-column
+    /// blocking), the software realization of the paper's weight-traffic
+    /// amortization — while attention, LayerNorm, and the residual stream
+    /// remain strictly per-row against each session's own [`KvCache`].
     ///
     /// Because every backend computes GEMM outputs row by row in a fixed
     /// per-row order, row `i` is **bit-identical** to running

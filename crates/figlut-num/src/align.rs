@@ -60,50 +60,35 @@ impl AlignedVector {
     /// Panics if any value is NaN or infinite, or if `p + guard_bits > 61`
     /// (mantissas must fit an `i64` with sign).
     pub fn align(values: &[f64], format: FpFormat, guard_bits: u32, mode: AlignMode) -> Self {
-        let p = format.precision();
-        assert!(
-            p + guard_bits <= 61,
-            "aligned mantissa width {} exceeds i64",
-            p + guard_bits
-        );
-        let mut e_max = i32::MIN;
-        for &v in values {
-            assert!(v.is_finite(), "cannot align non-finite activation {v}");
-            if v != 0.0 {
-                e_max = e_max.max(exponent_of(v));
-            }
-        }
-        if e_max == i32::MIN {
-            return Self {
-                mantissas: vec![0; values.len()],
-                e_max: 0,
-                frac_bits: p - 1 + guard_bits,
-            };
-        }
-        let frac_bits = p - 1 + guard_bits;
-        let scale = pow2(frac_bits as i32 - e_max);
-        let mantissas = values
-            .iter()
-            .map(|&v| {
-                if v == 0.0 {
-                    return 0;
-                }
-                let exact = v * scale; // exact: power-of-two scaling
-                match mode {
-                    AlignMode::RoundNearestEven => {
-                        // `round_ties_even` on the exact product is precisely
-                        // the RNE barrel shift of the mantissa.
-                        round_ties_even(exact) as i64
-                    }
-                    AlignMode::Truncate => exact.trunc() as i64,
-                }
-            })
-            .collect();
+        let mut mantissas = Vec::with_capacity(values.len());
+        let (e_max, frac_bits) = align_core(values, format, guard_bits, mode, &mut mantissas);
         Self {
             mantissas,
             e_max,
             frac_bits,
         }
+    }
+
+    /// Buffer-reusing variant of [`AlignedVector::align`]: *appends* the
+    /// aligned mantissas of `values` to `out` (reusing its capacity) and
+    /// returns the conversion scale ([`AlignedVector::scale`]) directly.
+    ///
+    /// Bit-identical to `align` — both run the same core — but performs no
+    /// allocation once `out` is warm, which is what lets the `figlut-exec`
+    /// hot path stay allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AlignedVector::align`].
+    pub fn align_into(
+        values: &[f64],
+        format: FpFormat,
+        guard_bits: u32,
+        mode: AlignMode,
+        out: &mut Vec<i64>,
+    ) -> f64 {
+        let (e_max, frac_bits) = align_core(values, format, guard_bits, mode, out);
+        pow2(e_max - frac_bits as i32)
     }
 
     /// The aligned integer mantissas.
@@ -152,6 +137,52 @@ impl AlignedVector {
     pub fn is_empty(&self) -> bool {
         self.mantissas.is_empty()
     }
+}
+
+/// Shared alignment core: appends the aligned mantissas of `values` to
+/// `out` and returns `(e_max, frac_bits)`. Both public entry points route
+/// through here so their results are bit-identical by construction.
+fn align_core(
+    values: &[f64],
+    format: FpFormat,
+    guard_bits: u32,
+    mode: AlignMode,
+    out: &mut Vec<i64>,
+) -> (i32, u32) {
+    let p = format.precision();
+    assert!(
+        p + guard_bits <= 61,
+        "aligned mantissa width {} exceeds i64",
+        p + guard_bits
+    );
+    let mut e_max = i32::MIN;
+    for &v in values {
+        assert!(v.is_finite(), "cannot align non-finite activation {v}");
+        if v != 0.0 {
+            e_max = e_max.max(exponent_of(v));
+        }
+    }
+    let frac_bits = p - 1 + guard_bits;
+    if e_max == i32::MIN {
+        out.extend(std::iter::repeat_n(0i64, values.len()));
+        return (0, frac_bits);
+    }
+    let scale = pow2(frac_bits as i32 - e_max);
+    out.extend(values.iter().map(|&v| {
+        if v == 0.0 {
+            return 0;
+        }
+        let exact = v * scale; // exact: power-of-two scaling
+        match mode {
+            AlignMode::RoundNearestEven => {
+                // `round_ties_even` on the exact product is precisely
+                // the RNE barrel shift of the mantissa.
+                round_ties_even(exact) as i64
+            }
+            AlignMode::Truncate => exact.trunc() as i64,
+        }
+    }));
+    (e_max, frac_bits)
 }
 
 /// Unbiased base-2 exponent of a finite nonzero `f64`.
@@ -221,6 +252,29 @@ mod tests {
         let a = AlignedVector::align(&rounded, FpFormat::Fp16, 0, AlignMode::RoundNearestEven);
         for (i, &x) in rounded.iter().enumerate() {
             assert_eq!(a.value(i), x);
+        }
+    }
+
+    #[test]
+    fn align_into_matches_align_and_appends() {
+        let rows: [&[f64]; 3] = [
+            &[1.0, 0.5, -0.25, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[3.75, -0.125, 2.0e-5, 1.0],
+        ];
+        for mode in [AlignMode::RoundNearestEven, AlignMode::Truncate] {
+            for guard in [0u32, 4] {
+                let mut flat: Vec<i64> = Vec::new();
+                for row in rows {
+                    let before = flat.len();
+                    let scale =
+                        AlignedVector::align_into(row, FpFormat::Fp16, guard, mode, &mut flat);
+                    let a = AlignedVector::align(row, FpFormat::Fp16, guard, mode);
+                    assert_eq!(&flat[before..], a.mantissas(), "append must match align");
+                    assert_eq!(scale, a.scale(), "scale must match align");
+                }
+                assert_eq!(flat.len(), rows.iter().map(|r| r.len()).sum::<usize>());
+            }
         }
     }
 

@@ -7,7 +7,15 @@
 //! This crate closes that loop in software: a request-level serving
 //! subsystem that batches live sessions into single steps over the shared
 //! (packed) weights, scheduled on a deterministic virtual clock so every
-//! throughput and latency number is bit-reproducible.
+//! throughput and latency number is bit-reproducible. Since the
+//! batch-blocked `figlut-exec` kernels landed, the host backend *actually*
+//! amortizes the weights a batched step touches: one `decode_batch` step
+//! streams each layer's packed planes once for every live session (each
+//! decoded weight key is read for all batch columns before the next word
+//! loads) through the layer's cached `ExecPlan` — no per-token window
+//! recomputation, no per-token allocation — instead of paying a full
+//! weight sweep per session (`repro ext-batch-scaling` measures the win;
+//! the energy model and the kernels now batch the same way).
 //!
 //! | Module | Contents |
 //! |---|---|

@@ -144,7 +144,7 @@ impl ServeReport {
 
     /// Re-express the executed step sequence as the GEMM workload it would
     /// be at a real OPT shape: every step with `r` token-rows is one
-    /// [`decode_workload`](figlut_model::workload::decode_workload) pass at
+    /// [`figlut_model::workload::decode_workload`] pass at
     /// batch `r` (steps with equal `r` merge into the shapes' `repeat`), so
     /// the cost model prices serving with exactly the same per-pass
     /// inventory as every other experiment.

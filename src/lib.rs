@@ -15,7 +15,7 @@
 //! | [`quant`] (`figlut-quant`) | RTN, BCQ, GPTQ-style, ShiftAddLLM-style quantizers |
 //! | [`lut`] (`figlut-lut`) | keys, FFLUT/hFFLUT, generator schedules, RACs, bank model |
 //! | [`gemm`] (`figlut-gemm`) | FPE / iFPU / FIGNA / FIGLUT-F / FIGLUT-I engine models |
-//! | [`exec`] (`figlut-exec`) | packed high-throughput LUT-GEMM kernels, bit-exact vs FIGLUT-I |
+//! | [`exec`] (`figlut-exec`) | packed, batch-blocked LUT-GEMM kernels + `ExecPlan`, bit-exact vs FIGLUT-I |
 //! | [`sim`] (`figlut-sim`) | 28 nm cost model: power, area, cycles, TOPS/W |
 //! | [`model`] (`figlut-model`) | synthetic OPT-style transformer + perplexity |
 //! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (traces, scheduler, metrics) |
@@ -46,7 +46,7 @@ pub use figlut_sim as sim;
 
 /// The most commonly used items, one `use` away.
 pub mod prelude {
-    pub use figlut_exec::{exec_f, exec_i, PackedBcq};
+    pub use figlut_exec::{exec_f, exec_i, ExecPlan, PackedBcq};
     pub use figlut_gemm::{Engine, EngineConfig, Weights};
     pub use figlut_lut::{FullLut, GenSchedule, HalfLut, Key, LutRead, Rac};
     pub use figlut_model::{Backend, ModelConfig, OptConfig, Transformer, OPT_FAMILY};

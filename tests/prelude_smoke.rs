@@ -44,6 +44,15 @@ fn prelude_reexports_resolve() {
         assert_eq!((y.rows(), y.cols()), (2, 2), "{e}");
     }
 
+    // figlut-exec
+    let packed: PackedBcq = PackedBcq::pack(&bcq);
+    let plan: ExecPlan = ExecPlan::new(&packed, &cfg);
+    assert_eq!(
+        plan.exec_i(&m, &packed, &cfg).as_slice(),
+        exec_i(&m, &packed, &cfg).as_slice()
+    );
+    let _ = exec_f(&m, &packed, &cfg);
+
     // figlut-model
     let opt: &OptConfig = &OPT_FAMILY[0];
     assert!(opt.layers > 0);
