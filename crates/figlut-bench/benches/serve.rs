@@ -54,5 +54,59 @@ fn bench_serve_trace(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_decode_batch, bench_serve_trace);
+fn bench_mixed_step(c: &mut Criterion) {
+    // One fused mixed step (3 decode rows + an 8-row prefill chunk) vs the
+    // segregated equivalent (one decode step + one prefill-chunk step):
+    // the fused call shares a single weight traversal across both phases.
+    let model = packed_model();
+    let backend = Backend::Exec(EngineConfig::paper_default());
+    let engine = BatchEngine::new(&model, backend);
+    let trace = synthetic_trace(&model.cfg, &TraceParams::light(3), 31);
+    let decoding: Vec<_> = trace
+        .requests
+        .iter()
+        .map(|r| {
+            let mut s = engine.start(r.clone());
+            let _ = engine.prefill(&mut s);
+            s
+        })
+        .collect();
+    let long = figlut_serve::Request {
+        id: 99,
+        arrival: 0,
+        prompt: (0..30).map(|i| i % model.cfg.vocab).collect(),
+        max_new: 2,
+        sampling: figlut_serve::Sampling::Greedy,
+        seed: 5,
+    };
+    let prefilling = engine.start(long);
+    let mut g = c.benchmark_group("mixed_step_3decode_8prefill");
+    g.bench_function("fused", |b| {
+        b.iter(|| {
+            let mut d = decoding.clone();
+            let mut p = prefilling.clone();
+            let mut refs: Vec<&mut _> = d.iter_mut().collect();
+            black_box(engine.step(&mut refs, Some(&mut p), 8))
+        })
+    });
+    g.bench_function("segregated", |b| {
+        b.iter(|| {
+            let mut d = decoding.clone();
+            let mut p = prefilling.clone();
+            {
+                let mut refs: Vec<&mut _> = d.iter_mut().collect();
+                engine.decode(&mut refs);
+            }
+            black_box(engine.step(&mut [], Some(&mut p), 8))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_batch,
+    bench_serve_trace,
+    bench_mixed_step
+);
 criterion_main!(benches);

@@ -48,7 +48,8 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"ext-throughput"));
     assert!(EXPERIMENTS.contains(&"ext-batch-scaling"));
     assert!(EXPERIMENTS.contains(&"ext-serving"));
-    assert_eq!(EXPERIMENTS.len(), 24);
+    assert!(EXPERIMENTS.contains(&"ext-chunked-prefill"));
+    assert_eq!(EXPERIMENTS.len(), 25);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

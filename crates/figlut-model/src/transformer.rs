@@ -502,50 +502,106 @@ impl Transformer {
     /// chunk, token by token, or any split in between yields bit-identical
     /// logits and cache contents (pinned by `tests/prop_decode.rs`).
     ///
+    /// Thin wrapper over [`Transformer::forward_batch`] with a single
+    /// session contributing the whole chunk.
+    ///
     /// # Panics
     ///
     /// Panics if the chunk is empty, overflows `max_seq`, or contains
     /// out-of-vocabulary ids.
     pub fn prefill(&self, tokens: &[usize], cache: &mut KvCache, backend: &Backend) -> Mat<f64> {
+        self.forward_batch(&[tokens], std::slice::from_mut(cache), backend)
+    }
+
+    /// One fused **mixed step** over independent sessions: session `i`
+    /// consumes `chunks[i]` (≥ 1 token-rows) starting at its own cache
+    /// position, and the `total-rows × vocab` next-token logits come back
+    /// session-major (session 0's chunk rows first, then session 1's, …).
+    ///
+    /// This is the general forward path the serving layer schedules:
+    /// decode steps are chunks of length 1, prefill chunks are longer, and
+    /// any mix of the two rides one `rows × d` GEMM per linear layer over
+    /// the shared (packed) weights — one traversal of each layer's weights
+    /// serves every token-row in flight, prefill and decode alike (the
+    /// paper's weight-traffic amortization, now without segregating the
+    /// phases). Attention stays strictly per-session: a decode row attends
+    /// to its own full cache, a chunk row attends causally to its session's
+    /// cache plus the earlier rows of its own chunk.
+    ///
+    /// **Bit-identity.** Every per-row operation (LayerNorm, attention over
+    /// the session's own cache, GELU, residuals) reads only that row, and
+    /// every backend computes GEMM output rows independently in a fixed
+    /// per-row order, so each returned row is bit-identical to running its
+    /// session alone — any chunking, any co-scheduled mix (pinned for
+    /// arbitrary mixes by `tests/prop_decode.rs` and `figlut-serve`'s
+    /// property suite). [`Transformer::prefill`],
+    /// [`Transformer::decode_batch`], and [`Transformer::decode_step`] are
+    /// thin wrappers over this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, a `chunks`/`caches` length mismatch, an
+    /// empty chunk, a chunk that overflows its session's `max_seq` cache,
+    /// or an out-of-vocabulary token.
+    pub fn forward_batch(
+        &self,
+        chunks: &[&[usize]],
+        caches: &mut [KvCache],
+        backend: &Backend,
+    ) -> Mat<f64> {
         let cfg = &self.cfg;
-        let p0 = cache.len();
-        let chunk = tokens.len();
-        assert!(chunk > 0, "empty chunk");
-        assert!(
-            p0 + chunk <= cfg.max_seq,
-            "KV cache full ({} + {chunk} > {})",
-            p0,
-            cfg.max_seq
-        );
+        assert!(!chunks.is_empty(), "empty batch");
+        assert_eq!(chunks.len(), caches.len(), "chunks/caches length mismatch");
+        let p0: Vec<usize> = caches.iter().map(KvCache::len).collect();
+        // (session, offset-in-chunk) of every fused row, session-major.
+        let mut row_of: Vec<(usize, usize)> = Vec::new();
+        for (i, (chunk, &p)) in chunks.iter().zip(&p0).enumerate() {
+            assert!(!chunk.is_empty(), "session {i}: empty chunk");
+            assert!(
+                p + chunk.len() <= cfg.max_seq,
+                "session {i}: KV cache full ({p} + {} > {})",
+                chunk.len(),
+                cfg.max_seq
+            );
+            for &tok in *chunk {
+                assert!(
+                    tok < cfg.vocab,
+                    "session {i}: token {tok} out of vocabulary"
+                );
+            }
+            row_of.extend((0..chunk.len()).map(|t| (i, t)));
+        }
+        let rows = row_of.len();
         let d = cfg.d_model;
         let dh = d / cfg.heads;
         let scale = 1.0 / (dh as f64).sqrt();
-        let mut x = Mat::from_fn(chunk, d, |t, c| {
-            let tok = tokens[t];
-            assert!(tok < cfg.vocab, "token {tok} out of vocabulary");
-            self.embed[(tok, c)] + self.pos[(p0 + t, c)]
+        let mut x = Mat::from_fn(rows, d, |r, c| {
+            let (i, t) = row_of[r];
+            self.embed[(chunks[i][t], c)] + self.pos[(p0[i] + t, c)]
         });
         for (li, block) in self.blocks.iter().enumerate() {
             let h = block.ln1.forward(&x);
             let q = block.wq.forward(&h, backend);
             let k = block.wk.forward(&h, backend);
             let v = block.wv.forward(&h, backend);
-            for t in 0..chunk {
-                cache.keys[li].push(k.row(t).to_vec());
-                cache.values[li].push(v.row(t).to_vec());
+            for (r, &(i, _)) in row_of.iter().enumerate() {
+                caches[i].keys[li].push(k.row(r).to_vec());
+                caches[i].values[li].push(v.row(r).to_vec());
             }
-            let mut ctx = Mat::zeros(chunk, d);
+            let mut ctx = Mat::zeros(rows, d);
             for head in 0..cfg.heads {
                 let off = head * dh;
-                for t in 0..chunk {
-                    // Causal: row t sees the pre-existing cache plus chunk
-                    // rows 0..=t (all already pushed above).
-                    let mut scores: Vec<f64> = cache.keys[li][..=p0 + t]
+                for (r, &(i, t)) in row_of.iter().enumerate() {
+                    // Causal: row t of session i sees that session's
+                    // pre-existing cache plus its own chunk rows 0..=t
+                    // (all already pushed above) — never another session.
+                    let cache = &caches[i];
+                    let mut scores: Vec<f64> = cache.keys[li][..=p0[i] + t]
                         .iter()
                         .map(|krow| {
                             let mut s = 0.0;
                             for j in 0..dh {
-                                s += q[(t, off + j)] * krow[off + j];
+                                s += q[(r, off + j)] * krow[off + j];
                             }
                             s * scale
                         })
@@ -554,18 +610,18 @@ impl Transformer {
                     for (u, &a) in scores.iter().enumerate() {
                         let vrow = &cache.values[li][u];
                         for j in 0..dh {
-                            ctx[(t, off + j)] += a * vrow[off + j];
+                            ctx[(r, off + j)] += a * vrow[off + j];
                         }
                     }
                 }
             }
             let attn_out = block.wo.forward(&ctx, backend);
-            x = Mat::from_fn(chunk, d, |t, c| x[(t, c)] + attn_out[(t, c)]);
+            x = Mat::from_fn(rows, d, |r, c| x[(r, c)] + attn_out[(r, c)]);
             let h = block.ln2.forward(&x);
             let up = block.fc1.forward(&h, backend);
             let act = up.map(|&v| gelu(v));
             let down = block.fc2.forward(&act, backend);
-            x = Mat::from_fn(chunk, d, |t, c| x[(t, c)] + down[(t, c)]);
+            x = Mat::from_fn(rows, d, |r, c| x[(r, c)] + down[(r, c)]);
         }
         let h = self.ln_f.forward(&x);
         h.matmul(&self.embed.transposed())
@@ -591,6 +647,9 @@ impl Transformer {
     /// change *when* a token is produced, never *which* token (pinned by
     /// `tests/prop_decode.rs` and `figlut-serve`'s property suite).
     ///
+    /// Thin wrapper over [`Transformer::forward_batch`] with every session
+    /// contributing a chunk of exactly one token.
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty, `tokens` and `caches` disagree in
@@ -602,66 +661,10 @@ impl Transformer {
         caches: &mut [KvCache],
         backend: &Backend,
     ) -> Mat<f64> {
-        let cfg = &self.cfg;
-        let batch = tokens.len();
-        assert!(batch > 0, "empty batch");
-        assert_eq!(batch, caches.len(), "tokens/caches length mismatch");
-        let positions: Vec<usize> = caches.iter().map(KvCache::len).collect();
-        for (i, (&tok, &pos)) in tokens.iter().zip(&positions).enumerate() {
-            assert!(pos < cfg.max_seq, "session {i}: KV cache full ({pos})");
-            assert!(
-                tok < cfg.vocab,
-                "session {i}: token {tok} out of vocabulary"
-            );
-        }
-        let d = cfg.d_model;
-        let dh = d / cfg.heads;
-        let scale = 1.0 / (dh as f64).sqrt();
-        let mut x = Mat::from_fn(batch, d, |i, c| {
-            self.embed[(tokens[i], c)] + self.pos[(positions[i], c)]
-        });
-        for (li, block) in self.blocks.iter().enumerate() {
-            let h = block.ln1.forward(&x);
-            let q = block.wq.forward(&h, backend);
-            let k = block.wk.forward(&h, backend);
-            let v = block.wv.forward(&h, backend);
-            for (i, cache) in caches.iter_mut().enumerate() {
-                cache.keys[li].push(k.row(i).to_vec());
-                cache.values[li].push(v.row(i).to_vec());
-            }
-            let mut ctx = Mat::zeros(batch, d);
-            for head in 0..cfg.heads {
-                let off = head * dh;
-                for (i, cache) in caches.iter().enumerate() {
-                    let mut scores: Vec<f64> = cache.keys[li]
-                        .iter()
-                        .map(|krow| {
-                            let mut s = 0.0;
-                            for j in 0..dh {
-                                s += q[(i, off + j)] * krow[off + j];
-                            }
-                            s * scale
-                        })
-                        .collect();
-                    softmax_row(&mut scores);
-                    for (u, &a) in scores.iter().enumerate() {
-                        let vrow = &cache.values[li][u];
-                        for j in 0..dh {
-                            ctx[(i, off + j)] += a * vrow[off + j];
-                        }
-                    }
-                }
-            }
-            let attn_out = block.wo.forward(&ctx, backend);
-            x = Mat::from_fn(batch, d, |i, c| x[(i, c)] + attn_out[(i, c)]);
-            let h = block.ln2.forward(&x);
-            let up = block.fc1.forward(&h, backend);
-            let act = up.map(|&v| gelu(v));
-            let down = block.fc2.forward(&act, backend);
-            x = Mat::from_fn(batch, d, |i, c| x[(i, c)] + down[(i, c)]);
-        }
-        let h = self.ln_f.forward(&x);
-        h.matmul(&self.embed.transposed())
+        assert!(!tokens.is_empty(), "empty batch");
+        assert_eq!(tokens.len(), caches.len(), "tokens/caches length mismatch");
+        let chunks: Vec<&[usize]> = tokens.chunks(1).collect();
+        self.forward_batch(&chunks, caches, backend)
     }
 
     /// Autoregressively sample `len` tokens after a BOS token (id 0) at the
@@ -893,6 +896,48 @@ mod tests {
                 caches[i] = batch_caches[row].clone();
             }
             s += 1;
+        }
+    }
+
+    #[test]
+    fn forward_batch_mixed_chunks_bit_match_solo_runs() {
+        // One fused step mixing a decode row, a mid-prompt chunk, and a
+        // fresh prefill chunk: every returned row must equal the same row
+        // computed with the session running alone, bit for bit.
+        let m = Transformer::teacher(ModelConfig::tiny(), 29);
+        let histories: [&[usize]; 3] = [&[0, 5, 9, 2], &[0, 7, 19, 3, 88], &[0, 61, 4]];
+        let splits: [usize; 3] = [3, 2, 0]; // tokens already consumed
+                                            // Solo reference: prefill the consumed part, then the rest alone.
+        let mut solo_rows: Vec<Vec<Vec<f64>>> = Vec::new();
+        let mut caches: Vec<KvCache> = Vec::new();
+        for (h, &s) in histories.iter().zip(&splits) {
+            let mut cache = m.new_cache();
+            if s > 0 {
+                let _ = m.prefill(&h[..s], &mut cache, &Backend::Exact);
+            }
+            let mut solo_cache = cache.clone();
+            let l = m.prefill(&h[s..], &mut solo_cache, &Backend::Exact);
+            solo_rows.push((0..l.rows()).map(|t| l.row(t).to_vec()).collect());
+            caches.push(cache);
+        }
+        // Fused: all three remainders in one forward_batch call.
+        let chunks: Vec<&[usize]> = histories
+            .iter()
+            .zip(&splits)
+            .map(|(h, &s)| &h[s..])
+            .collect();
+        let logits = m.forward_batch(&chunks, &mut caches, &Backend::Exact);
+        let mut row = 0usize;
+        for (i, rows) in solo_rows.iter().enumerate() {
+            for (t, want) in rows.iter().enumerate() {
+                assert_eq!(logits.row(row), &want[..], "session {i} chunk row {t}");
+                row += 1;
+            }
+        }
+        assert_eq!(row, logits.rows());
+        // The fused call advanced every cache to its full history length.
+        for (cache, h) in caches.iter().zip(&histories) {
+            assert_eq!(cache.len(), h.len());
         }
     }
 

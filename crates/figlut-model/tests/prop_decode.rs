@@ -83,6 +83,62 @@ proptest! {
         prop_assert_eq!(cache.len(), prompt.len());
     }
 
+    /// Arbitrary **mixed-step compositions**: sessions at different
+    /// positions each contribute a chunk of arbitrary size to one fused
+    /// `forward_batch` call, repeatedly, until every prompt is consumed —
+    /// and every returned row is bit-equal to the session's teacher-forced
+    /// full forward pass. This is the exact shape `figlut-serve`'s chunked
+    /// prefill schedules (decode rows are chunks of 1).
+    #[test]
+    fn forward_batch_mixed_compositions_bit_match_full_exec(
+        prompts in prop::collection::vec(prompt_strategy(8), 1..=3),
+        schedule in any::<u64>(),
+    ) {
+        let model = packed_model();
+        let backend = Backend::Exec(EngineConfig::paper_default());
+        let full: Vec<_> = prompts.iter().map(|p| model.logits(p, &backend)).collect();
+        let mut caches: Vec<KvCache> = prompts.iter().map(|_| model.new_cache()).collect();
+        let mut consumed = vec![0usize; prompts.len()];
+        let mut mix = schedule;
+        while consumed.iter().zip(&prompts).any(|(&c, p)| c < p.len()) {
+            // Sessions with tokens left contribute a pseudo-random chunk of
+            // 1..=3 rows each; order and sizes vary with `schedule`.
+            let mut live: Vec<usize> = Vec::new();
+            let mut chunks: Vec<&[usize]> = Vec::new();
+            let mut takes: Vec<usize> = Vec::new();
+            for (i, p) in prompts.iter().enumerate() {
+                if consumed[i] < p.len() {
+                    mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let take = (1 + (mix >> 33) as usize % 3).min(p.len() - consumed[i]);
+                    live.push(i);
+                    takes.push(take);
+                    chunks.push(&p[consumed[i]..consumed[i] + take]);
+                }
+            }
+            let mut live_caches: Vec<KvCache> =
+                live.iter().map(|&i| std::mem::take(&mut caches[i])).collect();
+            let logits = model.forward_batch(&chunks, &mut live_caches, &backend);
+            let mut row = 0usize;
+            for ((&i, &take), cache) in live.iter().zip(&takes).zip(live_caches) {
+                for t in 0..take {
+                    prop_assert_eq!(
+                        logits.row(row),
+                        full[i].row(consumed[i] + t),
+                        "session {} position {}",
+                        i,
+                        consumed[i] + t
+                    );
+                    row += 1;
+                }
+                consumed[i] += take;
+                caches[i] = cache;
+            }
+        }
+        for (cache, p) in caches.iter().zip(&prompts) {
+            prop_assert_eq!(cache.len(), p.len());
+        }
+    }
+
     /// Multi-session `decode_batch` rows are bit-equal to each session's
     /// solo `decode_step`, with sessions at *different* positions.
     #[test]

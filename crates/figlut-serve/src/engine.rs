@@ -1,13 +1,17 @@
 //! Batched execution of live sessions over one shared model.
 //!
 //! [`BatchEngine`] owns nothing but a reference to the (packed) model and a
-//! [`Backend`]; session state — KV cache, sampling RNG, emitted tokens —
-//! lives in [`SessionState`] so the scheduler can move sessions in and out
-//! of the running batch freely. One [`BatchEngine::decode`] call gathers
-//! every live session into a single `batch × d` step through
-//! [`Transformer::decode_batch`], so one traversal of the shared packed
-//! weights serves the whole batch — the software analogue of the paper's
-//! weight-traffic amortization across sequences in flight.
+//! [`Backend`]; session state — KV cache, sampling RNG, emitted tokens,
+//! prefill progress — lives in [`SessionState`] so the scheduler can move
+//! sessions in and out of the running batch freely. One
+//! [`BatchEngine::step`] call gathers every decode row *and* the current
+//! prefill chunk into a single `rows × d` pass through
+//! [`Transformer::forward_batch`], so one traversal of the shared packed
+//! weights serves every token-row in flight — the software analogue of the
+//! paper's weight-traffic amortization across sequences in flight, with
+//! prefill no longer segregated into its own blocking step
+//! ([`BatchEngine::prefill`] and [`BatchEngine::decode`] are thin wrappers
+//! over the same fused step).
 //!
 //! **Batch-invariance.** Every per-session computation (attention over the
 //! session's own cache, LayerNorm, sampling from the session's own RNG) is
@@ -36,11 +40,16 @@ pub enum FinishReason {
 pub struct SessionState {
     /// The originating request.
     pub request: Request,
-    /// Tokens emitted so far (the first one is produced by prefill).
+    /// Tokens emitted so far (the first one is produced by the session's
+    /// final prefill chunk).
     pub generated: Vec<usize>,
-    /// Virtual-clock tick at which the first token was emitted (set by the
-    /// scheduler at the end of the session's prefill step).
-    pub first_token_tick: Option<u64>,
+    /// Virtual-clock tick at which each emitted token appeared (pushed by
+    /// the scheduler at the end of the emitting step; `token_ticks[0]` is
+    /// the TTFT stamp — set only when the *last* prefill chunk samples the
+    /// first token).
+    pub token_ticks: Vec<u64>,
+    /// Prompt tokens consumed by prefill chunks so far.
+    pub prefilled: usize,
     cache: KvCache,
     rng: Rng,
 }
@@ -49,6 +58,17 @@ impl SessionState {
     /// KV-cache positions consumed so far.
     pub fn positions(&self) -> usize {
         self.cache.len()
+    }
+
+    /// `true` once the whole prompt has been consumed (the session is
+    /// decodable; its first token has been sampled).
+    pub fn is_prefilled(&self) -> bool {
+        self.prefilled == self.request.prompt.len()
+    }
+
+    /// Prompt tokens not yet consumed by a prefill chunk.
+    pub fn prefill_remaining(&self) -> usize {
+        self.request.prompt.len() - self.prefilled
     }
 
     /// `true` once the generation budget is spent.
@@ -98,7 +118,8 @@ impl<'m> BatchEngine<'m> {
         SessionState {
             request,
             generated: Vec::new(),
-            first_token_tick: None,
+            token_ticks: Vec::new(),
+            prefilled: 0,
             cache: self.model.new_cache(),
             rng,
         }
@@ -106,65 +127,131 @@ impl<'m> BatchEngine<'m> {
 
     /// Run the session's prompt through the model as one chunk, sample its
     /// first token, and return the number of token-rows processed (the
-    /// prompt length — the step's virtual-clock weight).
+    /// prompt length — the step's virtual-clock weight). Thin wrapper over
+    /// [`BatchEngine::step`] with no decode rows and an unbounded chunk
+    /// budget.
     ///
     /// # Panics
     ///
     /// Panics if the session was already prefilled.
     pub fn prefill(&self, s: &mut SessionState) -> usize {
-        assert!(
-            s.generated.is_empty(),
-            "session {} re-prefilled",
-            s.request.id
-        );
-        let logits = self
-            .model
-            .prefill(&s.request.prompt, &mut s.cache, &self.backend);
-        let first = sample(
-            logits.row(logits.rows() - 1),
-            &s.request.sampling,
-            &mut s.rng,
-        );
-        s.generated.push(first);
-        s.request.prompt.len()
+        let budget = s.request.prompt.len();
+        self.step(&mut [], Some(s), budget)
     }
 
     /// One continuous-batching decode step: every session consumes its last
-    /// emitted token and samples the next one, through a single
-    /// [`Transformer::decode_batch`] call over the shared weights.
+    /// emitted token and samples the next one. Thin wrapper over
+    /// [`BatchEngine::step`] with no prefill chunk.
     ///
     /// # Panics
     ///
     /// Panics on an empty batch or a session that is unprefilled, complete,
-    /// or out of cache.
+    /// or out of cache (the eviction guard names the offending request id —
+    /// an evicted session must leave the running set, not reach a step).
     pub fn decode(&self, sessions: &mut [&mut SessionState]) {
         assert!(!sessions.is_empty(), "empty decode batch");
-        let tokens: Vec<usize> = sessions
+        let _ = self.step(sessions, None, 0);
+    }
+
+    /// One fused **mixed step**: every `decoding` session consumes its last
+    /// emitted token, and `prefilling` (if any) consumes its next prompt
+    /// chunk of up to `budget` tokens — all token-rows in a single
+    /// [`Transformer::forward_batch`] call, so one traversal of the shared
+    /// packed weights serves decode and prefill rows alike. Returns the
+    /// number of prompt rows consumed (0 without a prefill part).
+    ///
+    /// When the chunk is the prompt's last, its final logits row samples the
+    /// session's first token — exactly the row a whole-prompt prefill
+    /// samples, so chunking never changes the token (the session's RNG is
+    /// untouched until then). Intermediate chunks sample nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a step with no rows at all, a decode session that is
+    /// unprefilled, complete, or out of cache (by request id), a prefill
+    /// session that is already fully prefilled, or a zero `budget` with a
+    /// prefill session.
+    pub fn step(
+        &self,
+        decoding: &mut [&mut SessionState],
+        mut prefilling: Option<&mut SessionState>,
+        budget: usize,
+    ) -> usize {
+        let max_seq = self.model.cfg.max_seq;
+        assert!(
+            !decoding.is_empty() || prefilling.is_some(),
+            "empty step: no decode rows and no prefill chunk"
+        );
+        let tokens: Vec<usize> = decoding
             .iter()
             .map(|s| {
-                assert!(
-                    !s.generated.is_empty(),
-                    "session {} not prefilled",
-                    s.request.id
-                );
+                assert!(s.is_prefilled(), "request {}: not prefilled", s.request.id);
                 assert!(
                     !s.is_complete(),
-                    "session {} already complete",
+                    "request {}: already complete",
+                    s.request.id
+                );
+                // Guard here, where the request is known: deeper layers
+                // only know batch indices.
+                assert!(
+                    s.positions() < max_seq,
+                    "request {}: KV cache full ({max_seq} slots) — evict instead of decoding",
                     s.request.id
                 );
                 *s.generated.last().unwrap()
             })
             .collect();
-        let mut caches: Vec<KvCache> = sessions
+        let (start, take) = match &prefilling {
+            Some(s) => {
+                assert!(budget >= 1, "prefill session with a zero chunk budget");
+                assert!(!s.is_prefilled(), "session {} re-prefilled", s.request.id);
+                let start = s.prefilled;
+                let take = budget.min(s.prefill_remaining());
+                assert!(
+                    s.positions() + take <= max_seq,
+                    "request {}: prefill chunk overflows the KV cache",
+                    s.request.id
+                );
+                (start, take)
+            }
+            None => (0, 0),
+        };
+        let mut caches: Vec<KvCache> = decoding
             .iter_mut()
             .map(|s| std::mem::take(&mut s.cache))
             .collect();
-        let logits = self.model.decode_batch(&tokens, &mut caches, &self.backend);
-        for ((i, s), cache) in sessions.iter_mut().enumerate().zip(caches) {
-            s.cache = cache;
+        if let Some(s) = prefilling.as_mut() {
+            caches.push(std::mem::take(&mut s.cache));
+        }
+        let logits = {
+            let mut chunks: Vec<&[usize]> = tokens.iter().map(std::slice::from_ref).collect();
+            if let Some(s) = &prefilling {
+                chunks.push(&s.request.prompt[start..start + take]);
+            }
+            self.model
+                .forward_batch(&chunks, &mut caches, &self.backend)
+        };
+        let mut caches = caches.into_iter();
+        for (i, s) in decoding.iter_mut().enumerate() {
+            s.cache = caches.next().unwrap();
             let next = sample(logits.row(i), &s.request.sampling, &mut s.rng);
             s.generated.push(next);
         }
+        if let Some(s) = prefilling {
+            s.cache = caches.next().unwrap();
+            s.prefilled = start + take;
+            if s.is_prefilled() {
+                // The prompt's last row — bit-identical to the row a
+                // whole-prompt prefill samples — emits the first token.
+                let first = sample(
+                    logits.row(decoding.len() + take - 1),
+                    &s.request.sampling,
+                    &mut s.rng,
+                );
+                s.generated.push(first);
+            }
+        }
+        take
     }
 
     /// The batch-1 reference: run `request` completely alone (fresh state,
@@ -183,7 +270,18 @@ impl<'m> BatchEngine<'m> {
 }
 
 /// Deterministic token selection from one logits row.
+///
+/// # Panics
+///
+/// Panics if the row contains a non-finite value: greedy argmax would
+/// silently return token 0 on an all-NaN row (`v > row[best]` is false for
+/// every comparison), and temperature weights would be NaN-poisoned — a
+/// corrupted model must fail loudly, not emit plausible-looking tokens.
 fn sample(row: &[f64], sampling: &Sampling, rng: &mut Rng) -> usize {
+    assert!(
+        row.iter().all(|v| v.is_finite()),
+        "non-finite logits row: refusing to sample from a poisoned model"
+    );
     match sampling {
         Sampling::Greedy => {
             let mut best = 0usize;
@@ -320,5 +418,101 @@ mod tests {
         let mut s = e.start(t.requests[0].clone());
         let _ = e.prefill(&mut s);
         let _ = e.prefill(&mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "request 7: KV cache full")]
+    fn decoding_an_evicted_session_panics_with_the_request_id() {
+        // An out-of-cache session handed to a decode step must be caught at
+        // the engine layer, where the request id is known — not deep inside
+        // decode_batch, which can only name the batch index.
+        let m = engine_model();
+        let e = BatchEngine::new(&m, Backend::Exact);
+        let r = Request {
+            id: 7,
+            arrival: 0,
+            prompt: (0..30).map(|i| i % m.cfg.vocab).collect(),
+            max_new: 20, // 30 + 20 > max_seq 40: will fill the cache
+            sampling: Sampling::Greedy,
+            seed: 1,
+        };
+        let mut s = e.start(r);
+        let _ = e.prefill(&mut s);
+        while !s.is_evicted(m.cfg.max_seq) {
+            e.decode(&mut [&mut s]);
+        }
+        e.decode(&mut [&mut s]); // must panic, naming request 7
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite logits row")]
+    fn sampling_nan_poisoned_logits_panics() {
+        // Greedy argmax over all-NaN logits would silently pick token 0
+        // (every `v > row[best]` comparison is false); it must panic.
+        let mut rng = Rng::new(1);
+        let row = vec![f64::NAN; 8];
+        let _ = sample(&row, &Sampling::Greedy, &mut rng);
+    }
+
+    #[test]
+    fn chunked_prefill_emits_the_same_first_token() {
+        // Feeding the prompt through `step` in chunks of 1, 2, and 3 must
+        // produce the same first token and cache state as the whole-prompt
+        // prefill — the last chunk samples the same logits row.
+        let m = engine_model();
+        let e = BatchEngine::new(&m, Backend::Exact);
+        let t = synthetic_trace(&m.cfg, &TraceParams::light(3), 19);
+        for r in &t.requests {
+            let mut whole = e.start(r.clone());
+            let _ = e.prefill(&mut whole);
+            for budget in [1usize, 2, 3] {
+                let mut s = e.start(r.clone());
+                let mut consumed = 0;
+                while !s.is_prefilled() {
+                    assert!(s.generated.is_empty(), "sampled before the last chunk");
+                    consumed += e.step(&mut [], Some(&mut s), budget);
+                }
+                assert_eq!(consumed, r.prompt.len());
+                assert_eq!(s.generated, whole.generated, "budget {budget}");
+                assert_eq!(s.positions(), whole.positions());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_step_matches_segregated_phases() {
+        // One fused step (decodes + prefill chunk) must leave every session
+        // in exactly the state that separate decode and prefill-chunk steps
+        // produce — and, transitively, the solo batch-1 state.
+        let m = engine_model();
+        let e = BatchEngine::new(&m, Backend::Exact);
+        let t = synthetic_trace(&m.cfg, &TraceParams::light(4), 23);
+        let solo: Vec<Vec<usize>> = t.requests.iter().map(|r| e.solo_run(r)).collect();
+
+        // Two decoding sessions + one session prefilled in chunks of 2,
+        // everything fused into mixed steps.
+        let mut a = e.start(t.requests[0].clone());
+        let mut b = e.start(t.requests[1].clone());
+        let mut c = e.start(t.requests[2].clone());
+        let _ = e.prefill(&mut a);
+        let _ = e.prefill(&mut b);
+        let max_seq = m.cfg.max_seq;
+        while !c.is_prefilled() {
+            let mut decoding: Vec<&mut SessionState> = Vec::new();
+            for s in [&mut a, &mut b] {
+                if s.finish_reason(max_seq).is_none() {
+                    decoding.push(s);
+                }
+            }
+            let _ = e.step(&mut decoding, Some(&mut c), 2);
+        }
+        for s in [&mut a, &mut b, &mut c] {
+            while s.finish_reason(max_seq).is_none() {
+                e.decode(&mut [s]);
+            }
+        }
+        assert_eq!(a.generated, solo[0]);
+        assert_eq!(b.generated, solo[1]);
+        assert_eq!(c.generated, solo[2]);
     }
 }

@@ -20,9 +20,9 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) |
-//! | [`engine`] | [`BatchEngine`]: prefill + batched decode over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
-//! | [`scheduler`] | [`serve`]: admission, prefill/decode interleaving, [`Policy`] × `max_batch` |
-//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, occupancy, `figlut-sim` energy per token |
+//! | [`engine`] | [`BatchEngine`]: fused mixed steps (decode rows + prefill chunks in one pass) over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
+//! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`] |
+//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, inter-token stalls, occupancy, phase-split `figlut-sim` energy per token |
 //!
 //! **The correctness commitment** is the repo's signature move applied at
 //! the serving layer: for any trace, policy, batch limit, and thread

@@ -9,7 +9,7 @@
 //! efficiency-under-serving story closed end to end.
 
 use crate::engine::FinishReason;
-use figlut_model::workload::decode_workload;
+use figlut_model::workload::{decode_workload, prefill_workload};
 use figlut_model::OptConfig;
 use figlut_sim::engine::evaluate;
 use figlut_sim::mpu::EngineSpec;
@@ -17,24 +17,54 @@ use figlut_sim::tech::Tech;
 use figlut_sim::Workload;
 use std::collections::BTreeMap;
 
-/// What a step did.
+/// What a step did (derived from a [`StepRecord`]'s row counts).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepKind {
-    /// One session's whole-prompt prefill.
+    /// Only prompt rows: a (possibly chunked) prefill with no running
+    /// decodes.
     Prefill,
-    /// One batched decode over every running session.
+    /// Only decode rows: one batched decode over every running session.
     Decode,
+    /// A fused step carrying both running decode rows and a prefill chunk.
+    Mixed,
 }
 
-/// One executed scheduler step.
+/// One executed scheduler step: a single fused forward pass whose
+/// token-rows are split by phase, because the two phases price differently
+/// ([`ServeReport::workload`]) even though they share the GEMM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StepRecord {
-    /// Step kind.
-    pub kind: StepKind,
-    /// Token-rows processed (prompt length for prefill, batch for decode).
-    pub rows: usize,
+    /// Prompt token-rows processed (0 = no prefill part this step).
+    pub prefill_rows: usize,
+    /// KV-cache position at which the prefill chunk starts (0 for a
+    /// whole-prompt prefill; later chunks of a chunked prefill start
+    /// deeper, which matters to the quadratic attention pricing).
+    pub prefill_pos: usize,
+    /// Decode token-rows processed (the running batch; 0 = prefill-only).
+    pub decode_rows: usize,
     /// Virtual-clock cost charged.
     pub cost: u64,
+}
+
+impl StepRecord {
+    /// Total token-rows the step's fused GEMMs processed.
+    pub fn rows(&self) -> usize {
+        self.prefill_rows + self.decode_rows
+    }
+
+    /// Classify the step by which phases contributed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a row-less record (the scheduler never emits one).
+    pub fn kind(&self) -> StepKind {
+        match (self.prefill_rows > 0, self.decode_rows > 0) {
+            (true, false) => StepKind::Prefill,
+            (false, true) => StepKind::Decode,
+            (true, true) => StepKind::Mixed,
+            (false, false) => panic!("step record with no rows"),
+        }
+    }
 }
 
 /// Per-request outcome.
@@ -54,6 +84,11 @@ pub struct RequestMetrics {
     pub reason: FinishReason,
     /// The emitted token stream (the batch-invariance artifact).
     pub generated: Vec<usize>,
+    /// Virtual-clock tick at which each token of `generated` was emitted
+    /// (`token_ticks[0] == first_token`). Consecutive differences are the
+    /// session's inter-token stalls — the per-token cadence that
+    /// head-of-line blocking by long prefills ruins.
+    pub token_ticks: Vec<u64>,
 }
 
 impl RequestMetrics {
@@ -66,6 +101,27 @@ impl RequestMetrics {
     pub fn latency(&self) -> u64 {
         self.finish - self.arrival
     }
+
+    /// Gaps between consecutive emitted tokens, in ticks (empty for a
+    /// single-token session).
+    pub fn inter_token_stalls(&self) -> impl Iterator<Item = u64> + '_ {
+        self.token_ticks.windows(2).map(|w| w[1] - w[0])
+    }
+}
+
+/// Nearest-rank percentile (`p` in `(0, 100]`) of `values`; 0 when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is out of range.
+fn percentile(mut values: Vec<u64>, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+    values[rank.saturating_sub(1)]
 }
 
 /// Everything a serving run produced.
@@ -110,58 +166,99 @@ impl ServeReport {
     ///
     /// Panics if `p` is out of range or no request finished.
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
         assert!(!self.requests.is_empty(), "no finished requests");
-        let mut lat: Vec<u64> = self.requests.iter().map(RequestMetrics::latency).collect();
-        lat.sort_unstable();
-        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.saturating_sub(1)]
+        percentile(
+            self.requests.iter().map(RequestMetrics::latency).collect(),
+            p,
+        )
     }
 
-    /// Number of decode steps executed.
+    /// Number of steps that advanced at least one decode row.
     pub fn decode_steps(&self) -> usize {
-        self.steps
-            .iter()
-            .filter(|s| s.kind == StepKind::Decode)
-            .count()
+        self.steps.iter().filter(|s| s.decode_rows > 0).count()
     }
 
     /// Mean decode-batch occupancy in `(0, 1]`: decoded rows over
-    /// `decode_steps × max_batch`. 1.0 means every decode ran a full batch.
+    /// `decode_steps × max_batch`. 1.0 means every decode-carrying step ran
+    /// a full batch.
     pub fn mean_decode_occupancy(&self) -> f64 {
         let steps = self.decode_steps();
         if steps == 0 {
             return 0.0;
         }
-        let rows: usize = self
-            .steps
-            .iter()
-            .filter(|s| s.kind == StepKind::Decode)
-            .map(|s| s.rows)
-            .sum();
+        let rows: usize = self.steps.iter().map(|s| s.decode_rows).sum();
         rows as f64 / (steps * self.max_batch) as f64
     }
 
-    /// Re-express the executed step sequence as the GEMM workload it would
-    /// be at a real OPT shape: every step with `r` token-rows is one
-    /// [`figlut_model::workload::decode_workload`] pass at
-    /// batch `r` (steps with equal `r` merge into the shapes' `repeat`), so
-    /// the cost model prices serving with exactly the same per-pass
-    /// inventory as every other experiment.
+    /// Every inter-token stall (gap between consecutive emitted tokens of
+    /// one session), across all requests, in ticks.
+    pub fn inter_token_stalls(&self) -> Vec<u64> {
+        self.requests
+            .iter()
+            .flat_map(RequestMetrics::inter_token_stalls)
+            .collect()
+    }
+
+    /// The worst inter-token stall any session experienced, in ticks (0 if
+    /// no session emitted a second token). This is the number chunked
+    /// prefill bounds: with a chunk budget `c` every step costs at most
+    /// `step_overhead + c + max_batch` ticks, so no running session ever
+    /// waits a whole foreign prompt length for its next token.
+    pub fn max_inter_token_stall(&self) -> u64 {
+        self.inter_token_stalls().into_iter().max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile of the inter-token stalls (`p` in
+    /// `(0, 100]`), in ticks; 0 if no session emitted a second token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn stall_percentile(&self, p: f64) -> u64 {
+        percentile(self.inter_token_stalls(), p)
+    }
+
+    /// Re-express the executed step sequence as the workload it would be at
+    /// a real OPT shape, phase-aware:
+    ///
+    /// * **GEMMs** run fused — a step's prefill chunk and decode batch ride
+    ///   the same weight traversal — so each step contributes one
+    ///   [`decode_workload`]-shaped pass at its *combined* row count (steps
+    ///   with equal totals merge into the shapes' `repeat`).
+    /// * **Non-GEMM flops** split by phase: decode rows carry
+    ///   [`decode_workload`]'s linear attention bookkeeping, while a
+    ///   prefill chunk spanning positions `[pos, pos + len)` is priced as
+    ///   the *increment* of [`prefill_workload`]'s quadratic attention term
+    ///   between those depths. The increments telescope, so any chunking of
+    ///   a prompt prices exactly like the whole-prompt prefill — chunked
+    ///   prefill moves stalls, not energy.
     pub fn workload(&self, opt: &OptConfig) -> Workload {
+        let prefill_nongemm_upto = |len: usize| -> f64 {
+            if len == 0 {
+                0.0
+            } else {
+                prefill_workload(opt, 1, len).nongemm_flops
+            }
+        };
         let mut by_rows: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut nongemm_flops = 0.0;
         for s in &self.steps {
-            *by_rows.entry(s.rows).or_insert(0.0) += 1.0;
+            *by_rows.entry(s.rows()).or_insert(0.0) += 1.0;
+            if s.decode_rows > 0 {
+                nongemm_flops += decode_workload(opt, s.decode_rows).nongemm_flops;
+            }
+            if s.prefill_rows > 0 {
+                nongemm_flops += prefill_nongemm_upto(s.prefill_pos + s.prefill_rows)
+                    - prefill_nongemm_upto(s.prefill_pos);
+            }
         }
         let mut gemms = Vec::with_capacity(3 * by_rows.len());
-        let mut nongemm_flops = 0.0;
         for (&rows, &count) in &by_rows {
             let mut pass = decode_workload(opt, rows);
             for g in &mut pass.gemms {
                 g.repeat *= count;
             }
             gemms.extend(pass.gemms);
-            nongemm_flops += pass.nongemm_flops * count;
         }
         Workload {
             gemms,
@@ -198,35 +295,45 @@ mod tests {
     use figlut_num::fp::FpFormat;
     use figlut_sim::mpu::SimEngine;
 
+    fn prefill_step(rows: usize, pos: usize, cost: u64) -> StepRecord {
+        StepRecord {
+            prefill_rows: rows,
+            prefill_pos: pos,
+            decode_rows: 0,
+            cost,
+        }
+    }
+
+    fn decode_step(rows: usize, cost: u64) -> StepRecord {
+        StepRecord {
+            prefill_rows: 0,
+            prefill_pos: 0,
+            decode_rows: rows,
+            cost,
+        }
+    }
+
     fn demo_report() -> ServeReport {
-        let m = |id, arrival, first, finish, tokens| RequestMetrics {
-            id,
-            arrival,
-            first_token: first,
-            finish,
-            tokens,
-            reason: FinishReason::Completed,
-            generated: vec![1; tokens],
+        let m = |id, arrival, first: u64, finish: u64, tokens: usize| {
+            // Emission ticks interpolated so the scheduler's invariants
+            // hold: token_ticks[0] == first and token_ticks.last == finish.
+            let span = (tokens as u64 - 1).max(1);
+            RequestMetrics {
+                id,
+                arrival,
+                first_token: first,
+                finish,
+                tokens,
+                reason: FinishReason::Completed,
+                generated: vec![1; tokens],
+                token_ticks: (0..tokens as u64)
+                    .map(|t| first + t * (finish - first) / span)
+                    .collect(),
+            }
         };
         ServeReport {
             requests: vec![m(0, 0, 5, 20, 4), m(1, 2, 9, 30, 5), m(2, 10, 16, 26, 3)],
-            steps: vec![
-                StepRecord {
-                    kind: StepKind::Prefill,
-                    rows: 4,
-                    cost: 5,
-                },
-                StepRecord {
-                    kind: StepKind::Decode,
-                    rows: 2,
-                    cost: 3,
-                },
-                StepRecord {
-                    kind: StepKind::Decode,
-                    rows: 3,
-                    cost: 4,
-                },
-            ],
+            steps: vec![prefill_step(4, 0, 5), decode_step(2, 3), decode_step(3, 4)],
             ticks: 30,
             max_batch: 4,
         }
@@ -276,43 +383,135 @@ mod tests {
         // The same tokens served at batch 1 (each decode row its own step)
         // must cost more energy per token: weight traffic is re-paid.
         let mut solo = r.clone();
-        solo.steps = vec![
-            StepRecord {
-                kind: StepKind::Prefill,
-                rows: 4,
-                cost: 5,
-            },
-            StepRecord {
-                kind: StepKind::Decode,
-                rows: 1,
-                cost: 2,
-            },
-            StepRecord {
-                kind: StepKind::Decode,
-                rows: 1,
-                cost: 2,
-            },
-            StepRecord {
-                kind: StepKind::Decode,
-                rows: 1,
-                cost: 2,
-            },
-            StepRecord {
-                kind: StepKind::Decode,
-                rows: 1,
-                cost: 2,
-            },
-            StepRecord {
-                kind: StepKind::Decode,
-                rows: 1,
-                cost: 2,
-            },
-        ];
+        solo.steps = vec![prefill_step(4, 0, 5)];
+        solo.steps.extend((0..5).map(|_| decode_step(1, 2)));
         let e_solo = solo.energy_per_token_pj(&tech, &spec, opt, 4.0);
         assert!(
             e_solo > 1.5 * e,
             "batch-1 serving should be much costlier: {e_solo} vs {e}"
         );
+    }
+
+    #[test]
+    fn step_records_classify_by_phase_rows() {
+        assert_eq!(prefill_step(4, 0, 5).kind(), StepKind::Prefill);
+        assert_eq!(decode_step(2, 3).kind(), StepKind::Decode);
+        let mixed = StepRecord {
+            prefill_rows: 8,
+            prefill_pos: 16,
+            decode_rows: 3,
+            cost: 12,
+        };
+        assert_eq!(mixed.kind(), StepKind::Mixed);
+        assert_eq!(mixed.rows(), 11);
+    }
+
+    #[test]
+    fn prefill_rows_price_strictly_more_nongemm_than_decode_rows() {
+        // The regression the StepKind-blind workload() had: a prefill of L
+        // rows was priced as a decode batch of L, dropping the quadratic
+        // attention term. Same rows, same GEMMs — strictly more non-GEMM
+        // flops on the prefill side.
+        let opt = by_name("OPT-1.3B").unwrap();
+        let base = demo_report();
+        let mut as_prefill = base.clone();
+        as_prefill.steps = vec![prefill_step(32, 0, 33)];
+        let mut as_decode = base;
+        as_decode.steps = vec![decode_step(32, 33)];
+        let wp = as_prefill.workload(opt);
+        let wd = as_decode.workload(opt);
+        assert!(
+            (wp.ops() / wd.ops() - 1.0).abs() < 1e-12,
+            "same rows must mean the same GEMM inventory"
+        );
+        assert!(
+            wp.nongemm_flops > wd.nongemm_flops,
+            "prefill attention is quadratic: {} !> {}",
+            wp.nongemm_flops,
+            wd.nongemm_flops
+        );
+        // And it must actually be the prefill_workload increment, not some
+        // other constant: one whole-prompt chunk == prefill_workload.
+        let want = figlut_model::workload::prefill_workload(opt, 1, 32).nongemm_flops;
+        assert!((wp.nongemm_flops / want - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_prefill_pricing_telescopes() {
+        // Chunking a 32-token prompt must price (non-GEMM) exactly like the
+        // whole-prompt prefill: the per-chunk quadratic increments sum to
+        // the full quadratic term.
+        let opt = by_name("OPT-1.3B").unwrap();
+        let mut whole = demo_report();
+        whole.steps = vec![prefill_step(32, 0, 33)];
+        let mut chunked = whole.clone();
+        chunked.steps = vec![
+            prefill_step(8, 0, 9),
+            prefill_step(8, 8, 9),
+            prefill_step(16, 16, 17),
+        ];
+        let ww = whole.workload(opt);
+        let wc = chunked.workload(opt);
+        assert!(
+            (wc.nongemm_flops / ww.nongemm_flops - 1.0).abs() < 1e-9,
+            "chunking moved attention energy: {} vs {}",
+            wc.nongemm_flops,
+            ww.nongemm_flops
+        );
+    }
+
+    #[test]
+    fn mixed_steps_price_fused_gemms_and_split_nongemm() {
+        // A mixed step's GEMMs run at the combined row count (one weight
+        // traversal), while its non-GEMM work is the sum of the phases'.
+        let opt = by_name("OPT-1.3B").unwrap();
+        let mut mixed = demo_report();
+        mixed.steps = vec![StepRecord {
+            prefill_rows: 8,
+            prefill_pos: 4,
+            decode_rows: 3,
+            cost: 12,
+        }];
+        let w = mixed.workload(opt);
+        let want_gemm = 2.0 * opt.gemm_params() * 11.0;
+        assert!((w.ops() / want_gemm - 1.0).abs() < 1e-12);
+        let decode_part = decode_workload(opt, 3).nongemm_flops;
+        let prefill_part =
+            prefill_workload(opt, 1, 12).nongemm_flops - prefill_workload(opt, 1, 4).nongemm_flops;
+        assert!((w.nongemm_flops / (decode_part + prefill_part) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_metrics_aggregate_token_gaps() {
+        let mut r = demo_report();
+        // Request 0: ticks 5,10,15,20 → gaps 5,5,5. Request 1: 9,14,19,24,30
+        // → gaps 5,5,5,6. Request 2: 16,21,26 → gaps 5,5.
+        assert_eq!(r.requests[1].token_ticks, vec![9, 14, 19, 24, 30]);
+        assert_eq!(r.max_inter_token_stall(), 6);
+        assert_eq!(r.stall_percentile(50.0), 5);
+        // Inject a head-of-line blocking spike into request 2.
+        r.requests[2].token_ticks = vec![16, 21, 62];
+        assert_eq!(r.max_inter_token_stall(), 41);
+        assert_eq!(r.stall_percentile(99.0), 41);
+        assert_eq!(r.stall_percentile(50.0), 5);
+        let single = RequestMetrics {
+            id: 9,
+            arrival: 0,
+            first_token: 3,
+            finish: 3,
+            tokens: 1,
+            reason: FinishReason::Completed,
+            generated: vec![1],
+            token_ticks: vec![3],
+        };
+        let lone = ServeReport {
+            requests: vec![single],
+            steps: vec![prefill_step(2, 0, 3)],
+            ticks: 3,
+            max_batch: 1,
+        };
+        assert_eq!(lone.max_inter_token_stall(), 0);
+        assert_eq!(lone.stall_percentile(99.0), 0);
     }
 
     #[test]

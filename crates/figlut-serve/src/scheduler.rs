@@ -1,9 +1,8 @@
 //! Admission, prefill/decode interleaving, and batch assembly on a
 //! deterministic virtual clock.
 //!
-//! The serving loop is an event loop over *steps*. Each step is either one
-//! session's whole-prompt prefill or one batched decode of every running
-//! session, and advances the virtual clock by a deterministic cost
+//! The serving loop is an event loop over *steps*, and advances the
+//! virtual clock by a deterministic cost per step
 //! (`step_overhead + token-rows processed`) — a linear stand-in for the
 //! row-proportional GEMM time of both the packed host kernels and the
 //! modeled accelerator at these memory-bound shapes. Because the clock is
@@ -11,12 +10,23 @@
 //! hosts and runs; `ServeReport::workload` prices the very same step
 //! sequence through `figlut-sim` when real energy numbers are wanted.
 //!
+//! Without a [`ServeConfig::prefill_chunk`] budget, each step is either
+//! one session's whole-prompt prefill or one batched decode of every
+//! running session — so a long prompt stalls every running decode for its
+//! full length (head-of-line blocking). With a budget `c`, the scheduler
+//! instead packs **mixed steps**: every running decode row plus up to `c`
+//! prompt rows of the oldest pending prompt, fused into one
+//! [`BatchEngine::step`], bounding each running session's inter-token
+//! stall by `step_overhead + c + max_batch` ticks instead of
+//! `step_overhead + prompt_len + max_batch`.
+//!
 //! Scheduling changes *when* sessions advance, never *what* they emit:
-//! tokens are batch-invariant (see [`crate::engine`]), so policies are
-//! compared on latency/throughput alone with accuracy provably fixed.
+//! tokens are batch-invariant (see [`crate::engine`]), so policies and
+//! chunk budgets are compared on latency/throughput alone with accuracy
+//! provably fixed.
 
-use crate::engine::{BatchEngine, SessionState};
-use crate::metrics::{RequestMetrics, ServeReport, StepKind, StepRecord};
+use crate::engine::{BatchEngine, FinishReason, SessionState};
+use crate::metrics::{RequestMetrics, ServeReport, StepRecord};
 use crate::request::Trace;
 use std::collections::VecDeque;
 
@@ -59,24 +69,45 @@ impl Policy {
 /// Scheduler knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Maximum sessions decoded per step (and held concurrently).
+    /// Maximum sessions decoded per step (and held concurrently; a
+    /// mid-prefill session occupies one of these slots).
     pub max_batch: usize,
     /// Batch-assembly policy.
     pub policy: Policy,
     /// Fixed virtual-clock cost added to every step, on top of one tick
     /// per token-row processed.
     pub step_overhead: u64,
+    /// Chunked-prefill budget. `None` (the default) runs each admitted
+    /// prompt as one monolithic prefill step that stalls every running
+    /// decode for the prompt's full length. `Some(c)` fuses prefill into
+    /// **mixed steps**: every step carries all running decode rows plus up
+    /// to `c` prompt rows of the oldest pending prompt, so no running
+    /// session ever stalls longer than `step_overhead + c + max_batch`
+    /// ticks. The emitted tokens are bit-identical either way; the sweet
+    /// spot for the packed host kernels is the exec column engines'
+    /// full-width block (`WIDE_MAX = 64` rows).
+    pub prefill_chunk: Option<usize>,
 }
 
 impl ServeConfig {
-    /// A configuration with the default per-step overhead of 1 tick.
+    /// A configuration with the default per-step overhead of 1 tick and
+    /// monolithic (un-chunked) prefill.
     pub fn new(max_batch: usize, policy: Policy) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
         Self {
             max_batch,
             policy,
             step_overhead: 1,
+            prefill_chunk: None,
         }
+    }
+
+    /// Enable chunked prefill with a per-step budget of `chunk` prompt
+    /// rows.
+    pub fn with_prefill_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "prefill_chunk must be at least 1");
+        self.prefill_chunk = Some(chunk);
+        self
     }
 }
 
@@ -86,14 +117,38 @@ enum Action {
     Decode,
 }
 
+/// Close a finished session into its metrics record.
+fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetrics {
+    debug_assert_eq!(
+        s.token_ticks.len(),
+        s.generated.len(),
+        "request {}: emission ticks out of sync with tokens",
+        s.request.id
+    );
+    RequestMetrics {
+        id: s.request.id,
+        arrival: s.request.arrival,
+        first_token: *s
+            .token_ticks
+            .first()
+            .expect("finished session without a first token"),
+        finish,
+        tokens: s.generated.len(),
+        reason,
+        generated: s.generated,
+        token_ticks: s.token_ticks,
+    }
+}
+
 /// Serve `trace` to completion and return the full report.
 ///
 /// Requests are admitted in `(arrival, id)` order; the loop runs until
 /// every request has finished (completed its budget or been evicted on a
 /// full KV cache). The emitted token streams are bit-identical to each
-/// request's [`BatchEngine::solo_run`] for **every** policy and
-/// `max_batch` — the property suite and `repro ext-serving` assert this
-/// before any throughput number is believed.
+/// request's [`BatchEngine::solo_run`] for **every** policy, `max_batch`,
+/// and `prefill_chunk` budget — the property suite and `repro ext-serving`
+/// / `repro ext-chunked-prefill` assert this before any throughput number
+/// is believed.
 ///
 /// # Panics
 ///
@@ -101,8 +156,18 @@ enum Action {
 pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
     let model_cfg = engine.model().cfg;
     trace.validate(&model_cfg);
-    let max_seq = model_cfg.max_seq;
+    match cfg.prefill_chunk {
+        None => serve_monolithic(engine, trace, cfg),
+        Some(chunk) => serve_chunked(engine, trace, cfg, chunk),
+    }
+}
 
+/// The `prefill_chunk: None` path: each admitted prompt runs as one
+/// monolithic prefill step; decode steps batch every running session. This
+/// is byte-for-byte the pre-chunking scheduler (pinned by the golden-trace
+/// test below) — kept as its own loop so the default path cannot drift.
+fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
+    let max_seq = engine.model().cfg.max_seq;
     let mut arrivals: VecDeque<_> = trace.requests.iter().cloned().collect();
     let mut pending: VecDeque<_> = VecDeque::new();
     let mut running: Vec<SessionState> = Vec::new();
@@ -157,31 +222,20 @@ pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> Serv
                 let req = pending
                     .pop_front()
                     .expect("admission without a pending request");
-                let arrival = req.arrival;
                 let mut s = engine.start(req);
                 let rows = engine.prefill(&mut s);
                 clock += cfg.step_overhead + rows as u64;
                 steps.push(StepRecord {
-                    kind: StepKind::Prefill,
-                    rows,
+                    prefill_rows: rows,
+                    prefill_pos: 0,
+                    decode_rows: 0,
                     cost: cfg.step_overhead + rows as u64,
                 });
                 // The prefill itself emits the first token: TTFT stops here.
-                let first_token = clock;
+                s.token_ticks.push(clock);
                 match s.finish_reason(max_seq) {
-                    Some(reason) => finished.push(RequestMetrics {
-                        id: s.request.id,
-                        arrival,
-                        first_token,
-                        finish: clock,
-                        tokens: s.generated.len(),
-                        reason,
-                        generated: s.generated,
-                    }),
-                    None => {
-                        s.first_token_tick = Some(first_token);
-                        running.push(s);
-                    }
+                    Some(reason) => finished.push(metrics_of(s, reason, clock)),
+                    None => running.push(s),
                 }
             }
             Action::Decode => {
@@ -193,23 +247,17 @@ pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> Serv
                 }
                 clock += cfg.step_overhead + batch as u64;
                 steps.push(StepRecord {
-                    kind: StepKind::Decode,
-                    rows: batch,
+                    prefill_rows: 0,
+                    prefill_pos: 0,
+                    decode_rows: batch,
                     cost: cfg.step_overhead + batch as u64,
                 });
                 sealed = true;
                 let mut still_running = Vec::with_capacity(running.len());
-                for s in running.drain(..) {
+                for mut s in running.drain(..) {
+                    s.token_ticks.push(clock);
                     match s.finish_reason(max_seq) {
-                        Some(reason) => finished.push(RequestMetrics {
-                            id: s.request.id,
-                            arrival: s.request.arrival,
-                            first_token: s.first_token_tick.expect("running session without TTFT"),
-                            finish: clock,
-                            tokens: s.generated.len(),
-                            reason,
-                            generated: s.generated,
-                        }),
+                        Some(reason) => finished.push(metrics_of(s, reason, clock)),
                         None => still_running.push(s),
                     }
                 }
@@ -218,6 +266,116 @@ pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> Serv
                     sealed = false;
                 }
             }
+        }
+    }
+    finished.sort_by_key(|m| m.id);
+    ServeReport {
+        requests: finished,
+        steps,
+        ticks: clock,
+        max_batch: cfg.max_batch,
+    }
+}
+
+/// The chunked-prefill path: one prompt prefills at a time (the oldest
+/// admitted), `chunk` rows per step, fused with every running decode row
+/// into a single [`BatchEngine::step`]. TTFT stops only when the last
+/// chunk samples the first token.
+///
+/// Policies keep their admission character: prefill-priority admits into
+/// any free slot, decode-priority admits only into an idle engine (so it
+/// never actually mixes), and FCFS admits until a pure-decode step runs
+/// (the batch is full or the queue is empty — the static-batching "seal"),
+/// then drains. A mid-prefill session occupies a batch slot.
+fn serve_chunked(
+    engine: &BatchEngine<'_>,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    chunk: usize,
+) -> ServeReport {
+    assert!(chunk >= 1, "prefill_chunk must be at least 1");
+    let max_seq = engine.model().cfg.max_seq;
+    let mut arrivals: VecDeque<_> = trace.requests.iter().cloned().collect();
+    let mut pending: VecDeque<_> = VecDeque::new();
+    let mut prefilling: Option<SessionState> = None;
+    let mut running: Vec<SessionState> = Vec::new();
+    let mut finished: Vec<RequestMetrics> = Vec::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
+    let mut clock = 0u64;
+    // FCFS only: set once a pure-decode step runs; admission reopens when
+    // the batch drains.
+    let mut sealed = false;
+
+    loop {
+        while arrivals.front().is_some_and(|r| r.arrival <= clock) {
+            pending.push_back(arrivals.pop_front().unwrap());
+        }
+        if pending.is_empty() && running.is_empty() && prefilling.is_none() {
+            match arrivals.front() {
+                // Idle: jump the clock to the next arrival.
+                Some(r) => {
+                    clock = r.arrival;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // Admission into the single prefill slot (oldest pending first).
+        if prefilling.is_none() {
+            let has_capacity = running.len() < cfg.max_batch;
+            let can_admit = has_capacity && !pending.is_empty();
+            let admit = match cfg.policy {
+                Policy::Fcfs => can_admit && !sealed,
+                Policy::PrefillPriority => can_admit,
+                Policy::DecodePriority => can_admit && running.is_empty(),
+            };
+            if admit {
+                prefilling = Some(engine.start(pending.pop_front().unwrap()));
+            }
+        }
+        // One fused step: all running decode rows + the next prefill chunk.
+        let decode_rows = running.len();
+        let prefill_pos = prefilling.as_ref().map_or(0, |s| s.prefilled);
+        let prefill_rows = {
+            let mut refs: Vec<&mut SessionState> = running.iter_mut().collect();
+            engine.step(&mut refs, prefilling.as_mut(), chunk)
+        };
+        debug_assert!(decode_rows + prefill_rows >= 1);
+        let cost = cfg.step_overhead + (decode_rows + prefill_rows) as u64;
+        clock += cost;
+        steps.push(StepRecord {
+            prefill_rows,
+            prefill_pos,
+            decode_rows,
+            cost,
+        });
+        if decode_rows > 0 && prefill_rows == 0 {
+            sealed = true;
+        }
+        // Every running session emitted one token this step.
+        for s in running.iter_mut() {
+            s.token_ticks.push(clock);
+        }
+        // The last chunk sampled the first token: TTFT stops here and the
+        // session joins the running set (or finishes outright).
+        if prefilling.as_ref().is_some_and(SessionState::is_prefilled) {
+            let mut s = prefilling.take().unwrap();
+            s.token_ticks.push(clock);
+            match s.finish_reason(max_seq) {
+                Some(reason) => finished.push(metrics_of(s, reason, clock)),
+                None => running.push(s),
+            }
+        }
+        let mut still_running = Vec::with_capacity(running.len());
+        for s in running.drain(..) {
+            match s.finish_reason(max_seq) {
+                Some(reason) => finished.push(metrics_of(s, reason, clock)),
+                None => still_running.push(s),
+            }
+        }
+        running = still_running;
+        if running.is_empty() && prefilling.is_none() {
+            sealed = false;
         }
     }
     finished.sort_by_key(|m| m.id);
@@ -249,15 +407,26 @@ mod tests {
         let solo: Vec<Vec<usize>> = trace.requests.iter().map(|r| engine.solo_run(r)).collect();
         for policy in Policy::ALL {
             for max_batch in [1usize, 2, 4, 8] {
-                let report = serve(&engine, &trace, &ServeConfig::new(max_batch, policy));
-                assert_eq!(report.requests.len(), trace.len(), "{policy:?} {max_batch}");
-                for r in &report.requests {
+                for chunk in [None, Some(2), Some(5)] {
+                    let mut cfg = ServeConfig::new(max_batch, policy);
+                    cfg.prefill_chunk = chunk;
+                    let report = serve(&engine, &trace, &cfg);
                     assert_eq!(
-                        r.generated, solo[r.id],
-                        "{policy:?} max_batch={max_batch} request {}",
-                        r.id
+                        report.requests.len(),
+                        trace.len(),
+                        "{policy:?} {max_batch} {chunk:?}"
                     );
-                    assert!(r.first_token >= r.arrival && r.finish >= r.first_token);
+                    for r in &report.requests {
+                        assert_eq!(
+                            r.generated, solo[r.id],
+                            "{policy:?} max_batch={max_batch} chunk={chunk:?} request {}",
+                            r.id
+                        );
+                        assert!(r.first_token >= r.arrival && r.finish >= r.first_token);
+                        assert_eq!(r.token_ticks.len(), r.tokens);
+                        assert_eq!(r.token_ticks.first(), Some(&r.first_token));
+                        assert_eq!(r.token_ticks.last(), Some(&r.finish));
+                    }
                 }
             }
         }
@@ -268,10 +437,15 @@ mod tests {
         let (m, trace) = setup();
         let engine = BatchEngine::new(&m, Backend::Exact);
         for policy in Policy::ALL {
-            let report = serve(&engine, &trace, &ServeConfig::new(2, policy));
-            for s in &report.steps {
-                if s.kind == StepKind::Decode {
-                    assert!(s.rows >= 1 && s.rows <= 2, "{policy:?}: batch {}", s.rows);
+            for chunk in [None, Some(3)] {
+                let mut cfg = ServeConfig::new(2, policy);
+                cfg.prefill_chunk = chunk;
+                let report = serve(&engine, &trace, &cfg);
+                for s in &report.steps {
+                    assert!(s.decode_rows <= 2, "{policy:?}: batch {}", s.decode_rows);
+                    if let Some(c) = chunk {
+                        assert!(s.prefill_rows <= c, "{policy:?}: chunk {}", s.prefill_rows);
+                    }
                 }
             }
         }
@@ -280,7 +454,8 @@ mod tests {
     #[test]
     fn decode_priority_never_batches_beyond_one() {
         // The decode-eager extreme only admits into an empty running set,
-        // so its decode batches are always singletons.
+        // so its decode batches are always singletons — and under chunking
+        // it never even produces a mixed step.
         let (m, trace) = setup();
         let engine = BatchEngine::new(&m, Backend::Exact);
         let report = serve(
@@ -291,8 +466,14 @@ mod tests {
         assert!(report
             .steps
             .iter()
-            .filter(|s| s.kind == StepKind::Decode)
-            .all(|s| s.rows == 1));
+            .filter(|s| s.kind() == StepKind::Decode)
+            .all(|s| s.decode_rows == 1));
+        let chunked = serve(
+            &engine,
+            &trace,
+            &ServeConfig::new(8, Policy::DecodePriority).with_prefill_chunk(2),
+        );
+        assert!(chunked.steps.iter().all(|s| s.kind() != StepKind::Mixed));
     }
 
     #[test]
@@ -321,14 +502,20 @@ mod tests {
         // prefill).
         let mut prev = 0usize;
         for s in &fcfs.steps {
-            match s.kind {
+            match s.kind() {
                 StepKind::Prefill => prev = 0,
                 StepKind::Decode => {
                     if prev > 0 {
-                        assert!(s.rows <= prev, "FCFS batch regrew: {} -> {}", prev, s.rows);
+                        assert!(
+                            s.decode_rows <= prev,
+                            "FCFS batch regrew: {} -> {}",
+                            prev,
+                            s.decode_rows
+                        );
                     }
-                    prev = s.rows;
+                    prev = s.decode_rows;
                 }
+                StepKind::Mixed => unreachable!("monolithic path emitted a mixed step"),
             }
         }
         // Prefill-priority must beat FCFS on mean TTFT under this burst.
@@ -419,5 +606,283 @@ mod tests {
         assert!(report.ticks >= work);
         let tokens: usize = report.requests.iter().map(|r| r.tokens).sum();
         assert_eq!(tokens, report.total_tokens());
+    }
+
+    /// The `prefill_chunk: None` path is a **pure refactor**: this golden
+    /// trace (packed exec backend, all three policies) was captured from
+    /// the pre-chunking scheduler, and the step sequence, per-request
+    /// timings, and final clock must stay byte-identical to it.
+    #[test]
+    fn monolithic_path_matches_pre_chunking_golden_trace() {
+        use crate::request::Sampling;
+        use figlut_gemm::EngineConfig;
+        use figlut_model::calibrate::{quantize_model, to_packed, Method};
+        use figlut_model::corpus::generate;
+
+        let teacher = Transformer::teacher(ModelConfig::tiny(), 55);
+        let calib = generate(&teacher, 2, 10, 3);
+        let (q, _) = quantize_model(&teacher, &calib, Method::ShiftAdd { bits: 3 });
+        let model = to_packed(&q);
+        let engine = BatchEngine::new(&model, Backend::Exec(EngineConfig::paper_default()));
+        let params = TraceParams {
+            requests: 5,
+            mean_interarrival: 2.0,
+            prompt_len: (2, 8),
+            new_tokens: (2, 9),
+            sampling: Sampling::Greedy,
+        };
+        let trace = synthetic_trace(&model.cfg, &params, 77);
+
+        // (kind, rows, cost) per step; (arrival, first, finish, tokens) per
+        // request — captured from the pre-chunking scheduler.
+        type Golden = (
+            u64,
+            &'static [(&'static str, usize, u64)],
+            &'static [(u64, u64, u64, usize)],
+        );
+        let golden: [(Policy, Golden); 3] = [
+            (
+                Policy::Fcfs,
+                (
+                    66,
+                    &[
+                        ("P", 5, 6),
+                        ("P", 4, 5),
+                        ("P", 4, 5),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 2, 3),
+                        ("D", 2, 3),
+                        ("D", 1, 2),
+                        ("P", 3, 4),
+                        ("P", 3, 4),
+                        ("D", 2, 3),
+                        ("D", 2, 3),
+                        ("D", 2, 3),
+                        ("D", 2, 3),
+                        ("D", 1, 2),
+                    ],
+                    &[
+                        (0, 6, 44, 9),
+                        (2, 11, 42, 8),
+                        (5, 16, 36, 6),
+                        (8, 48, 64, 5),
+                        (9, 52, 66, 6),
+                    ],
+                ),
+            ),
+            (
+                Policy::PrefillPriority,
+                (
+                    65,
+                    &[
+                        ("P", 5, 6),
+                        ("P", 4, 5),
+                        ("P", 4, 5),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("P", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 3, 4),
+                        ("P", 3, 4),
+                        ("D", 3, 4),
+                        ("D", 2, 3),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                    ],
+                    &[
+                        (0, 6, 56, 9),
+                        (2, 11, 48, 8),
+                        (5, 16, 36, 6),
+                        (8, 40, 59, 5),
+                        (9, 52, 65, 6),
+                    ],
+                ),
+            ),
+            (
+                Policy::DecodePriority,
+                (
+                    82,
+                    &[
+                        ("P", 5, 6),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("P", 4, 5),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("P", 4, 5),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("P", 3, 4),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("P", 3, 4),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                        ("D", 1, 2),
+                    ],
+                    &[
+                        (0, 6, 22, 9),
+                        (2, 27, 41, 8),
+                        (5, 46, 56, 6),
+                        (8, 60, 68, 5),
+                        (9, 72, 82, 6),
+                    ],
+                ),
+            ),
+        ];
+        for (policy, (ticks, steps, requests)) in golden {
+            let r = serve(&engine, &trace, &ServeConfig::new(3, policy));
+            assert_eq!(r.ticks, ticks, "{policy:?}");
+            assert_eq!(r.steps.len(), steps.len(), "{policy:?}");
+            for (got, &(kind, rows, cost)) in r.steps.iter().zip(steps) {
+                let want_kind = if kind == "P" {
+                    StepKind::Prefill
+                } else {
+                    StepKind::Decode
+                };
+                assert_eq!(got.kind(), want_kind, "{policy:?}");
+                assert_eq!(got.rows(), rows, "{policy:?}");
+                assert_eq!(got.cost, cost, "{policy:?}");
+            }
+            for (got, &(arrival, first, finish, tokens)) in r.requests.iter().zip(requests) {
+                assert_eq!(
+                    (got.arrival, got.first_token, got.finish, got.tokens),
+                    (arrival, first, finish, tokens),
+                    "{policy:?} request {}",
+                    got.id
+                );
+            }
+        }
+    }
+
+    /// A long prompt landing on a busy engine: without chunking, every
+    /// running session stalls for the whole prompt; with a chunk budget
+    /// `c`, no inter-token stall exceeds `step_overhead + c + max_batch`
+    /// ticks — and the tokens are bit-identical throughout.
+    #[test]
+    fn chunked_prefill_bounds_inter_token_stalls() {
+        use crate::request::{Request, Sampling, Trace};
+        let m = Transformer::teacher(ModelConfig::tiny(), 91);
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        let mk = |id, arrival, prompt_len, max_new| Request {
+            id,
+            arrival,
+            prompt: (0..prompt_len).map(|i| i % m.cfg.vocab).collect(),
+            max_new,
+            sampling: Sampling::Greedy,
+            seed: 40 + id as u64,
+        };
+        // Three decode-heavy sessions, then a 30-token prompt mid-stream.
+        let trace = Trace {
+            requests: vec![
+                mk(0, 0, 3, 12),
+                mk(1, 0, 3, 12),
+                mk(2, 0, 3, 12),
+                mk(3, 10, 30, 3),
+            ],
+        };
+        let solo: Vec<Vec<usize>> = trace.requests.iter().map(|r| engine.solo_run(r)).collect();
+        let max_batch = 4usize;
+        let base = ServeConfig::new(max_batch, Policy::PrefillPriority);
+        let mono = serve(&engine, &trace, &base);
+        // The monolithic prefill stalls a running session for ≥ the whole
+        // 30-row prompt.
+        assert!(
+            mono.max_inter_token_stall() >= 30,
+            "expected head-of-line blocking, stall {}",
+            mono.max_inter_token_stall()
+        );
+        for chunk in [4usize, 8] {
+            let r = serve(&engine, &trace, &base.with_prefill_chunk(chunk));
+            let bound = base.step_overhead + (chunk + max_batch) as u64;
+            for s in &r.steps {
+                assert!(s.cost <= bound, "chunk {chunk}: step cost {}", s.cost);
+            }
+            assert!(
+                r.max_inter_token_stall() <= bound,
+                "chunk {chunk}: stall {} > bound {bound}",
+                r.max_inter_token_stall()
+            );
+            // The long prompt really was chunked into mixed steps.
+            assert!(r.steps.iter().any(|s| s.kind() == StepKind::Mixed));
+            assert!(r.steps.iter().filter(|s| s.prefill_rows > 0).count() > 4);
+            // And not one token moved.
+            for req in &r.requests {
+                assert_eq!(
+                    req.generated, solo[req.id],
+                    "chunk {chunk} request {}",
+                    req.id
+                );
+            }
+            assert!(r.max_inter_token_stall() < mono.max_inter_token_stall());
+        }
+    }
+
+    #[test]
+    fn chunked_fcfs_seals_on_pure_decode_and_reopens() {
+        // FCFS under chunking: admissions (possibly mixed with decodes)
+        // until a pure-decode step runs, then drain to empty before the
+        // next admission.
+        let m = Transformer::teacher(ModelConfig::tiny(), 91);
+        let p = TraceParams {
+            mean_interarrival: 0.0,
+            prompt_len: (4, 4),
+            new_tokens: (2, 6),
+            ..TraceParams::light(5)
+        };
+        let trace = synthetic_trace(&m.cfg, &p, 23);
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        let r = serve(
+            &engine,
+            &trace,
+            &ServeConfig::new(2, Policy::Fcfs).with_prefill_chunk(2),
+        );
+        // Once a pure-decode step seals the batch, FCFS admits again only
+        // after the batch drains — so the first prefill-carrying step after
+        // a sealed stretch must be prefill-only (nothing left running).
+        let mut sealed = false;
+        for s in &r.steps {
+            assert!(s.rows() >= 1, "empty step");
+            if s.prefill_rows > 0 {
+                if sealed {
+                    assert_eq!(s.decode_rows, 0, "FCFS admitted into a sealed batch");
+                }
+                sealed = false;
+            } else if s.decode_rows > 0 {
+                sealed = true;
+            }
+        }
+        // The fill phase really did mix decodes with the next admission.
+        assert!(r.steps.iter().any(|s| s.kind() == StepKind::Mixed));
+        // Tokens still solo-identical.
+        for req in &r.requests {
+            assert_eq!(req.generated, engine.solo_run(&trace.requests[req.id]));
+        }
     }
 }

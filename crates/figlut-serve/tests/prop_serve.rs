@@ -1,7 +1,9 @@
 //! The serving layer's batch-invariance property: for **arbitrary** traces,
-//! policies, and batch limits, every session's emitted token stream is
-//! bit-identical to its solo batch-1 run — scheduling decides *when* tokens
-//! appear, never *which* tokens.
+//! policies, batch limits, and chunked-prefill budgets, every session's
+//! emitted token stream is bit-identical to its solo batch-1 run —
+//! scheduling decides *when* tokens appear, never *which* tokens. The
+//! quantified space includes mixed prefill+decode steps (any `prefill_chunk`
+//! from 1 row up, plus the monolithic `None` path).
 //!
 //! Runs on the packed `Backend::Exec` path (the backend `ext-serving`
 //! measures); a slimmer companion property covers the FIGLUT-I datapath
@@ -36,6 +38,7 @@ struct Scenario {
     max_batch: usize,
     policy: Policy,
     sampling: Sampling,
+    prefill_chunk: Option<usize>,
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
@@ -46,8 +49,9 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         1usize..=4,  // max_batch
         0usize..3,   // policy index
         0usize..3,   // sampling choice
+        0usize..5,   // chunked-prefill budget choice
     )
-        .prop_map(|(seed, requests, gap, max_batch, pix, six)| Scenario {
+        .prop_map(|(seed, requests, gap, max_batch, pix, six, cix)| Scenario {
             seed,
             requests,
             mean_interarrival: gap as f64,
@@ -58,6 +62,7 @@ fn scenario() -> impl Strategy<Value = Scenario> {
                 Sampling::Temperature(1.0),
                 Sampling::Temperature(0.7),
             ][six],
+            prefill_chunk: [None, Some(1), Some(2), Some(3), Some(8)][cix],
         })
 }
 
@@ -71,13 +76,16 @@ fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
     };
     let trace = synthetic_trace(&model.cfg, &params, sc.seed);
     let engine = BatchEngine::new(model, backend);
-    let report = serve(&engine, &trace, &ServeConfig::new(sc.max_batch, sc.policy));
+    let mut cfg = ServeConfig::new(sc.max_batch, sc.policy);
+    cfg.prefill_chunk = sc.prefill_chunk;
+    let report = serve(&engine, &trace, &cfg);
 
     // Everyone was served, exactly once.
     assert_eq!(report.requests.len(), trace.len(), "{sc:?}");
     for (r, req) in report.requests.iter().zip(&trace.requests) {
         assert_eq!(r.id, req.id);
-        // The signature property: tokens identical to the solo batch-1 run.
+        // The signature property: tokens identical to the solo batch-1 run,
+        // whatever step mixes the scheduler assembled.
         let solo = engine.solo_run(req);
         assert_eq!(r.generated, solo, "{sc:?} request {}", r.id);
         assert_eq!(r.tokens, r.generated.len());
@@ -86,14 +94,32 @@ fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
             r.first_token >= req.arrival && r.finish >= r.first_token,
             "{sc:?}"
         );
+        // Emission ticks line up with the tokens and never decrease.
+        assert_eq!(r.token_ticks.len(), r.tokens, "{sc:?}");
+        assert!(r.token_ticks.windows(2).all(|w| w[0] <= w[1]), "{sc:?}");
     }
     // Structural sanity of the step log.
     for s in &report.steps {
-        match s.kind {
-            StepKind::Prefill => assert!(s.rows >= 1),
-            StepKind::Decode => assert!(s.rows >= 1 && s.rows <= sc.max_batch, "{sc:?}"),
+        match s.kind() {
+            StepKind::Prefill => assert!(s.prefill_rows >= 1),
+            StepKind::Decode => {
+                assert!(
+                    s.decode_rows >= 1 && s.decode_rows <= sc.max_batch,
+                    "{sc:?}"
+                )
+            }
+            StepKind::Mixed => {
+                // Mixed steps exist only on the chunked path, within budget
+                // and batch bounds (the prefilling session holds a slot).
+                let chunk = sc.prefill_chunk.expect("mixed step without chunking");
+                assert!(s.prefill_rows >= 1 && s.prefill_rows <= chunk, "{sc:?}");
+                assert!(s.decode_rows >= 1 && s.decode_rows < sc.max_batch, "{sc:?}");
+            }
         }
-        assert!(s.cost > s.rows as u64 - 1);
+        if let Some(chunk) = sc.prefill_chunk {
+            assert!(s.prefill_rows <= chunk, "{sc:?}");
+        }
+        assert!(s.cost > s.rows() as u64 - 1);
     }
     let work: u64 = report.steps.iter().map(|s| s.cost).sum();
     assert!(report.ticks >= work, "{sc:?}");

@@ -74,6 +74,16 @@ fn prelude_reexports_resolve() {
     for r in &sr.requests {
         assert_eq!(r.generated, engine.solo_run(&trace.requests[r.id]));
     }
+    // The README quickstart's chunked-prefill configuration.
+    let chunked = figlut::serve::serve(
+        &engine,
+        &trace,
+        &ServeConfig::new(2, Policy::PrefillPriority).with_prefill_chunk(8),
+    );
+    let _stall: u64 = chunked.max_inter_token_stall();
+    for r in &chunked.requests {
+        assert_eq!(r.generated, engine.solo_run(&trace.requests[r.id]));
+    }
 
     // figlut-sim
     let tech = Tech::cmos28();
