@@ -103,10 +103,39 @@ fn bench_mixed_step(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_paged_vs_contiguous(c: &mut Criterion) {
+    // The same 8-request trace served end to end with contiguous
+    // per-session KV vs block-table paging (several block sizes, plus a
+    // tight pool that forces preempt/restore). Paging is pure bookkeeping
+    // around the identical step sequence, so this measures its scheduler
+    // overhead; the tight pool adds the swap-out/restore copies.
+    let model = packed_model();
+    let engine = BatchEngine::new(&model, Backend::Exec(EngineConfig::paper_default()));
+    let trace = synthetic_trace(&model.cfg, &TraceParams::light(8), 11);
+    let mut g = c.benchmark_group("serve_8req_paged_vs_contiguous");
+    let base = ServeConfig::new(4, Policy::PrefillPriority);
+    g.bench_function("contiguous", |b| {
+        b.iter(|| black_box(serve(&engine, &trace, &base)))
+    });
+    for bs in [4usize, 16] {
+        g.bench_function(format!("paged_bs{bs}"), |b| {
+            let cfg = base.with_block_size(bs);
+            b.iter(|| black_box(serve(&engine, &trace, &cfg)))
+        });
+    }
+    g.bench_function("paged_bs4_tight_pool", |b| {
+        let mut cfg = base.with_block_size(4);
+        cfg.pool_blocks = Some(model.cfg.max_seq.div_ceil(4) + 2);
+        b.iter(|| black_box(serve(&engine, &trace, &cfg)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_decode_batch,
     bench_serve_trace,
-    bench_mixed_step
+    bench_mixed_step,
+    bench_paged_vs_contiguous
 );
 criterion_main!(benches);

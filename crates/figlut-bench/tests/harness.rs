@@ -49,7 +49,8 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"ext-batch-scaling"));
     assert!(EXPERIMENTS.contains(&"ext-serving"));
     assert!(EXPERIMENTS.contains(&"ext-chunked-prefill"));
-    assert_eq!(EXPERIMENTS.len(), 25);
+    assert!(EXPERIMENTS.contains(&"ext-paged-kv"));
+    assert_eq!(EXPERIMENTS.len(), 26);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

@@ -1,0 +1,1067 @@
+//! Paged KV storage: a refcounted [`BlockPool`], per-session block tables,
+//! copy-on-write prefix sharing, and preempt-to-host swap images.
+//!
+//! The serving layer's original [`KvCache`] stored each session's K/V rows
+//! contiguously, so N sessions sharing a system-prompt prefix stored N full
+//! copies and the only memory-pressure valve was killing a session. This
+//! module replaces the representation with vLLM-style block-table paging
+//! while keeping the *numerics* untouched:
+//!
+//! * **Blocks.** A [`BlockPool`] owns fixed-size blocks (`block_size`
+//!   positions × all layers × K and V rows), refcounted and recycled
+//!   through a free list. Allocation order is deterministic (LIFO free
+//!   list), so every run is bit-reproducible.
+//! * **Block tables.** A paged [`KvCache`] maps logical positions to
+//!   blocks. The attention gather in
+//!   [`crate::transformer::Transformer::forward_batch`] reads K/V rows
+//!   *by logical position* through a crate-internal `LayerView`, so the stored `f64`
+//!   values and the read order — and therefore every downstream bit — are
+//!   identical to the contiguous layout.
+//! * **Prefix sharing (storage-level, copy-on-write).** A
+//!   [`PrefixRegistry`] maps prompt prefixes (keyed by an FNV-1a hash,
+//!   verified by exact token comparison so collisions are harmless) to the
+//!   blocks holding their K/V rows. A new session *adopts* the longest
+//!   matching prefix: its table references the shared blocks and its
+//!   writes below the adopted length become no-ops — sound because K/V
+//!   rows are a deterministic function of the token prefix, so the session
+//!   would write bit-identical data (debug builds assert exactly that).
+//!   The first write *past* the shared prefix into a still-shared block
+//!   triggers copy-on-write. Compute is **not** deduplicated: the adopter
+//!   still runs every prompt row through the model, so step sequences,
+//!   virtual-clock costs, and energy pricing are unchanged — sharing is a
+//!   resident-bytes win only.
+//! * **Swap images.** [`KvCache::swap_out`] copies a session's rows to a
+//!   host-side [`SwappedKv`] image and frees its blocks;
+//!   [`KvCache::restore`] re-allocates and copies back. Contents round-trip
+//!   bit-exactly, which is what makes scheduler preemption invisible to
+//!   the token stream.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One pool block: refcount plus K and V storage for `block_size`
+/// positions across every layer (`layers × block_size × d_model` each).
+#[derive(Debug)]
+struct Block {
+    refs: usize,
+    keys: Vec<f64>,
+    values: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    block_size: usize,
+    layers: usize,
+    d_model: usize,
+    /// Maximum live (allocated, unfreed) blocks; `None` = unbounded.
+    capacity: Option<usize>,
+    blocks: Vec<Block>,
+    /// Freed slab indices, reused LIFO (deterministic).
+    free: Vec<usize>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl PoolInner {
+    fn alloc(&mut self) -> usize {
+        if let Some(cap) = self.capacity {
+            assert!(
+                self.live < cap,
+                "block pool exhausted ({cap} blocks) — the scheduler must preempt before stepping"
+            );
+        }
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert_eq!(self.blocks[id].refs, 0);
+                self.blocks[id].refs = 1;
+                id
+            }
+            None => {
+                let elems = self.layers * self.block_size * self.d_model;
+                self.blocks.push(Block {
+                    refs: 1,
+                    keys: vec![0.0; elems],
+                    values: vec![0.0; elems],
+                });
+                self.blocks.len() - 1
+            }
+        }
+    }
+
+    fn ref_inc(&mut self, id: usize) {
+        assert!(self.blocks[id].refs > 0, "ref_inc on a freed block");
+        self.blocks[id].refs += 1;
+    }
+
+    fn ref_dec(&mut self, id: usize) {
+        let b = &mut self.blocks[id];
+        assert!(b.refs > 0, "double free of KV block {id}");
+        b.refs -= 1;
+        if b.refs == 0 {
+            self.live -= 1;
+            self.free.push(id);
+        }
+    }
+
+    /// Flat offset of `(layer, position-in-block)` row starts.
+    fn row_off(&self, li: usize, off: usize) -> usize {
+        (li * self.block_size + off) * self.d_model
+    }
+}
+
+/// A shared, refcounted pool of fixed-size KV blocks.
+///
+/// Cloning the handle is cheap (it shares the pool). All operations are
+/// deterministic: the free list is LIFO, so identical operation sequences
+/// produce identical block placements — and block placement never affects
+/// values anyway, since reads go by logical position.
+#[derive(Clone, Debug)]
+pub struct BlockPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl BlockPool {
+    /// A pool of blocks holding `block_size` positions for a model with
+    /// `layers` layers of width `d_model`, optionally capped at `capacity`
+    /// live blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `block_size`, `layers`, `d_model`, or capacity.
+    pub fn new(block_size: usize, layers: usize, d_model: usize, capacity: Option<usize>) -> Self {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        assert!(layers >= 1 && d_model >= 1, "degenerate model shape");
+        if let Some(cap) = capacity {
+            assert!(cap >= 1, "pool capacity must be at least 1");
+        }
+        Self {
+            inner: Arc::new(Mutex::new(PoolInner {
+                block_size,
+                layers,
+                d_model,
+                capacity,
+                blocks: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                peak_live: 0,
+            })),
+        }
+    }
+
+    /// A pool shaped for `cfg` (its layer count and hidden width).
+    pub fn for_model(
+        cfg: &crate::transformer::ModelConfig,
+        block_size: usize,
+        capacity: Option<usize>,
+    ) -> Self {
+        Self::new(block_size, cfg.layers, cfg.d_model, capacity)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolInner> {
+        // Recover from poisoning: a panic mid-operation (e.g. the capacity
+        // assert) must not cascade into aborts when caches drop during
+        // unwinding. Pool bookkeeping is updated before any panic point.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Positions per block.
+    pub fn block_size(&self) -> usize {
+        self.lock().block_size
+    }
+
+    /// Decoder layers the pool stores rows for.
+    pub fn layers(&self) -> usize {
+        self.lock().layers
+    }
+
+    /// Hidden width of a cached row.
+    pub fn d_model(&self) -> usize {
+        self.lock().d_model
+    }
+
+    /// Live (allocated, unfreed) blocks right now.
+    pub fn live_blocks(&self) -> usize {
+        self.lock().live
+    }
+
+    /// High-water mark of live blocks over the pool's lifetime.
+    pub fn peak_live_blocks(&self) -> usize {
+        self.lock().peak_live
+    }
+
+    /// The live-block cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.lock().capacity
+    }
+
+    /// Live blocks that can still be allocated (`usize::MAX` when
+    /// unbounded).
+    pub fn available_blocks(&self) -> usize {
+        let p = self.lock();
+        p.capacity.map_or(usize::MAX, |c| c - p.live)
+    }
+
+    /// Host bytes of one block's K+V storage (`2 × layers × block_size ×
+    /// d_model` f64 values).
+    pub fn bytes_per_block(&self) -> usize {
+        let p = self.lock();
+        2 * p.layers * p.block_size * p.d_model * std::mem::size_of::<f64>()
+    }
+}
+
+/// A paged KV cache: a block table into a [`BlockPool`].
+///
+/// `lens[li]` counts the rows layer `li` has written (layers advance in
+/// order within one forward step, so lengths differ by at most one row
+/// mid-step and are equal between steps). `shared_len` marks the adopted
+/// prefix: writes below it are no-ops against already-shared data.
+#[derive(Debug)]
+pub struct PagedKv {
+    pool: BlockPool,
+    table: Vec<usize>,
+    lens: Vec<usize>,
+    shared_len: usize,
+}
+
+impl PagedKv {
+    fn block_size(&self) -> usize {
+        // Cached nowhere: one lock per query keeps the struct minimal and
+        // these paths are far from hot.
+        self.pool.block_size()
+    }
+
+    fn len(&self) -> usize {
+        self.lens.first().copied().unwrap_or(0)
+    }
+
+    /// Copy-on-write: give this table a private copy of block `b`,
+    /// carrying over every row a layer has validly written into it.
+    fn cow(&mut self, b: usize) {
+        let mut p = self.pool.lock();
+        let old = self.table[b];
+        if p.blocks[old].refs == 1 {
+            return;
+        }
+        let new = p.alloc();
+        let bs = p.block_size;
+        let d = p.d_model;
+        for (li, &len) in self.lens.iter().enumerate() {
+            // Rows below `shared_len` are valid in *every* layer (the
+            // prefix owner wrote them all), even while this session's own
+            // per-layer cursors still lag behind mid-step.
+            let rows = len.max(self.shared_len).saturating_sub(b * bs).min(bs);
+            if rows == 0 {
+                continue;
+            }
+            let lo = p.row_off(li, 0);
+            let hi = lo + rows * d;
+            let (keys, values) = {
+                let src = &p.blocks[old];
+                (src.keys[lo..hi].to_vec(), src.values[lo..hi].to_vec())
+            };
+            let dst = &mut p.blocks[new];
+            dst.keys[lo..hi].copy_from_slice(&keys);
+            dst.values[lo..hi].copy_from_slice(&values);
+        }
+        p.ref_dec(old);
+        self.table[b] = new;
+    }
+
+    fn push_row(&mut self, li: usize, k: &[f64], v: &[f64]) {
+        let pos = self.lens[li];
+        if pos < self.shared_len {
+            // Adopted prefix: the row is already stored (bit-identical by
+            // determinism — the adopter computes the same K/V from the
+            // same token prefix). Debug builds verify the claim.
+            #[cfg(debug_assertions)]
+            {
+                let p = self.pool.lock();
+                let (b, off) = (pos / p.block_size, pos % p.block_size);
+                let lo = p.row_off(li, off);
+                let blk = &p.blocks[self.table[b]];
+                debug_assert_eq!(
+                    &blk.keys[lo..lo + p.d_model],
+                    k,
+                    "shared-prefix K row diverged at layer {li} pos {pos}"
+                );
+                debug_assert_eq!(
+                    &blk.values[lo..lo + p.d_model],
+                    v,
+                    "shared-prefix V row diverged at layer {li} pos {pos}"
+                );
+            }
+            self.lens[li] += 1;
+            return;
+        }
+        let bs = self.block_size();
+        let (b, off) = (pos / bs, pos % bs);
+        if b == self.table.len() {
+            let id = self.pool.lock().alloc();
+            self.table.push(id);
+        } else {
+            self.cow(b);
+        }
+        let mut p = self.pool.lock();
+        let lo = p.row_off(li, off);
+        let d = p.d_model;
+        let blk = &mut p.blocks[self.table[b]];
+        blk.keys[lo..lo + d].copy_from_slice(k);
+        blk.values[lo..lo + d].copy_from_slice(v);
+        drop(p);
+        self.lens[li] += 1;
+    }
+
+    /// Materialize layer `li`'s rows (bounded by that layer's length) into
+    /// flat owned storage for the attention gather.
+    fn gather_layer(&self, li: usize) -> (Vec<f64>, Vec<f64>, usize) {
+        let p = self.pool.lock();
+        let (bs, d) = (p.block_size, p.d_model);
+        let len = self.lens[li];
+        let mut keys = Vec::with_capacity(len * d);
+        let mut values = Vec::with_capacity(len * d);
+        for pos in 0..len {
+            let lo = p.row_off(li, pos % bs);
+            let blk = &p.blocks[self.table[pos / bs]];
+            keys.extend_from_slice(&blk.keys[lo..lo + d]);
+            values.extend_from_slice(&blk.values[lo..lo + d]);
+        }
+        (keys, values, d)
+    }
+
+    fn release(&mut self) {
+        let mut p = self.pool.lock();
+        for &id in &self.table {
+            p.ref_dec(id);
+        }
+        drop(p);
+        self.table.clear();
+    }
+}
+
+impl Clone for PagedKv {
+    fn clone(&self) -> Self {
+        let mut p = self.pool.lock();
+        for &id in &self.table {
+            p.ref_inc(id);
+        }
+        drop(p);
+        Self {
+            pool: self.pool.clone(),
+            table: self.table.clone(),
+            lens: self.lens.clone(),
+            shared_len: self.shared_len,
+        }
+    }
+}
+
+impl Drop for PagedKv {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// A preempted session's KV contents, copied to host memory. Restoring
+/// copies the same bits back into freshly allocated blocks, so a
+/// preempt/restore round trip is invisible to the session's numerics.
+#[derive(Clone, Debug)]
+pub struct SwappedKv {
+    pool: BlockPool,
+    len: usize,
+    /// `[layer][position][d_model]`, flattened.
+    keys: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// One side (K or V) of a materialized cache: `[layer][position][d_model]`.
+pub type KvSnapshot = Vec<Vec<Vec<f64>>>;
+
+/// Per-layer cached key/value rows for incremental decoding.
+///
+/// Three representations share one interface: the original contiguous
+/// per-session storage (the default — byte-for-byte the pre-paging
+/// behavior), a paged block table into a shared [`BlockPool`], and a
+/// host-side swap image of a preempted session. All three expose logical
+/// positions; the transformer's attention never sees which one it reads.
+#[derive(Clone, Debug)]
+pub enum KvCache {
+    /// Contiguous per-session storage (`[layer][position][d_model]`).
+    Contiguous {
+        /// Cached key rows.
+        keys: Vec<Vec<Vec<f64>>>,
+        /// Cached value rows.
+        values: Vec<Vec<Vec<f64>>>,
+    },
+    /// A block table into a shared [`BlockPool`].
+    Paged(PagedKv),
+    /// Swapped out to host: contents preserved, no blocks held. Stepping a
+    /// session in this state is a scheduler bug and panics.
+    Swapped(SwappedKv),
+}
+
+impl Default for KvCache {
+    fn default() -> Self {
+        KvCache::Contiguous {
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+/// Read-only view of one layer's K/V rows for the attention gather —
+/// borrowed in place for contiguous caches, materialized for paged ones.
+/// Either way, `key(pos)`/`value(pos)` return the identical `f64` rows in
+/// the identical order, which is the whole bit-identity argument.
+pub(crate) enum LayerView<'a> {
+    Borrowed {
+        keys: &'a [Vec<f64>],
+        values: &'a [Vec<f64>],
+    },
+    Owned {
+        keys: Vec<f64>,
+        values: Vec<f64>,
+        d: usize,
+    },
+}
+
+impl LayerView<'_> {
+    #[inline]
+    pub(crate) fn key(&self, pos: usize) -> &[f64] {
+        match self {
+            LayerView::Borrowed { keys, .. } => &keys[pos],
+            LayerView::Owned { keys, d, .. } => &keys[pos * d..(pos + 1) * d],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn value(&self, pos: usize) -> &[f64] {
+        match self {
+            LayerView::Borrowed { values, .. } => &values[pos],
+            LayerView::Owned { values, d, .. } => &values[pos * d..(pos + 1) * d],
+        }
+    }
+}
+
+impl KvCache {
+    /// An empty contiguous cache for a `layers`-layer model.
+    pub fn contiguous(layers: usize) -> Self {
+        KvCache::Contiguous {
+            keys: vec![Vec::new(); layers],
+            values: vec![Vec::new(); layers],
+        }
+    }
+
+    /// An empty paged cache drawing blocks from `pool`.
+    pub fn paged(pool: &BlockPool) -> Self {
+        let layers = pool.layers();
+        KvCache::Paged(PagedKv {
+            pool: pool.clone(),
+            table: Vec::new(),
+            lens: vec![0; layers],
+            shared_len: 0,
+        })
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        match self {
+            KvCache::Contiguous { keys, .. } => keys.first().map_or(0, Vec::len),
+            KvCache::Paged(p) => p.len(),
+            KvCache::Swapped(s) => s.len,
+        }
+    }
+
+    /// `true` if nothing has been decoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for a preempted (host-resident) cache.
+    pub fn is_swapped(&self) -> bool {
+        matches!(self, KvCache::Swapped(_))
+    }
+
+    /// Blocks this cache currently holds in its pool (0 for contiguous and
+    /// swapped caches).
+    pub fn resident_blocks(&self) -> usize {
+        match self {
+            KvCache::Paged(p) => p.table.len(),
+            _ => 0,
+        }
+    }
+
+    /// Pool blocks that appending `rows` more positions will allocate
+    /// (fresh tail blocks plus a copy-on-write of a still-shared block the
+    /// first private write lands in). Contiguous caches never allocate; a
+    /// swapped cache cannot append (see [`KvCache::restore_blocks`]).
+    ///
+    /// The estimate is exact at call time and can only over-count later
+    /// (a shared block's refcount may drop before the write, skipping the
+    /// copy) — safe for capacity planning, never under-reserving.
+    pub fn blocks_needed(&self, rows: usize) -> usize {
+        let KvCache::Paged(p) = self else { return 0 };
+        let start = p.len().max(p.shared_len);
+        let end = p.len() + rows;
+        if start >= end {
+            return 0;
+        }
+        let bs = p.block_size();
+        let pool = p.pool.lock();
+        (start / bs..=(end - 1) / bs)
+            .filter(|&b| b >= p.table.len() || pool.blocks[p.table[b]].refs > 1)
+            .count()
+    }
+
+    /// Blocks a swapped cache needs to [`restore`](KvCache::restore)
+    /// (0 for resident caches).
+    pub fn restore_blocks(&self) -> usize {
+        match self {
+            KvCache::Swapped(s) => s.len.div_ceil(self.block_size_of()),
+            _ => 0,
+        }
+    }
+
+    fn block_size_of(&self) -> usize {
+        match self {
+            KvCache::Paged(p) => p.block_size(),
+            KvCache::Swapped(s) => s.pool.block_size(),
+            KvCache::Contiguous { .. } => panic!("contiguous cache has no block size"),
+        }
+    }
+
+    /// Preempt: copy every cached row to a host-side image and free the
+    /// blocks. Returns the number of positions copied (the swap traffic,
+    /// in KV rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contiguous or already-swapped cache, or mid-step (when
+    /// layers disagree on length).
+    pub fn swap_out(&mut self) -> usize {
+        let KvCache::Paged(p) = self else {
+            panic!("swap_out on a non-paged cache");
+        };
+        let len = p.len();
+        assert!(
+            p.lens.iter().all(|&l| l == len),
+            "swap_out mid-step: layer lengths disagree"
+        );
+        let (layers, d) = {
+            let pool = p.pool.lock();
+            (pool.layers, pool.d_model)
+        };
+        let mut keys = Vec::with_capacity(layers * len * d);
+        let mut values = Vec::with_capacity(layers * len * d);
+        for li in 0..layers {
+            let (k, v, _) = p.gather_layer(li);
+            keys.extend_from_slice(&k);
+            values.extend_from_slice(&v);
+        }
+        let image = SwappedKv {
+            pool: p.pool.clone(),
+            len,
+            keys,
+            values,
+        };
+        p.release();
+        *self = KvCache::Swapped(image);
+        len
+    }
+
+    /// Re-admit a preempted cache: allocate fresh blocks and copy the host
+    /// image back, bit-exactly. Any prefix sharing the session had before
+    /// preemption is not re-established (its blocks are private now).
+    /// Returns the number of positions copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cache that is not swapped out.
+    pub fn restore(&mut self) -> usize {
+        let KvCache::Swapped(s) = self else {
+            panic!("restore on a cache that is not swapped out");
+        };
+        let len = s.len;
+        let mut paged = PagedKv {
+            pool: s.pool.clone(),
+            table: Vec::new(),
+            lens: vec![0; s.pool.layers()],
+            shared_len: 0,
+        };
+        {
+            let mut pool = paged.pool.lock();
+            let (bs, d, layers) = (pool.block_size, pool.d_model, pool.layers);
+            for _ in 0..len.div_ceil(bs) {
+                let id = pool.alloc();
+                paged.table.push(id);
+            }
+            for li in 0..layers {
+                for pos in 0..len {
+                    let src = (li * len + pos) * d;
+                    let lo = pool.row_off(li, pos % bs);
+                    let (keys, values) = (
+                        s.keys[src..src + d].to_vec(),
+                        s.values[src..src + d].to_vec(),
+                    );
+                    let blk = &mut pool.blocks[paged.table[pos / bs]];
+                    blk.keys[lo..lo + d].copy_from_slice(&keys);
+                    blk.values[lo..lo + d].copy_from_slice(&values);
+                }
+            }
+        }
+        paged.lens = vec![len; paged.lens.len()];
+        *self = KvCache::Paged(paged);
+        len
+    }
+
+    /// Append layer `li`'s K/V row at that layer's current position.
+    pub(crate) fn push_row(&mut self, li: usize, k: &[f64], v: &[f64]) {
+        match self {
+            KvCache::Contiguous { keys, values } => {
+                keys[li].push(k.to_vec());
+                values[li].push(v.to_vec());
+            }
+            KvCache::Paged(p) => p.push_row(li, k, v),
+            KvCache::Swapped(_) => {
+                panic!("KV write to a swapped-out cache — restore before stepping")
+            }
+        }
+    }
+
+    /// The attention gather's view of layer `li`.
+    pub(crate) fn layer_view(&self, li: usize) -> LayerView<'_> {
+        match self {
+            KvCache::Contiguous { keys, values } => LayerView::Borrowed {
+                keys: &keys[li],
+                values: &values[li],
+            },
+            KvCache::Paged(p) => {
+                let (keys, values, d) = p.gather_layer(li);
+                LayerView::Owned { keys, values, d }
+            }
+            KvCache::Swapped(_) => {
+                panic!("KV read from a swapped-out cache — restore before stepping")
+            }
+        }
+    }
+
+    /// Materialize the full contents as `([layer][pos][d] keys, values)` —
+    /// representation-independent, for tests and differential checks.
+    pub fn snapshot(&self) -> (KvSnapshot, KvSnapshot) {
+        match self {
+            KvCache::Contiguous { keys, values } => (keys.clone(), values.clone()),
+            KvCache::Paged(p) => {
+                let layers = p.lens.len();
+                let mut keys = Vec::with_capacity(layers);
+                let mut values = Vec::with_capacity(layers);
+                for li in 0..layers {
+                    let (k, v, d) = p.gather_layer(li);
+                    keys.push(k.chunks(d).map(<[f64]>::to_vec).collect());
+                    values.push(v.chunks(d).map(<[f64]>::to_vec).collect());
+                }
+                (keys, values)
+            }
+            KvCache::Swapped(s) => {
+                let d = {
+                    let pool = s.pool.lock();
+                    pool.d_model
+                };
+                let layers = s.keys.len() / (s.len * d).max(1);
+                let per_layer = s.len * d;
+                let split = |flat: &[f64]| {
+                    (0..layers)
+                        .map(|li| {
+                            flat[li * per_layer..(li + 1) * per_layer]
+                                .chunks(d)
+                                .map(<[f64]>::to_vec)
+                                .collect()
+                        })
+                        .collect()
+                };
+                (split(&s.keys), split(&s.values))
+            }
+        }
+    }
+}
+
+/// FNV-1a over token ids — a stable, dependency-free prefix key. Entries
+/// are verified by exact token comparison, so a collision can never alias
+/// two different prefixes.
+fn fnv1a(tokens: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tokens {
+        for byte in (t as u64).to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[derive(Debug)]
+struct PrefixEntry {
+    hash: u64,
+    tokens: Vec<usize>,
+    blocks: Vec<usize>,
+}
+
+/// Registered prompt prefixes and the blocks that hold their K/V rows.
+///
+/// The registry holds its own references on registered blocks, so a prefix
+/// outlives the session that computed it and later sessions can adopt it.
+/// Registration keeps only *whole* blocks (`⌊len/block_size⌋·block_size`
+/// tokens), so a registered block is never written again and adopters'
+/// first private append lands in a fresh block, not a copy-on-write.
+/// Under pool pressure the scheduler evicts entries oldest-first.
+#[derive(Debug)]
+pub struct PrefixRegistry {
+    pool: BlockPool,
+    entries: Vec<PrefixEntry>,
+}
+
+impl PrefixRegistry {
+    /// An empty registry over `pool`.
+    pub fn new(pool: &BlockPool) -> Self {
+        Self {
+            pool: pool.clone(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registered prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register the whole-block prefix of `tokens` as stored in `cache`
+    /// (a paged cache that has consumed at least that many positions).
+    /// No-ops on contiguous/swapped caches, prefixes shorter than one
+    /// block, and exact duplicates.
+    pub fn register(&mut self, tokens: &[usize], cache: &KvCache) {
+        let KvCache::Paged(p) = cache else { return };
+        let bs = p.block_size();
+        let keep = tokens.len() / bs * bs;
+        if keep == 0 || p.len() < keep {
+            return;
+        }
+        let tokens = &tokens[..keep];
+        let hash = fnv1a(tokens);
+        if self
+            .entries
+            .iter()
+            .any(|e| e.hash == hash && e.tokens == tokens)
+        {
+            return;
+        }
+        let blocks = p.table[..keep / bs].to_vec();
+        let mut pool = self.pool.lock();
+        for &id in &blocks {
+            pool.ref_inc(id);
+        }
+        drop(pool);
+        self.entries.push(PrefixEntry {
+            hash,
+            tokens: tokens.to_vec(),
+            blocks,
+        });
+    }
+
+    /// The longest registered prefix of `tokens`: `(entry, matched
+    /// positions)`, ties broken toward the oldest entry. `None` when no
+    /// entry shares even one leading token.
+    fn lookup(&self, tokens: &[usize]) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let m = e
+                .tokens
+                .iter()
+                .zip(tokens)
+                .take_while(|(a, b)| a == b)
+                .count();
+            if m >= 1 && best.is_none_or(|(_, bm)| m > bm) {
+                best = Some((i, m));
+            }
+        }
+        best
+    }
+
+    /// Adopt the longest registered prefix of `prompt` into a fresh paged
+    /// `cache`: the table references the shared blocks and writes below
+    /// the adopted length become no-ops. Returns the adopted positions
+    /// (0 when nothing matched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is not an empty paged cache.
+    pub fn adopt_into(&self, prompt: &[usize], cache: &mut KvCache) -> usize {
+        let KvCache::Paged(p) = cache else {
+            panic!("prefix adoption into a non-paged cache");
+        };
+        assert!(
+            p.table.is_empty() && p.len() == 0,
+            "prefix adoption into a non-empty cache"
+        );
+        let Some((idx, m)) = self.lookup(prompt) else {
+            return 0;
+        };
+        let bs = p.block_size();
+        let blocks = &self.entries[idx].blocks[..m.div_ceil(bs)];
+        let mut pool = self.pool.lock();
+        for &id in blocks {
+            pool.ref_inc(id);
+        }
+        drop(pool);
+        p.table = blocks.to_vec();
+        p.shared_len = m;
+        m
+    }
+
+    /// Drop the oldest entry, releasing its block references (blocks no
+    /// session still shares return to the free list). Returns `false`
+    /// when the registry was already empty.
+    pub fn evict_oldest(&mut self) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let e = self.entries.remove(0);
+        let mut pool = self.pool.lock();
+        for &id in &e.blocks {
+            pool.ref_dec(id);
+        }
+        true
+    }
+
+    /// Release every entry.
+    pub fn clear(&mut self) {
+        while self.evict_oldest() {}
+    }
+}
+
+impl Drop for PrefixRegistry {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(bs: usize) -> BlockPool {
+        BlockPool::new(bs, 2, 4, None)
+    }
+
+    fn krow(li: usize, pos: usize) -> Vec<f64> {
+        (0..4).map(|j| (li * 1000 + pos * 10 + j) as f64).collect()
+    }
+
+    fn vrow(li: usize, pos: usize) -> Vec<f64> {
+        krow(li, pos).iter().map(|x| -x).collect()
+    }
+
+    /// Push `n` positions (both layers) into `c`.
+    fn fill(c: &mut KvCache, from: usize, n: usize) {
+        for li in 0..2 {
+            for pos in from..from + n {
+                c.push_row(li, &krow(li, pos), &vrow(li, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn paged_rows_read_back_identically_across_block_sizes() {
+        let mut reference = KvCache::contiguous(2);
+        fill(&mut reference, 0, 11);
+        for bs in [1usize, 2, 3, 7, 16] {
+            let p = pool(bs);
+            let mut c = KvCache::paged(&p);
+            fill(&mut c, 0, 11);
+            assert_eq!(c.len(), 11);
+            assert_eq!(c.snapshot(), reference.snapshot(), "bs={bs}");
+            assert_eq!(c.resident_blocks(), 11usize.div_ceil(bs));
+        }
+    }
+
+    #[test]
+    fn clone_shares_blocks_and_cow_diverges_privately() {
+        let p = pool(4);
+        let mut a = KvCache::paged(&p);
+        fill(&mut a, 0, 6); // blocks: [0..4), [4..6)
+        let base = p.live_blocks();
+        let mut b = a.clone();
+        assert_eq!(p.live_blocks(), base, "clone must not allocate");
+        // Appending through the clone copies the shared tail block first.
+        fill(&mut b, 6, 1);
+        assert_eq!(p.live_blocks(), base + 1, "COW of the shared tail block");
+        let (ak, _) = a.snapshot();
+        let (bk, _) = b.snapshot();
+        assert_eq!(ak[0].len(), 6);
+        assert_eq!(bk[0].len(), 7);
+        assert_eq!(ak[0], bk[0][..6], "shared prefix contents preserved");
+        // Divergent appends stay private.
+        fill(&mut a, 6, 1);
+        let (ak2, _) = a.snapshot();
+        assert_eq!(ak2[0][6], krow(0, 6));
+        drop(a);
+        drop(b);
+        assert_eq!(p.live_blocks(), 0, "all blocks returned");
+    }
+
+    #[test]
+    fn swap_roundtrip_is_bit_exact_and_frees_blocks() {
+        let p = pool(3);
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 8);
+        let snap = c.snapshot();
+        let rows = c.swap_out();
+        assert_eq!(rows, 8);
+        assert!(c.is_swapped());
+        assert_eq!(p.live_blocks(), 0, "swap-out frees every block");
+        assert_eq!(c.len(), 8, "logical length survives the swap");
+        assert_eq!(c.restore_blocks(), 3);
+        let back = c.restore();
+        assert_eq!(back, 8);
+        assert!(!c.is_swapped());
+        assert_eq!(c.snapshot(), snap, "restore must be bit-exact");
+        // The restored session keeps decoding normally.
+        fill(&mut c, 8, 1);
+        assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_peak_tracked() {
+        let p = BlockPool::new(2, 2, 4, Some(3));
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 6); // exactly 3 blocks
+        assert_eq!(p.available_blocks(), 0);
+        assert_eq!(p.peak_live_blocks(), 3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d = KvCache::paged(&p);
+            d.push_row(0, &krow(0, 0), &vrow(0, 0));
+        }));
+        assert!(result.is_err(), "allocation beyond capacity must panic");
+    }
+
+    #[test]
+    fn registry_shares_whole_block_prefixes_and_conserves_refs() {
+        let p = pool(4);
+        let mut reg = PrefixRegistry::new(&p);
+        let prompt: Vec<usize> = (0..10).collect();
+        let mut a = KvCache::paged(&p);
+        fill(&mut a, 0, 10);
+        reg.register(&prompt, &a);
+        assert_eq!(reg.len(), 1);
+        // Re-registering the same prefix is a no-op.
+        reg.register(&prompt, &a);
+        assert_eq!(reg.len(), 1);
+        // An adopter sharing 10 prompt tokens adopts the 8 whole-block
+        // positions and stores nothing new below them.
+        let mut b = KvCache::paged(&p);
+        let adopted = reg.adopt_into(&prompt, &mut b);
+        assert_eq!(adopted, 8);
+        let before = p.live_blocks();
+        fill(&mut b, 0, 10); // rows 0..8 are no-op writes; 8..10 allocate
+        assert_eq!(
+            p.live_blocks(),
+            before + 1,
+            "only the private tail allocates"
+        );
+        assert_eq!(a.snapshot(), b.snapshot(), "adopted contents identical");
+        // Dropping sessions leaves only the registry's references.
+        drop(a);
+        drop(b);
+        assert_eq!(p.live_blocks(), 2);
+        reg.clear();
+        assert_eq!(p.live_blocks(), 0, "registry eviction frees the prefix");
+    }
+
+    #[test]
+    fn adoption_prefers_the_longest_match() {
+        let p = pool(2);
+        let mut reg = PrefixRegistry::new(&p);
+        let short: Vec<usize> = vec![1, 2];
+        let long: Vec<usize> = vec![1, 2, 3, 4, 5, 6];
+        for prompt in [&short, &long] {
+            let mut c = KvCache::paged(&p);
+            fill(&mut c, 0, prompt.len());
+            reg.register(prompt, &c);
+        }
+        let mut c = KvCache::paged(&p);
+        assert_eq!(reg.adopt_into(&[1, 2, 3, 4, 9], &mut c), 4);
+        // A diverging prompt still shares its common head.
+        let mut d = KvCache::paged(&p);
+        assert_eq!(reg.adopt_into(&[1, 2, 9], &mut d), 2);
+        // No shared head, no adoption.
+        let mut e = KvCache::paged(&p);
+        assert_eq!(reg.adopt_into(&[7, 7], &mut e), 0);
+    }
+
+    #[test]
+    fn blocks_needed_is_exact_for_fresh_shared_and_adopted_tables() {
+        let p = pool(4);
+        let mut a = KvCache::paged(&p);
+        assert_eq!(a.blocks_needed(9), 3);
+        fill(&mut a, 0, 9);
+        assert_eq!(a.blocks_needed(3), 0, "room left in the tail block");
+        assert_eq!(a.blocks_needed(4), 1);
+        let b = a.clone();
+        // The tail block is shared now: the next append must COW it.
+        assert_eq!(a.blocks_needed(1), 1, "COW counts as an allocation");
+        drop(b);
+        assert_eq!(a.blocks_needed(1), 0, "sole owner again");
+        assert_eq!(KvCache::contiguous(2).blocks_needed(100), 0);
+    }
+
+    #[test]
+    fn cow_mid_step_preserves_shared_rows_for_lagging_layers() {
+        // The model writes layer 0's rows before layer 1 touches anything,
+        // so the copy-on-write a partial-block adoption triggers fires
+        // while layer 1's cursor is still 0 — the shared rows must survive
+        // for every layer regardless.
+        let p = pool(3);
+        let mut owner = KvCache::paged(&p);
+        fill(&mut owner, 0, 4);
+        let mut reg = PrefixRegistry::new(&p);
+        reg.register(&[7, 8, 9, 1], &owner); // whole-block prefix: 3 rows
+        let mut adopter = KvCache::paged(&p);
+        assert_eq!(reg.adopt_into(&[7, 5], &mut adopter), 1);
+        // Layer 0 in full, like a prefill pass: the shared no-op at pos 0,
+        // then the private write at pos 1 that forces the COW.
+        adopter.push_row(0, &krow(0, 0), &vrow(0, 0));
+        adopter.push_row(0, &krow(0, 9), &vrow(0, 9));
+        // Now layer 1 reaches pos 0: the copied block must still hold the
+        // owner's layer-1 row (the shared-prefix debug assert checks it).
+        adopter.push_row(1, &krow(1, 0), &vrow(1, 0));
+        adopter.push_row(1, &krow(1, 9), &vrow(1, 9));
+        let (k, v) = adopter.snapshot();
+        assert_eq!(k[1][0], krow(1, 0));
+        assert_eq!(v[1][0], vrow(1, 0));
+        assert_eq!(k[0][1], krow(0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn pool_double_free_panics() {
+        let p = pool(2);
+        let id = p.lock().alloc();
+        p.lock().ref_dec(id);
+        p.lock().ref_dec(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "swapped-out cache")]
+    fn writing_a_swapped_cache_panics() {
+        let p = pool(2);
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 2);
+        let _ = c.swap_out();
+        c.push_row(0, &krow(0, 2), &vrow(0, 2));
+    }
+}

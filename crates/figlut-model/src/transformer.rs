@@ -251,24 +251,8 @@ impl Block {
     }
 }
 
-/// Per-layer cached key/value rows for incremental decoding.
-#[derive(Clone, Debug, Default)]
-pub struct KvCache {
-    keys: Vec<Vec<Vec<f64>>>,
-    values: Vec<Vec<Vec<f64>>>,
-}
-
-impl KvCache {
-    /// Number of cached positions.
-    pub fn len(&self) -> usize {
-        self.keys.first().map_or(0, Vec::len)
-    }
-
-    /// `true` if nothing has been decoded yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+pub use crate::kv::KvCache;
+use crate::kv::{BlockPool, LayerView};
 
 /// A decoder-only transformer.
 #[derive(Clone, Debug)]
@@ -464,12 +448,33 @@ impl Transformer {
         h.matmul(&self.embed.transposed())
     }
 
-    /// Create an empty KV cache for incremental decoding.
+    /// Create an empty KV cache for incremental decoding — the contiguous
+    /// per-session representation, byte-for-byte the pre-paging layout.
     pub fn new_cache(&self) -> KvCache {
-        KvCache {
-            keys: vec![Vec::new(); self.cfg.layers],
-            values: vec![Vec::new(); self.cfg.layers],
-        }
+        KvCache::contiguous(self.cfg.layers)
+    }
+
+    /// Create an empty *paged* KV cache drawing blocks from `pool`.
+    /// Numerically indistinguishable from [`Transformer::new_cache`]: the
+    /// attention gather reads rows by logical position through either
+    /// representation, so logits and sampled tokens are bit-identical
+    /// (pinned by this crate's tests and `figlut-serve`'s property suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's layer count or width disagree with the model.
+    pub fn new_paged_cache(&self, pool: &BlockPool) -> KvCache {
+        assert_eq!(
+            pool.layers(),
+            self.cfg.layers,
+            "pool layer count disagrees with the model"
+        );
+        assert_eq!(
+            pool.d_model(),
+            self.cfg.d_model,
+            "pool row width disagrees with the model"
+        );
+        KvCache::paged(pool)
     }
 
     /// One incremental decoding step: consume `token` at the cache's
@@ -585,32 +590,37 @@ impl Transformer {
             let k = block.wk.forward(&h, backend);
             let v = block.wv.forward(&h, backend);
             for (r, &(i, _)) in row_of.iter().enumerate() {
-                caches[i].keys[li].push(k.row(r).to_vec());
-                caches[i].values[li].push(v.row(r).to_vec());
+                caches[i].push_row(li, k.row(r), v.row(r));
             }
             let mut ctx = Mat::zeros(rows, d);
-            for head in 0..cfg.heads {
-                let off = head * dh;
-                for (r, &(i, t)) in row_of.iter().enumerate() {
-                    // Causal: row t of session i sees that session's
-                    // pre-existing cache plus its own chunk rows 0..=t
-                    // (all already pushed above) — never another session.
-                    let cache = &caches[i];
-                    let mut scores: Vec<f64> = cache.keys[li][..=p0[i] + t]
-                        .iter()
-                        .map(|krow| {
-                            let mut s = 0.0;
+            {
+                // One view per session for the whole layer: rows read by
+                // logical position, so a paged cache yields the identical
+                // f64 rows in the identical order as a contiguous one.
+                let views: Vec<LayerView<'_>> = caches.iter().map(|c| c.layer_view(li)).collect();
+                for head in 0..cfg.heads {
+                    let off = head * dh;
+                    for (r, &(i, t)) in row_of.iter().enumerate() {
+                        // Causal: row t of session i sees that session's
+                        // pre-existing cache plus its own chunk rows 0..=t
+                        // (all already pushed above) — never another session.
+                        let view = &views[i];
+                        let mut scores: Vec<f64> = (0..=p0[i] + t)
+                            .map(|u| {
+                                let krow = view.key(u);
+                                let mut s = 0.0;
+                                for j in 0..dh {
+                                    s += q[(r, off + j)] * krow[off + j];
+                                }
+                                s * scale
+                            })
+                            .collect();
+                        softmax_row(&mut scores);
+                        for (u, &a) in scores.iter().enumerate() {
+                            let vrow = view.value(u);
                             for j in 0..dh {
-                                s += q[(r, off + j)] * krow[off + j];
+                                ctx[(r, off + j)] += a * vrow[off + j];
                             }
-                            s * scale
-                        })
-                        .collect();
-                    softmax_row(&mut scores);
-                    for (u, &a) in scores.iter().enumerate() {
-                        let vrow = &cache.values[li][u];
-                        for j in 0..dh {
-                            ctx[(r, off + j)] += a * vrow[off + j];
                         }
                     }
                 }
@@ -852,8 +862,7 @@ mod tests {
             }
             assert_eq!(rows, step_logits, "split={split}");
             assert_eq!(cache.len(), by_step.len());
-            assert_eq!(cache.keys, by_step.keys, "split={split}");
-            assert_eq!(cache.values, by_step.values, "split={split}");
+            assert_eq!(cache.snapshot(), by_step.snapshot(), "split={split}");
         }
     }
 
@@ -939,6 +948,88 @@ mod tests {
         for (cache, h) in caches.iter().zip(&histories) {
             assert_eq!(cache.len(), h.len());
         }
+    }
+
+    #[test]
+    fn paged_cache_bit_matches_contiguous_for_all_block_sizes() {
+        // The tentpole's numerics claim: paging is storage-only. Logits and
+        // cache contents are bit-identical to the contiguous layout for
+        // any block size.
+        let m = Transformer::teacher(ModelConfig::tiny(), 31);
+        let toks = [0usize, 7, 19, 3, 88, 42, 11, 5];
+        let mut reference = m.new_cache();
+        let mut ref_logits = Vec::new();
+        for &tok in &toks {
+            ref_logits.push(m.decode_step(tok, &mut reference, &Backend::Exact));
+        }
+        for bs in [1usize, 2, 7, 16, 64] {
+            let pool = BlockPool::for_model(&m.cfg, bs, None);
+            let mut cache = m.new_paged_cache(&pool);
+            for (t, &tok) in toks.iter().enumerate() {
+                let l = m.decode_step(tok, &mut cache, &Backend::Exact);
+                assert_eq!(l, ref_logits[t], "bs={bs} t={t}");
+            }
+            assert_eq!(cache.snapshot(), reference.snapshot(), "bs={bs}");
+            drop(cache);
+            assert_eq!(pool.live_blocks(), 0, "bs={bs}: blocks leaked");
+        }
+    }
+
+    #[test]
+    fn swap_restore_mid_decode_is_invisible_to_logits() {
+        // Preempt a session between any two decode steps; the remaining
+        // steps must be bit-identical to never having been preempted.
+        let m = Transformer::teacher(ModelConfig::tiny(), 37);
+        let toks = [0usize, 7, 19, 3, 88, 42];
+        let mut reference = m.new_cache();
+        let mut ref_logits = Vec::new();
+        for &tok in &toks {
+            ref_logits.push(m.decode_step(tok, &mut reference, &Backend::Exact));
+        }
+        for preempt_at in 1..toks.len() {
+            let pool = BlockPool::for_model(&m.cfg, 2, None);
+            let mut cache = m.new_paged_cache(&pool);
+            for (t, &tok) in toks.iter().enumerate() {
+                if t == preempt_at {
+                    let out = cache.swap_out();
+                    assert_eq!(pool.live_blocks(), 0, "swap-out frees the blocks");
+                    assert_eq!(cache.restore(), out);
+                }
+                let l = m.decode_step(tok, &mut cache, &Backend::Exact);
+                assert_eq!(l, ref_logits[t], "preempt_at={preempt_at} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn adopted_prefix_prefill_bit_matches_private_storage() {
+        // Prefix sharing is storage-level: an adopter recomputes its whole
+        // prompt (identical logits) while writing nothing below the shared
+        // length.
+        let m = Transformer::teacher(ModelConfig::tiny(), 41);
+        let shared: Vec<usize> = vec![0, 7, 19, 3, 88, 42, 11, 5];
+        let pool = BlockPool::for_model(&m.cfg, 4, None);
+        let mut registry = crate::kv::PrefixRegistry::new(&pool);
+        let mut first = m.new_paged_cache(&pool);
+        let _ = m.prefill(&shared, &mut first, &Backend::Exact);
+        registry.register(&shared, &first);
+
+        let mut prompt = shared.clone();
+        prompt.extend([9usize, 2]);
+        let mut solo = m.new_cache();
+        let solo_logits = m.prefill(&prompt, &mut solo, &Backend::Exact);
+
+        let mut adopted = m.new_paged_cache(&pool);
+        assert_eq!(registry.adopt_into(&prompt, &mut adopted), 8);
+        let live_before = pool.live_blocks();
+        let adopted_logits = m.prefill(&prompt, &mut adopted, &Backend::Exact);
+        assert_eq!(adopted_logits.as_slice(), solo_logits.as_slice());
+        assert_eq!(adopted.snapshot(), solo.snapshot());
+        assert_eq!(
+            pool.live_blocks(),
+            live_before + 1,
+            "only the private tail allocates"
+        );
     }
 
     #[test]

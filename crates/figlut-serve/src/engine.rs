@@ -27,12 +27,19 @@ use figlut_model::transformer::KvCache;
 use figlut_model::{Backend, Transformer};
 
 /// Why a session left the running set.
+///
+/// Memory pressure is **not** a finish reason: under pool pressure the
+/// scheduler preempts (swaps a session's KV blocks to host and restores
+/// them later, bit-identically) instead of killing. The only way a session
+/// ends short of its budget is the model's own positional limit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FinishReason {
     /// Emitted its full `max_new` budget.
     Completed,
-    /// Evicted: the KV cache reached `max_seq` before the budget was spent.
-    CacheFull,
+    /// The model's position table (`max_seq`) ran out before the budget
+    /// was spent — no backing store can extend a model past its learned
+    /// positions, so the session finishes early.
+    ContextExhausted,
 }
 
 /// The live state of one admitted session.
@@ -76,9 +83,9 @@ impl SessionState {
         self.generated.len() >= self.request.max_new
     }
 
-    /// `true` if the session must be evicted: budget unspent but no cache
-    /// slot left to decode the next token into.
-    pub fn is_evicted(&self, max_seq: usize) -> bool {
+    /// `true` if the session hit the model's positional limit: budget
+    /// unspent but no position left to decode the next token into.
+    pub fn is_context_capped(&self, max_seq: usize) -> bool {
         !self.is_complete() && self.cache.len() >= max_seq
     }
 
@@ -86,11 +93,47 @@ impl SessionState {
     pub fn finish_reason(&self, max_seq: usize) -> Option<FinishReason> {
         if self.is_complete() {
             Some(FinishReason::Completed)
-        } else if self.is_evicted(max_seq) {
-            Some(FinishReason::CacheFull)
+        } else if self.is_context_capped(max_seq) {
+            Some(FinishReason::ContextExhausted)
         } else {
             None
         }
+    }
+
+    /// `true` while the session is preempted (KV contents on host, no
+    /// blocks held). A swapped session must be [`SessionState::restore`]d
+    /// before it can step again.
+    pub fn is_swapped(&self) -> bool {
+        self.cache.is_swapped()
+    }
+
+    /// Preempt: swap the session's KV blocks out to host. Generated
+    /// tokens, RNG state, and prefill progress stay in place, so a later
+    /// restore resumes bit-identically. Returns the KV positions copied.
+    pub fn swap_out(&mut self) -> usize {
+        self.cache.swap_out()
+    }
+
+    /// Re-admit a preempted session: copy its KV contents back into fresh
+    /// pool blocks. Returns the KV positions copied.
+    pub fn restore(&mut self) -> usize {
+        self.cache.restore()
+    }
+
+    /// Pool blocks a restore will allocate (0 when not swapped).
+    pub fn restore_blocks(&self) -> usize {
+        self.cache.restore_blocks()
+    }
+
+    /// Pool blocks that stepping this session by `rows` positions may
+    /// allocate (0 for contiguous caches).
+    pub fn blocks_needed(&self, rows: usize) -> usize {
+        self.cache.blocks_needed(rows)
+    }
+
+    /// Read access to the session's cache (registration, accounting).
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
     }
 }
 
@@ -112,15 +155,27 @@ impl<'m> BatchEngine<'m> {
         self.model
     }
 
-    /// Create the session state for an admitted request (no compute yet).
+    /// Create the session state for an admitted request (no compute yet),
+    /// with the default contiguous KV cache.
     pub fn start(&self, request: Request) -> SessionState {
+        let cache = self.model.new_cache();
+        self.start_with_cache(request, cache)
+    }
+
+    /// Create the session state for an admitted request over a
+    /// caller-provided cache — a paged cache from a shared [`BlockPool`]
+    /// (possibly pre-loaded with an adopted shared prefix), or the default
+    /// contiguous one. The cache choice is invisible to the token stream.
+    ///
+    /// [`BlockPool`]: figlut_model::BlockPool
+    pub fn start_with_cache(&self, request: Request, cache: KvCache) -> SessionState {
         let rng = Rng::new(request.seed);
         SessionState {
             request,
             generated: Vec::new(),
             token_ticks: Vec::new(),
             prefilled: 0,
-            cache: self.model.new_cache(),
+            cache,
             rng,
         }
     }
@@ -146,8 +201,9 @@ impl<'m> BatchEngine<'m> {
     /// # Panics
     ///
     /// Panics on an empty batch or a session that is unprefilled, complete,
-    /// or out of cache (the eviction guard names the offending request id —
-    /// an evicted session must leave the running set, not reach a step).
+    /// swapped out, or past the model's positional limit (each guard names
+    /// the offending request id — a preempted session must be restored, and
+    /// a context-capped one must leave the running set, before a step).
     pub fn decode(&self, sessions: &mut [&mut SessionState]) {
         assert!(!sessions.is_empty(), "empty decode batch");
         let _ = self.step(sessions, None, 0);
@@ -168,9 +224,9 @@ impl<'m> BatchEngine<'m> {
     /// # Panics
     ///
     /// Panics on a step with no rows at all, a decode session that is
-    /// unprefilled, complete, or out of cache (by request id), a prefill
-    /// session that is already fully prefilled, or a zero `budget` with a
-    /// prefill session.
+    /// unprefilled, complete, swapped out, or past the positional limit
+    /// (by request id), a prefill session that is already fully prefilled
+    /// or swapped out, or a zero `budget` with a prefill session.
     pub fn step(
         &self,
         decoding: &mut [&mut SessionState],
@@ -191,11 +247,16 @@ impl<'m> BatchEngine<'m> {
                     "request {}: already complete",
                     s.request.id
                 );
-                // Guard here, where the request is known: deeper layers
+                // Guards here, where the request is known: deeper layers
                 // only know batch indices.
                 assert!(
+                    !s.is_swapped(),
+                    "request {}: stepped while swapped out — restore before decoding",
+                    s.request.id
+                );
+                assert!(
                     s.positions() < max_seq,
-                    "request {}: KV cache full ({max_seq} slots) — evict instead of decoding",
+                    "request {}: context exhausted ({max_seq} positions) — finish instead of decoding",
                     s.request.id
                 );
                 *s.generated.last().unwrap()
@@ -205,6 +266,11 @@ impl<'m> BatchEngine<'m> {
             Some(s) => {
                 assert!(budget >= 1, "prefill session with a zero chunk budget");
                 assert!(!s.is_prefilled(), "session {} re-prefilled", s.request.id);
+                assert!(
+                    !s.is_swapped(),
+                    "request {}: stepped while swapped out — restore before prefilling",
+                    s.request.id
+                );
                 let start = s.prefilled;
                 let take = budget.min(s.prefill_remaining());
                 assert!(
@@ -381,7 +447,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_fires_when_cache_fills() {
+    fn context_exhaustion_fires_at_the_positional_limit() {
         let m = engine_model();
         let e = BatchEngine::new(&m, Backend::Exact);
         // A request whose budget cannot fit: prompt 30 + 20 new > max_seq 40.
@@ -401,10 +467,10 @@ mod tests {
         }
         assert_eq!(
             s.finish_reason(m.cfg.max_seq),
-            Some(FinishReason::CacheFull)
+            Some(FinishReason::ContextExhausted)
         );
-        // 30 prompt slots + 10 decodes fill the 40-slot cache; prefill plus
-        // those decodes emitted 11 of the 20 budgeted tokens.
+        // 30 prompt positions + 10 decodes exhaust the 40-position table;
+        // prefill plus those decodes emitted 11 of the 20 budgeted tokens.
         assert_eq!(s.generated.len(), 11);
         assert_eq!(s.generated, e.solo_run(&r));
     }
@@ -421,27 +487,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "request 7: KV cache full")]
-    fn decoding_an_evicted_session_panics_with_the_request_id() {
-        // An out-of-cache session handed to a decode step must be caught at
-        // the engine layer, where the request id is known — not deep inside
-        // decode_batch, which can only name the batch index.
+    #[should_panic(expected = "request 7: context exhausted")]
+    fn decoding_a_context_capped_session_panics_with_the_request_id() {
+        // A position-exhausted session handed to a decode step must be
+        // caught at the engine layer, where the request id is known — not
+        // deep inside decode_batch, which can only name the batch index.
         let m = engine_model();
         let e = BatchEngine::new(&m, Backend::Exact);
         let r = Request {
             id: 7,
             arrival: 0,
             prompt: (0..30).map(|i| i % m.cfg.vocab).collect(),
-            max_new: 20, // 30 + 20 > max_seq 40: will fill the cache
+            max_new: 20, // 30 + 20 > max_seq 40: will exhaust the positions
             sampling: Sampling::Greedy,
             seed: 1,
         };
         let mut s = e.start(r);
         let _ = e.prefill(&mut s);
-        while !s.is_evicted(m.cfg.max_seq) {
+        while !s.is_context_capped(m.cfg.max_seq) {
             e.decode(&mut [&mut s]);
         }
         e.decode(&mut [&mut s]); // must panic, naming request 7
+    }
+
+    #[test]
+    #[should_panic(expected = "request 9: stepped while swapped out")]
+    fn decoding_a_swapped_session_panics_with_the_request_id() {
+        // The preemption-era companion of the guard above: a session the
+        // scheduler swapped out must never reach a step un-restored.
+        let m = engine_model();
+        let e = BatchEngine::new(&m, Backend::Exact);
+        let pool = figlut_model::BlockPool::for_model(&m.cfg, 4, None);
+        let mut t = synthetic_trace(&m.cfg, &TraceParams::light(1), 5);
+        t.requests[0].id = 9;
+        let mut s = e.start_with_cache(t.requests[0].clone(), m.new_paged_cache(&pool));
+        let _ = e.prefill(&mut s);
+        let _ = s.swap_out();
+        e.decode(&mut [&mut s]); // must panic, naming request 9
+    }
+
+    #[test]
+    fn preempt_restore_resumes_the_solo_stream_bit_identically() {
+        // Swap a session out mid-generation, restore it, and finish: the
+        // emitted tokens must equal the never-preempted solo run.
+        let m = engine_model();
+        let e = BatchEngine::new(&m, Backend::Exact);
+        let pool = figlut_model::BlockPool::for_model(&m.cfg, 2, None);
+        let t = synthetic_trace(&m.cfg, &TraceParams::light(2), 13);
+        for r in &t.requests {
+            let solo = e.solo_run(r);
+            let mut s = e.start_with_cache(r.clone(), m.new_paged_cache(&pool));
+            let _ = e.prefill(&mut s);
+            let mut preempts = 0;
+            while s.finish_reason(m.cfg.max_seq).is_none() {
+                let rows_out = s.swap_out();
+                assert!(s.is_swapped());
+                let rows_in = s.restore();
+                assert_eq!(rows_out, rows_in);
+                preempts += 1;
+                e.decode(&mut [&mut s]);
+            }
+            assert!(preempts >= 1);
+            assert_eq!(s.generated, solo, "request {}", r.id);
+        }
+        assert_eq!(pool.live_blocks(), 0, "sessions returned their blocks");
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! |---|---|
 //! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) |
 //! | [`engine`] | [`BatchEngine`]: fused mixed steps (decode rows + prefill chunks in one pass) over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
-//! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`] |
-//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, inter-token stalls, occupancy, phase-split `figlut-sim` energy per token |
+//! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`]; paged KV ([`ServeConfig::block_size`] × [`ServeConfig::pool_blocks`]) with shared prefixes and preempt/restore ([`serve_with_hooks`]) |
+//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, inter-token stalls, occupancy, [`PagingStats`], phase-split `figlut-sim` energy per token |
 //!
 //! **The correctness commitment** is the repo's signature move applied at
 //! the serving layer: for any trace, policy, batch limit, and thread
@@ -56,6 +56,6 @@ pub mod request;
 pub mod scheduler;
 
 pub use engine::{BatchEngine, FinishReason, SessionState};
-pub use metrics::{RequestMetrics, ServeReport, StepKind, StepRecord};
+pub use metrics::{PagingStats, RequestMetrics, ServeReport, StepKind, StepRecord};
 pub use request::{synthetic_trace, Request, Sampling, Trace, TraceParams};
-pub use scheduler::{serve, Policy, ServeConfig};
+pub use scheduler::{serve, serve_with_hooks, Policy, ServeConfig, ServeHooks};

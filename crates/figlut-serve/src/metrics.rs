@@ -42,6 +42,12 @@ pub struct StepRecord {
     pub prefill_pos: usize,
     /// Decode token-rows processed (the running batch; 0 = prefill-only).
     pub decode_rows: usize,
+    /// KV positions moved between pool and host by preemption swaps since
+    /// the previous step (swap-outs and swap-ins both count — each is one
+    /// full copy of a session's K/V rows). 0 everywhere when paging is off
+    /// or no preemption fired, which is what keeps a preemption-free paged
+    /// trace priced byte-identically to the contiguous baseline.
+    pub swapped_rows: usize,
     /// Virtual-clock cost charged.
     pub cost: u64,
 }
@@ -124,6 +130,35 @@ fn percentile(mut values: Vec<u64>, p: f64) -> u64 {
     values[rank.saturating_sub(1)]
 }
 
+/// Paged-KV accounting for one serving run (present only when
+/// [`crate::ServeConfig::block_size`] was set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Positions per block.
+    pub block_size: usize,
+    /// The pool's live-block cap (`None` = unbounded).
+    pub pool_blocks: Option<usize>,
+    /// High-water mark of live pool blocks over the run — the paged
+    /// resident-KV footprint (multiply by `bytes_per_block`).
+    pub peak_live_blocks: usize,
+    /// Live blocks after the last session finished and the prefix registry
+    /// was cleared. Anything nonzero is a refcount leak; the property
+    /// suite gates this at 0.
+    pub final_live_blocks: usize,
+    /// Host bytes of one block's K+V storage.
+    pub bytes_per_block: usize,
+    /// Preemption swap-outs executed.
+    pub swaps_out: usize,
+    /// Preemption swap-ins (restores) executed.
+    pub swaps_in: usize,
+    /// Total KV positions copied by swaps, out and in (the sum of the
+    /// per-step [`StepRecord::swapped_rows`]).
+    pub swapped_rows: usize,
+    /// Prompt positions admitted sessions adopted from the shared-prefix
+    /// registry instead of storing privately.
+    pub shared_rows: usize,
+}
+
 /// Everything a serving run produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
@@ -135,6 +170,14 @@ pub struct ServeReport {
     pub ticks: u64,
     /// The scheduler's batch capacity (for occupancy).
     pub max_batch: usize,
+    /// High-water mark of logically cached KV positions across all
+    /// resident sessions (swapped-out sessions excluded), sampled after
+    /// every step. Times `2 × layers × d_model × 8` bytes this is the
+    /// resident-KV footprint a *contiguous* cache needs — the baseline the
+    /// `ext-paged-kv` experiment compares block-pool residency against.
+    pub peak_kv_rows: usize,
+    /// Paged-KV accounting, when paging was on.
+    pub paging: Option<PagingStats>,
 }
 
 impl ServeReport {
@@ -232,6 +275,12 @@ impl ServeReport {
     ///   between those depths. The increments telescope, so any chunking of
     ///   a prompt prices exactly like the whole-prompt prefill — chunked
     ///   prefill moves stalls, not energy.
+    /// * **Preemption swaps** are honest, not free: every KV position a
+    ///   swap moved ([`StepRecord::swapped_rows`]) is priced as non-GEMM
+    ///   traffic at one flop per element copied (`2 × layers × d_model`
+    ///   elements per position — K and V). A trace with zero preemptions
+    ///   therefore prices byte-identically to the same trace on the
+    ///   contiguous baseline.
     pub fn workload(&self, opt: &OptConfig) -> Workload {
         let prefill_nongemm_upto = |len: usize| -> f64 {
             if len == 0 {
@@ -250,6 +299,9 @@ impl ServeReport {
             if s.prefill_rows > 0 {
                 nongemm_flops += prefill_nongemm_upto(s.prefill_pos + s.prefill_rows)
                     - prefill_nongemm_upto(s.prefill_pos);
+            }
+            if s.swapped_rows > 0 {
+                nongemm_flops += s.swapped_rows as f64 * 2.0 * (opt.layers * opt.d_model) as f64;
             }
         }
         let mut gemms = Vec::with_capacity(3 * by_rows.len());
@@ -300,6 +352,7 @@ mod tests {
             prefill_rows: rows,
             prefill_pos: pos,
             decode_rows: 0,
+            swapped_rows: 0,
             cost,
         }
     }
@@ -309,6 +362,7 @@ mod tests {
             prefill_rows: 0,
             prefill_pos: 0,
             decode_rows: rows,
+            swapped_rows: 0,
             cost,
         }
     }
@@ -336,6 +390,8 @@ mod tests {
             steps: vec![prefill_step(4, 0, 5), decode_step(2, 3), decode_step(3, 4)],
             ticks: 30,
             max_batch: 4,
+            peak_kv_rows: 9,
+            paging: None,
         }
     }
 
@@ -400,6 +456,7 @@ mod tests {
             prefill_rows: 8,
             prefill_pos: 16,
             decode_rows: 3,
+            swapped_rows: 0,
             cost: 12,
         };
         assert_eq!(mixed.kind(), StepKind::Mixed);
@@ -470,6 +527,7 @@ mod tests {
             prefill_rows: 8,
             prefill_pos: 4,
             decode_rows: 3,
+            swapped_rows: 0,
             cost: 12,
         }];
         let w = mixed.workload(opt);
@@ -479,6 +537,34 @@ mod tests {
         let prefill_part =
             prefill_workload(opt, 1, 12).nongemm_flops - prefill_workload(opt, 1, 4).nongemm_flops;
         assert!((w.nongemm_flops / (decode_part + prefill_part) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_traffic_prices_as_nongemm_only() {
+        // Preemption swaps move bytes, not GEMM work: a report differing
+        // only in `swapped_rows` must price the same GEMM inventory plus
+        // exactly one flop per copied K/V element.
+        let opt = by_name("OPT-1.3B").unwrap();
+        let base = demo_report();
+        let mut swapped = base.clone();
+        swapped.steps[1].swapped_rows = 12;
+        let wb = base.workload(opt);
+        let ws = swapped.workload(opt);
+        assert!(
+            (ws.ops() / wb.ops() - 1.0).abs() < 1e-12,
+            "swaps must not change the GEMM inventory"
+        );
+        let delta = ws.nongemm_flops - wb.nongemm_flops;
+        let want = 12.0 * 2.0 * (opt.layers * opt.d_model) as f64;
+        assert!(
+            (delta / want - 1.0).abs() < 1e-12,
+            "swap traffic mispriced: {delta} vs {want}"
+        );
+        // And with zero swapped rows everywhere the workloads are
+        // bit-identical — the telescoping guarantee the scheduler-level
+        // test pins end to end.
+        let zero = base.workload(opt);
+        assert_eq!(zero.nongemm_flops.to_bits(), wb.nongemm_flops.to_bits());
     }
 
     #[test]
@@ -509,6 +595,8 @@ mod tests {
             steps: vec![prefill_step(2, 0, 3)],
             ticks: 3,
             max_batch: 1,
+            peak_kv_rows: 2,
+            paging: None,
         };
         assert_eq!(lone.max_inter_token_stall(), 0);
         assert_eq!(lone.stall_percentile(99.0), 0);

@@ -61,11 +61,14 @@ impl Trace {
     /// finite, arrivals sorted.
     ///
     /// A *budget* exceeding the remaining context is allowed: such a
-    /// session is served until its KV cache fills and is then evicted
-    /// ([`FinishReason::CacheFull`](crate::engine::FinishReason)) — the
-    /// standard serving behavior at the context limit. Only prompts that
-    /// cannot even be prefilled are rejected (prefill emits the first
-    /// token, so a fitting prompt always produces at least one token).
+    /// session is served until the model's position table runs out and then
+    /// finishes early
+    /// ([`FinishReason::ContextExhausted`](crate::engine::FinishReason)) —
+    /// the standard serving behavior at the context limit. (Memory pressure
+    /// never finishes a session: the scheduler preempts and restores
+    /// instead.) Only prompts that cannot even be prefilled are rejected
+    /// (prefill emits the first token, so a fitting prompt always produces
+    /// at least one token).
     ///
     /// # Panics
     ///

@@ -26,8 +26,9 @@
 //! provably fixed.
 
 use crate::engine::{BatchEngine, FinishReason, SessionState};
-use crate::metrics::{RequestMetrics, ServeReport, StepRecord};
-use crate::request::Trace;
+use crate::metrics::{PagingStats, RequestMetrics, ServeReport, StepRecord};
+use crate::request::{Request, Trace};
+use figlut_model::{BlockPool, PrefixRegistry};
 use std::collections::VecDeque;
 
 /// Batch-assembly policy.
@@ -87,11 +88,24 @@ pub struct ServeConfig {
     /// spot for the packed host kernels is the exec column engines'
     /// full-width block (`WIDE_MAX = 64` rows).
     pub prefill_chunk: Option<usize>,
+    /// Paged-KV block size. `None` (the default) keeps each session's K/V
+    /// in its own contiguous allocation — the pre-paging layout, pinned by
+    /// the golden trace. `Some(b)` stores K/V in pool blocks of `b`
+    /// positions behind a per-session block table, enabling shared-prefix
+    /// storage and preempt/restore. The emitted tokens are bit-identical
+    /// either way: paging changes where rows live, never what they hold.
+    pub block_size: Option<usize>,
+    /// Cap on simultaneously-live KV blocks (requires `block_size`).
+    /// `None` leaves the pool unbounded. Under a cap the scheduler frees
+    /// memory by evicting shared-prefix registry entries and then
+    /// **preempting** sessions to host memory — never by finishing them —
+    /// and restores them later with RNG and generated tokens intact.
+    pub pool_blocks: Option<usize>,
 }
 
 impl ServeConfig {
-    /// A configuration with the default per-step overhead of 1 tick and
-    /// monolithic (un-chunked) prefill.
+    /// A configuration with the default per-step overhead of 1 tick,
+    /// monolithic (un-chunked) prefill, and contiguous (un-paged) KV.
     pub fn new(max_batch: usize, policy: Policy) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
         Self {
@@ -99,6 +113,8 @@ impl ServeConfig {
             policy,
             step_overhead: 1,
             prefill_chunk: None,
+            block_size: None,
+            pool_blocks: None,
         }
     }
 
@@ -109,12 +125,210 @@ impl ServeConfig {
         self.prefill_chunk = Some(chunk);
         self
     }
+
+    /// Enable paged KV with blocks of `block_size` positions.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        self.block_size = Some(block_size);
+        self
+    }
+
+    /// Cap the block pool at `pool_blocks` live blocks (paging must be
+    /// on). The cap must hold at least one full-context session —
+    /// [`serve`] validates this, so a single session can always run to its
+    /// context limit no matter how the rest of the batch is preempted.
+    pub fn with_pool_blocks(mut self, pool_blocks: usize) -> Self {
+        self.pool_blocks = Some(pool_blocks);
+        self
+    }
+}
+
+/// Out-of-band instrumentation for [`serve_with_hooks`] — knobs that are
+/// closures and therefore cannot live in the `Copy` [`ServeConfig`].
+#[derive(Default)]
+pub struct ServeHooks<'a> {
+    /// Forced-preemption schedule for tests and experiments. Consulted at
+    /// most once per step index, just before the step executes, with
+    /// `(step_index, running request ids in batch order)`; every returned
+    /// id that is currently running is swapped out to host memory before
+    /// the step (unknown ids are ignored). Only consulted when paging is
+    /// on ([`ServeConfig::block_size`]) — preemption needs a block pool to
+    /// return to — and the preempted sessions are restored automatically
+    /// as soon as a batch slot and pool capacity allow.
+    #[allow(clippy::type_complexity)]
+    pub force_preempt: Option<Box<dyn FnMut(usize, &[usize]) -> Vec<usize> + 'a>>,
 }
 
 /// What the loop decided to do next.
 enum Action {
     Prefill,
     Decode,
+}
+
+/// KV-memory runtime of one serving run.
+enum Memory {
+    /// Contiguous per-session caches (paging off): allocation always
+    /// succeeds and there is nothing to manage. This path is byte-for-byte
+    /// the pre-paging scheduler.
+    Unmanaged,
+    /// Block-table paging: a (possibly bounded) [`BlockPool`], the
+    /// shared-prefix registry, and the swapped-out session queue.
+    Paged(Box<PagedRt>),
+}
+
+/// Mutable paging state threaded through a serving loop.
+struct PagedRt {
+    pool: BlockPool,
+    registry: PrefixRegistry,
+    /// Preempted sessions, oldest first — restored in FIFO order so no
+    /// session is starved by later preemptions.
+    swapped: VecDeque<SessionState>,
+    /// Host<->device KV rows copied since the last executed step; drained
+    /// into the next [`StepRecord::swapped_rows`] so `workload()` prices
+    /// the traffic.
+    pending_swap_rows: usize,
+    swaps_out: usize,
+    swaps_in: usize,
+    swapped_rows_total: usize,
+    shared_rows: usize,
+}
+
+impl Memory {
+    fn new(engine: &BatchEngine<'_>, cfg: &ServeConfig) -> Self {
+        let Some(bs) = cfg.block_size else {
+            assert!(
+                cfg.pool_blocks.is_none(),
+                "pool_blocks requires block_size (a cap needs a pool to cap)"
+            );
+            return Memory::Unmanaged;
+        };
+        let model_cfg = engine.model().cfg;
+        if let Some(cap) = cfg.pool_blocks {
+            // Deadlock freedom: one full-context session (table plus the
+            // append that reaches max_seq) must always fit, because
+            // preemption can free every block except the last runner's.
+            let need = model_cfg.max_seq.div_ceil(bs);
+            assert!(
+                cap >= need,
+                "pool_blocks {cap} cannot hold one full-context session \
+                 ({need} blocks of {bs} rows for max_seq {})",
+                model_cfg.max_seq
+            );
+        }
+        let pool = BlockPool::for_model(&model_cfg, bs, cfg.pool_blocks);
+        let registry = PrefixRegistry::new(&pool);
+        Memory::Paged(Box::new(PagedRt {
+            pool,
+            registry,
+            swapped: VecDeque::new(),
+            pending_swap_rows: 0,
+            swaps_out: 0,
+            swaps_in: 0,
+            swapped_rows_total: 0,
+            shared_rows: 0,
+        }))
+    }
+
+    /// `true` when no session is swapped out (the loop may go idle).
+    fn idle(&self) -> bool {
+        match self {
+            Memory::Unmanaged => true,
+            Memory::Paged(rt) => rt.swapped.is_empty(),
+        }
+    }
+
+    /// Open a session for `req`: contiguous cache when unmanaged, a paged
+    /// cache (adopting the longest registered shared prefix) when paging.
+    fn start(&mut self, engine: &BatchEngine<'_>, req: Request) -> SessionState {
+        match self {
+            Memory::Unmanaged => engine.start(req),
+            Memory::Paged(rt) => {
+                let mut cache = engine.model().new_paged_cache(&rt.pool);
+                rt.shared_rows += rt.registry.adopt_into(&req.prompt, &mut cache);
+                engine.start_with_cache(req, cache)
+            }
+        }
+    }
+
+    /// Offer a freshly-prefilled session's prompt to the prefix registry.
+    fn register(&mut self, s: &SessionState) {
+        if let Memory::Paged(rt) = self {
+            rt.registry.register(&s.request.prompt, s.cache());
+        }
+    }
+
+    /// Drain the swap traffic accumulated since the last executed step.
+    fn take_pending(&mut self) -> usize {
+        match self {
+            Memory::Unmanaged => 0,
+            Memory::Paged(rt) => std::mem::take(&mut rt.pending_swap_rows),
+        }
+    }
+}
+
+impl PagedRt {
+    /// Swap `s` out to host memory and queue it for a later restore.
+    fn preempt(&mut self, mut s: SessionState) {
+        let rows = s.swap_out();
+        self.pending_swap_rows += rows;
+        self.swapped_rows_total += rows;
+        self.swaps_out += 1;
+        self.swapped.push_back(s);
+    }
+
+    /// Restore the oldest swapped-out session if the pool can hold its
+    /// table again, evicting shared-prefix registry entries if that is
+    /// what it takes (restores never preempt running sessions — that would
+    /// thrash).
+    fn try_restore(&mut self) -> Option<SessionState> {
+        let need = self.swapped.front()?.restore_blocks();
+        while self.pool.available_blocks() < need {
+            if !self.registry.evict_oldest() {
+                return None;
+            }
+        }
+        let mut s = self.swapped.pop_front().expect("front checked above");
+        let rows = s.restore();
+        self.pending_swap_rows += rows;
+        self.swapped_rows_total += rows;
+        self.swaps_in += 1;
+        Some(s)
+    }
+
+    /// Free blocks until the upcoming step fits: `per_runner_rows` rows
+    /// will be appended to every running session, plus whatever `extra`
+    /// reports for the prefill side. Evicts registry entries oldest-first,
+    /// then preempts running sessions newest-first (never below `floor`
+    /// survivors), re-measuring after every release — a refcount drop can
+    /// turn a planned copy-on-write into a plain in-place append.
+    fn make_room<F: Fn() -> usize>(
+        &mut self,
+        running: &mut Vec<SessionState>,
+        per_runner_rows: usize,
+        extra: F,
+        floor: usize,
+    ) {
+        loop {
+            let need: usize = running
+                .iter()
+                .map(|s| s.blocks_needed(per_runner_rows))
+                .sum::<usize>()
+                + extra();
+            if self.pool.available_blocks() >= need {
+                return;
+            }
+            if self.registry.evict_oldest() {
+                continue;
+            }
+            assert!(
+                running.len() > floor,
+                "block pool too small for the minimal step — \
+                 pool_blocks must hold one full-context session"
+            );
+            let victim = running.pop().expect("floor checked above");
+            self.preempt(victim);
+        }
+    }
 }
 
 /// Close a finished session into its metrics record.
@@ -143,30 +357,80 @@ fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetr
 /// Serve `trace` to completion and return the full report.
 ///
 /// Requests are admitted in `(arrival, id)` order; the loop runs until
-/// every request has finished (completed its budget or been evicted on a
-/// full KV cache). The emitted token streams are bit-identical to each
+/// every request has finished (completed its budget or exhausted the
+/// model's context). The emitted token streams are bit-identical to each
 /// request's [`BatchEngine::solo_run`] for **every** policy, `max_batch`,
-/// and `prefill_chunk` budget — the property suite and `repro ext-serving`
-/// / `repro ext-chunked-prefill` assert this before any throughput number
-/// is believed.
+/// `prefill_chunk` budget, and paged-KV layout (`block_size` ×
+/// `pool_blocks`, preemptions included) — the property suite and `repro
+/// ext-serving` / `repro ext-chunked-prefill` / `repro ext-paged-kv`
+/// assert this before any throughput number is believed.
 ///
 /// # Panics
 ///
-/// Panics if the trace fails [`Trace::validate`] against the served model.
+/// Panics if the trace fails [`Trace::validate`] against the served
+/// model, or if [`ServeConfig::pool_blocks`] cannot hold one full-context
+/// session.
 pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
+    serve_with_hooks(engine, trace, cfg, ServeHooks::default())
+}
+
+/// [`serve`] with out-of-band instrumentation — currently a forced
+/// preemption schedule, which the paging/preemption property suite uses
+/// to prove that *scheduler-chosen* swap points (not just memory-pressure
+/// ones) leave every token stream bit-identical.
+///
+/// # Panics
+///
+/// As [`serve`].
+pub fn serve_with_hooks(
+    engine: &BatchEngine<'_>,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    mut hooks: ServeHooks<'_>,
+) -> ServeReport {
     let model_cfg = engine.model().cfg;
     trace.validate(&model_cfg);
-    match cfg.prefill_chunk {
-        None => serve_monolithic(engine, trace, cfg),
-        Some(chunk) => serve_chunked(engine, trace, cfg, chunk),
+    let mut memory = Memory::new(engine, cfg);
+    let mut report = match cfg.prefill_chunk {
+        None => serve_monolithic(engine, trace, cfg, &mut memory, &mut hooks),
+        Some(chunk) => serve_chunked(engine, trace, cfg, chunk, &mut memory, &mut hooks),
+    };
+    if let Memory::Paged(rt) = &mut memory {
+        debug_assert!(
+            rt.swapped.is_empty(),
+            "run ended with sessions still swapped out"
+        );
+        debug_assert_eq!(
+            rt.pending_swap_rows, 0,
+            "swap traffic left unpriced by any step"
+        );
+        rt.registry.clear();
+        report.paging = Some(PagingStats {
+            block_size: rt.pool.block_size(),
+            pool_blocks: rt.pool.capacity(),
+            peak_live_blocks: rt.pool.peak_live_blocks(),
+            final_live_blocks: rt.pool.live_blocks(),
+            bytes_per_block: rt.pool.bytes_per_block(),
+            swaps_out: rt.swaps_out,
+            swaps_in: rt.swaps_in,
+            swapped_rows: rt.swapped_rows_total,
+            shared_rows: rt.shared_rows,
+        });
     }
+    report
 }
 
 /// The `prefill_chunk: None` path: each admitted prompt runs as one
 /// monolithic prefill step; decode steps batch every running session. This
 /// is byte-for-byte the pre-chunking scheduler (pinned by the golden-trace
 /// test below) — kept as its own loop so the default path cannot drift.
-fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
+fn serve_monolithic(
+    engine: &BatchEngine<'_>,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    memory: &mut Memory,
+    hooks: &mut ServeHooks<'_>,
+) -> ServeReport {
     let max_seq = engine.model().cfg.max_seq;
     let mut arrivals: VecDeque<_> = trace.requests.iter().cloned().collect();
     let mut pending: VecDeque<_> = VecDeque::new();
@@ -174,6 +438,10 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
     let mut finished: Vec<RequestMetrics> = Vec::new();
     let mut steps: Vec<StepRecord> = Vec::new();
     let mut clock = 0u64;
+    let mut peak_kv_rows = 0usize;
+    // Step index at which the forced-preemption hook last fired (at most
+    // once per index, or an all-preempted batch would loop forever).
+    let mut hook_step = usize::MAX;
     // FCFS only: set once the current batch starts decoding; admission
     // reopens when the batch drains.
     let mut sealed = false;
@@ -182,7 +450,17 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
             pending.push_back(arrivals.pop_front().unwrap());
         }
-        if pending.is_empty() && running.is_empty() {
+        // Preempted sessions come back before anything else: restore the
+        // oldest into free batch slots as soon as the pool fits them.
+        if let Memory::Paged(rt) = memory {
+            while running.len() < cfg.max_batch {
+                match rt.try_restore() {
+                    Some(s) => running.push(s),
+                    None => break,
+                }
+            }
+        }
+        if pending.is_empty() && running.is_empty() && memory.idle() {
             match arrivals.front() {
                 // Idle: jump the clock to the next arrival.
                 Some(r) => {
@@ -190,6 +468,30 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
                     continue;
                 }
                 None => break,
+            }
+        }
+        // Forced preemption (tests/experiments), once per step index.
+        if let Memory::Paged(rt) = memory {
+            if let Some(f) = hooks.force_preempt.as_mut() {
+                if hook_step != steps.len() && !running.is_empty() {
+                    hook_step = steps.len();
+                    let ids: Vec<usize> = running.iter().map(|s| s.request.id).collect();
+                    for id in f(steps.len(), &ids) {
+                        if let Some(i) = running.iter().position(|s| s.request.id == id) {
+                            rt.preempt(running.remove(i));
+                        }
+                    }
+                    if running.is_empty() {
+                        // An emptied FCFS batch cannot stay sealed: the
+                        // survivors will be restored alongside fresh admits.
+                        sealed = false;
+                    }
+                }
+            }
+            if running.is_empty() && pending.is_empty() {
+                // Everything resident was swapped out: the next iteration
+                // restores (always possible on an otherwise-empty pool).
+                continue;
             }
         }
         let has_capacity = running.len() < cfg.max_batch;
@@ -222,15 +524,26 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
                 let req = pending
                     .pop_front()
                     .expect("admission without a pending request");
-                let mut s = engine.start(req);
+                let mut s = memory.start(engine, req);
+                if let Memory::Paged(rt) = memory {
+                    // The whole prompt lands this step; running sessions
+                    // append nothing but may be preempted to make room.
+                    let prompt_rows = s.request.prompt.len();
+                    rt.make_room(&mut running, 0, || s.blocks_needed(prompt_rows), 0);
+                }
                 let rows = engine.prefill(&mut s);
+                memory.register(&s);
                 clock += cfg.step_overhead + rows as u64;
                 steps.push(StepRecord {
                     prefill_rows: rows,
                     prefill_pos: 0,
                     decode_rows: 0,
+                    swapped_rows: memory.take_pending(),
                     cost: cfg.step_overhead + rows as u64,
                 });
+                peak_kv_rows = peak_kv_rows.max(
+                    s.positions() + running.iter().map(SessionState::positions).sum::<usize>(),
+                );
                 // The prefill itself emits the first token: TTFT stops here.
                 s.token_ticks.push(clock);
                 match s.finish_reason(max_seq) {
@@ -239,6 +552,11 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
                 }
             }
             Action::Decode => {
+                if let Memory::Paged(rt) = memory {
+                    // Every running session appends one row; keep at least
+                    // one survivor (the pool provably fits a lone session).
+                    rt.make_room(&mut running, 1, || 0, 1);
+                }
                 let batch = running.len();
                 debug_assert!(batch >= 1 && batch <= cfg.max_batch);
                 {
@@ -250,8 +568,11 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
                     prefill_rows: 0,
                     prefill_pos: 0,
                     decode_rows: batch,
+                    swapped_rows: memory.take_pending(),
                     cost: cfg.step_overhead + batch as u64,
                 });
+                peak_kv_rows =
+                    peak_kv_rows.max(running.iter().map(SessionState::positions).sum::<usize>());
                 sealed = true;
                 let mut still_running = Vec::with_capacity(running.len());
                 for mut s in running.drain(..) {
@@ -274,6 +595,8 @@ fn serve_monolithic(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) 
         steps,
         ticks: clock,
         max_batch: cfg.max_batch,
+        peak_kv_rows,
+        paging: None,
     }
 }
 
@@ -292,6 +615,8 @@ fn serve_chunked(
     trace: &Trace,
     cfg: &ServeConfig,
     chunk: usize,
+    memory: &mut Memory,
+    hooks: &mut ServeHooks<'_>,
 ) -> ServeReport {
     assert!(chunk >= 1, "prefill_chunk must be at least 1");
     let max_seq = engine.model().cfg.max_seq;
@@ -302,6 +627,10 @@ fn serve_chunked(
     let mut finished: Vec<RequestMetrics> = Vec::new();
     let mut steps: Vec<StepRecord> = Vec::new();
     let mut clock = 0u64;
+    let mut peak_kv_rows = 0usize;
+    // Step index at which the forced-preemption hook last fired (at most
+    // once per index, or an all-preempted batch would loop forever).
+    let mut hook_step = usize::MAX;
     // FCFS only: set once a pure-decode step runs; admission reopens when
     // the batch drains.
     let mut sealed = false;
@@ -310,7 +639,17 @@ fn serve_chunked(
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
             pending.push_back(arrivals.pop_front().unwrap());
         }
-        if pending.is_empty() && running.is_empty() && prefilling.is_none() {
+        // Preempted sessions come back before anything else (the prefill
+        // slot counts against the batch like everywhere else).
+        if let Memory::Paged(rt) = memory {
+            while running.len() + usize::from(prefilling.is_some()) < cfg.max_batch {
+                match rt.try_restore() {
+                    Some(s) => running.push(s),
+                    None => break,
+                }
+            }
+        }
+        if pending.is_empty() && running.is_empty() && prefilling.is_none() && memory.idle() {
             match arrivals.front() {
                 // Idle: jump the clock to the next arrival.
                 Some(r) => {
@@ -330,8 +669,44 @@ fn serve_chunked(
                 Policy::DecodePriority => can_admit && running.is_empty(),
             };
             if admit {
-                prefilling = Some(engine.start(pending.pop_front().unwrap()));
+                prefilling = Some(memory.start(engine, pending.pop_front().unwrap()));
             }
+        }
+        // Forced preemption (tests/experiments), once per step index. The
+        // mid-prefill session is never preempted: it is the step's anchor.
+        if let Memory::Paged(rt) = memory {
+            if let Some(f) = hooks.force_preempt.as_mut() {
+                if hook_step != steps.len() && !running.is_empty() {
+                    hook_step = steps.len();
+                    let ids: Vec<usize> = running.iter().map(|s| s.request.id).collect();
+                    for id in f(steps.len(), &ids) {
+                        if let Some(i) = running.iter().position(|s| s.request.id == id) {
+                            rt.preempt(running.remove(i));
+                        }
+                    }
+                    if running.is_empty() && prefilling.is_none() {
+                        sealed = false;
+                    }
+                }
+            }
+            if running.is_empty() && prefilling.is_none() {
+                // Everything resident was swapped out: the next iteration
+                // restores (always possible on an otherwise-empty pool).
+                continue;
+            }
+            // Make room for every row this step appends: one per running
+            // decode, plus the prefill chunk about to land.
+            let take = prefilling
+                .as_ref()
+                .map_or(0, |s| s.prefill_remaining().min(chunk));
+            let floor = usize::from(prefilling.is_none());
+            let pf = &prefilling;
+            rt.make_room(
+                &mut running,
+                1,
+                || pf.as_ref().map_or(0, |s| s.blocks_needed(take)),
+                floor,
+            );
         }
         // One fused step: all running decode rows + the next prefill chunk.
         let decode_rows = running.len();
@@ -347,8 +722,13 @@ fn serve_chunked(
             prefill_rows,
             prefill_pos,
             decode_rows,
+            swapped_rows: memory.take_pending(),
             cost,
         });
+        peak_kv_rows = peak_kv_rows.max(
+            running.iter().map(SessionState::positions).sum::<usize>()
+                + prefilling.as_ref().map_or(0, SessionState::positions),
+        );
         if decode_rows > 0 && prefill_rows == 0 {
             sealed = true;
         }
@@ -360,6 +740,7 @@ fn serve_chunked(
         // session joins the running set (or finishes outright).
         if prefilling.as_ref().is_some_and(SessionState::is_prefilled) {
             let mut s = prefilling.take().unwrap();
+            memory.register(&s);
             s.token_ticks.push(clock);
             match s.finish_reason(max_seq) {
                 Some(reason) => finished.push(metrics_of(s, reason, clock)),
@@ -384,6 +765,8 @@ fn serve_chunked(
         steps,
         ticks: clock,
         max_batch: cfg.max_batch,
+        peak_kv_rows,
+        paging: None,
     }
 }
 
@@ -533,10 +916,12 @@ mod tests {
     }
 
     #[test]
-    fn over_budget_requests_are_evicted_not_rejected() {
+    fn over_budget_requests_finish_at_the_context_limit_not_rejected() {
         // A budget that cannot fit in the context is legal: the session is
-        // served until its KV cache fills, then evicted — with the same
-        // tokens as its solo run (eviction depends only on session state).
+        // served until the model's position table runs out, then finished —
+        // with the same tokens as its solo run (the positional limit
+        // depends only on session state; memory pressure is handled by
+        // preemption and never finishes anyone).
         use crate::engine::FinishReason;
         use crate::request::{Request, Sampling, Trace};
         let m = Transformer::teacher(ModelConfig::tiny(), 91);
@@ -562,11 +947,11 @@ mod tests {
         let engine = BatchEngine::new(&m, Backend::Exact);
         for policy in Policy::ALL {
             let report = serve(&engine, &trace, &ServeConfig::new(2, policy));
-            let evicted = &report.requests[0];
-            assert_eq!(evicted.reason, FinishReason::CacheFull, "{policy:?}");
-            // 30 prompt slots + 10 decodes fill the cache; 11 tokens out.
-            assert_eq!(evicted.tokens, 11, "{policy:?}");
-            assert_eq!(evicted.generated, engine.solo_run(&over), "{policy:?}");
+            let capped = &report.requests[0];
+            assert_eq!(capped.reason, FinishReason::ContextExhausted, "{policy:?}");
+            // 30 prompt slots + 10 decodes reach max_seq; 11 tokens out.
+            assert_eq!(capped.tokens, 11, "{policy:?}");
+            assert_eq!(capped.generated, engine.solo_run(&over), "{policy:?}");
             let completed = &report.requests[1];
             assert_eq!(completed.reason, FinishReason::Completed, "{policy:?}");
             assert_eq!(completed.generated, engine.solo_run(&fits), "{policy:?}");
@@ -769,6 +1154,7 @@ mod tests {
                 assert_eq!(got.kind(), want_kind, "{policy:?}");
                 assert_eq!(got.rows(), rows, "{policy:?}");
                 assert_eq!(got.cost, cost, "{policy:?}");
+                assert_eq!(got.swapped_rows, 0, "{policy:?}: unbidden swap");
             }
             for (got, &(arrival, first, finish, tokens)) in r.requests.iter().zip(requests) {
                 assert_eq!(
@@ -777,6 +1163,174 @@ mod tests {
                     "{policy:?} request {}",
                     got.id
                 );
+            }
+            // Paging with an unbounded pool must be invisible to the
+            // golden schedule: same steps, same timings, same clock — only
+            // the storage layout (and the paging report) differs.
+            let paged = serve(
+                &engine,
+                &trace,
+                &ServeConfig::new(3, policy).with_block_size(64),
+            );
+            assert_eq!(paged.ticks, r.ticks, "{policy:?} paged");
+            assert_eq!(paged.steps, r.steps, "{policy:?} paged");
+            assert_eq!(paged.requests, r.requests, "{policy:?} paged");
+            let stats = paged.paging.expect("paging stats when paging is on");
+            assert_eq!(stats.swaps_out, 0, "{policy:?}: unbidden preemption");
+            assert_eq!(stats.final_live_blocks, 0, "{policy:?}: leaked blocks");
+        }
+    }
+
+    /// Natural (memory-pressure) preemption: a pool too small for the
+    /// whole batch forces swap-outs, yet every token stream stays
+    /// bit-identical to its solo run, no block leaks, and every swap-out
+    /// is matched by a swap-in.
+    #[test]
+    fn tight_pool_preempts_and_restores_bit_identically() {
+        use crate::request::{Request, Sampling, Trace};
+        let m = Transformer::teacher(ModelConfig::tiny(), 91);
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        let mk = |id| Request {
+            id,
+            arrival: 0,
+            prompt: (0..12).map(|i| (i + id) % m.cfg.vocab).collect(),
+            max_new: 8,
+            sampling: Sampling::Greedy,
+            seed: 70 + id as u64,
+        };
+        let trace = Trace {
+            requests: vec![mk(0), mk(1), mk(2)],
+        };
+        let solo: Vec<Vec<usize>> = trace.requests.iter().map(|r| engine.solo_run(r)).collect();
+        // ceil(max_seq 40 / bs 4) = 10 blocks is the legal minimum; three
+        // sessions of 12+8 rows want 5 blocks each, so 10 cannot hold the
+        // full batch and the scheduler must preempt.
+        for chunk in [None, Some(3)] {
+            let mut cfg = ServeConfig::new(3, Policy::PrefillPriority)
+                .with_block_size(4)
+                .with_pool_blocks(10);
+            cfg.prefill_chunk = chunk;
+            let r = serve(&engine, &trace, &cfg);
+            for req in &r.requests {
+                assert_eq!(
+                    req.generated, solo[req.id],
+                    "chunk {chunk:?} req {}",
+                    req.id
+                );
+            }
+            let stats = r.paging.expect("paging stats");
+            assert!(stats.swaps_out > 0, "chunk {chunk:?}: pool never pressured");
+            assert_eq!(stats.swaps_out, stats.swaps_in, "chunk {chunk:?}");
+            assert!(stats.peak_live_blocks <= 10, "chunk {chunk:?}: cap broken");
+            assert_eq!(stats.final_live_blocks, 0, "chunk {chunk:?}: leak");
+            assert!(stats.swapped_rows > 0, "chunk {chunk:?}");
+            // The swap traffic is priced into steps, and conserved.
+            let step_rows: usize = r.steps.iter().map(|s| s.swapped_rows).sum();
+            assert_eq!(step_rows, stats.swapped_rows, "chunk {chunk:?}");
+        }
+    }
+
+    /// Scheduler-chosen preemption via the hook: swap a victim out before
+    /// every third step; streams must still be bit-identical to solo.
+    #[test]
+    fn forced_preemption_roundtrips_are_invisible_in_the_tokens() {
+        let (m, trace) = setup();
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        let solo: Vec<Vec<usize>> = trace.requests.iter().map(|r| engine.solo_run(r)).collect();
+        for chunk in [None, Some(2)] {
+            let mut cfg = ServeConfig::new(4, Policy::PrefillPriority).with_block_size(3);
+            cfg.prefill_chunk = chunk;
+            let hooks = ServeHooks {
+                force_preempt: Some(Box::new(|step, ids: &[usize]| {
+                    if step % 3 == 0 {
+                        ids.first().copied().into_iter().collect()
+                    } else {
+                        Vec::new()
+                    }
+                })),
+            };
+            let r = serve_with_hooks(&engine, &trace, &cfg, hooks);
+            assert_eq!(r.requests.len(), trace.len(), "chunk {chunk:?}");
+            for req in &r.requests {
+                assert_eq!(
+                    req.generated, solo[req.id],
+                    "chunk {chunk:?} req {}",
+                    req.id
+                );
+            }
+            let stats = r.paging.expect("paging stats");
+            assert!(stats.swaps_out > 0, "chunk {chunk:?}: hook never fired");
+            assert_eq!(stats.swaps_out, stats.swaps_in, "chunk {chunk:?}");
+            assert_eq!(stats.final_live_blocks, 0, "chunk {chunk:?}");
+        }
+    }
+
+    /// Identical prompts admitted back-to-back share their prefix blocks:
+    /// the registry hands each later session the earlier session's whole
+    /// blocks, copy-on-write keeps divergence private, and the tokens
+    /// never notice.
+    #[test]
+    fn shared_prefixes_are_adopted_and_stay_bit_identical() {
+        use crate::request::{Request, Sampling, Trace};
+        let m = Transformer::teacher(ModelConfig::tiny(), 91);
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        let prompt: Vec<usize> = std::iter::once(0)
+            .chain((1..17).map(|i| i % m.cfg.vocab))
+            .collect();
+        let mk = |id| Request {
+            id,
+            arrival: 0,
+            prompt: prompt.clone(),
+            max_new: 4,
+            sampling: Sampling::Greedy,
+            seed: 80 + id as u64,
+        };
+        let trace = Trace {
+            requests: vec![mk(0), mk(1), mk(2)],
+        };
+        let solo: Vec<Vec<usize>> = trace.requests.iter().map(|r| engine.solo_run(r)).collect();
+        let cfg = ServeConfig::new(3, Policy::PrefillPriority).with_block_size(4);
+        let r = serve(&engine, &trace, &cfg);
+        for req in &r.requests {
+            assert_eq!(req.generated, solo[req.id], "req {}", req.id);
+        }
+        let stats = r.paging.expect("paging stats");
+        // 17-token prompt, bs 4: requests 1 and 2 each adopt the 16-row
+        // whole-block prefix registered by request 0.
+        assert_eq!(stats.shared_rows, 32);
+        assert_eq!(stats.final_live_blocks, 0);
+        // Shared storage beats private storage at the peak: three private
+        // 17-row tables would already hold 15 blocks.
+        assert!(
+            stats.peak_live_blocks < 15,
+            "no sharing at the peak: {} blocks",
+            stats.peak_live_blocks
+        );
+    }
+
+    /// With paging on but no preemption, the schedule, timings, and every
+    /// step record (swap traffic included) must be byte-identical to the
+    /// contiguous run — so `workload()` prices both runs identically.
+    #[test]
+    fn unpressured_paged_runs_price_like_contiguous() {
+        let (m, trace) = setup();
+        let engine = BatchEngine::new(&m, Backend::Exact);
+        for policy in Policy::ALL {
+            for chunk in [None, Some(2)] {
+                let mut base = ServeConfig::new(3, policy);
+                base.prefill_chunk = chunk;
+                let contiguous = serve(&engine, &trace, &base);
+                let paged = serve(&engine, &trace, &base.with_block_size(5));
+                assert_eq!(paged.steps, contiguous.steps, "{policy:?} {chunk:?}");
+                assert_eq!(paged.requests, contiguous.requests, "{policy:?} {chunk:?}");
+                assert_eq!(paged.ticks, contiguous.ticks, "{policy:?} {chunk:?}");
+                assert_eq!(
+                    paged.peak_kv_rows, contiguous.peak_kv_rows,
+                    "{policy:?} {chunk:?}"
+                );
+                let stats = paged.paging.expect("paging stats");
+                assert_eq!(stats.swaps_out, 0, "{policy:?} {chunk:?}");
+                assert_eq!(stats.swapped_rows, 0, "{policy:?} {chunk:?}");
             }
         }
     }

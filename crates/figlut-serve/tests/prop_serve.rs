@@ -1,9 +1,13 @@
 //! The serving layer's batch-invariance property: for **arbitrary** traces,
-//! policies, batch limits, and chunked-prefill budgets, every session's
-//! emitted token stream is bit-identical to its solo batch-1 run —
-//! scheduling decides *when* tokens appear, never *which* tokens. The
-//! quantified space includes mixed prefill+decode steps (any `prefill_chunk`
-//! from 1 row up, plus the monolithic `None` path).
+//! policies, batch limits, chunked-prefill budgets, and paged-KV layouts,
+//! every session's emitted token stream is bit-identical to its solo
+//! batch-1 run — scheduling decides *when* tokens appear, never *which*
+//! tokens. The quantified space includes mixed prefill+decode steps (any
+//! `prefill_chunk` from 1 row up, plus the monolithic `None` path), paged
+//! KV over `block_size ∈ {1, 2, 7, 16, 64}` with unbounded and tight block
+//! pools (memory-pressure preemption), and scheduler-injected forced
+//! preemption points (`ServeHooks::force_preempt`) — with block-refcount
+//! conservation and swap-traffic pricing checked on every run.
 //!
 //! Runs on the packed `Backend::Exec` path (the backend `ext-serving`
 //! measures); a slimmer companion property covers the FIGLUT-I datapath
@@ -15,7 +19,8 @@ use figlut_model::calibrate::{quantize_model, to_packed, Method};
 use figlut_model::corpus::generate;
 use figlut_model::{Backend, ModelConfig, Transformer};
 use figlut_serve::{
-    serve, synthetic_trace, BatchEngine, Policy, Sampling, ServeConfig, StepKind, TraceParams,
+    serve, serve_with_hooks, synthetic_trace, BatchEngine, Policy, Sampling, ServeConfig,
+    ServeHooks, StepKind, TraceParams,
 };
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -39,31 +44,54 @@ struct Scenario {
     policy: Policy,
     sampling: Sampling,
     prefill_chunk: Option<usize>,
+    block_size: Option<usize>,
+    /// 0 = unbounded pool, 1 = the legal minimum (one full-context
+    /// session), 2 = minimum + 2 — both caps force memory-pressure
+    /// preemption under load. Ignored when `block_size` is `None`.
+    pool_mode: usize,
+    /// When set (and paging is on), drives a seeded forced-preemption
+    /// schedule through `ServeHooks::force_preempt`.
+    preempt_seed: Option<u64>,
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        any::<u64>(),
-        1usize..=5,  // requests
-        0usize..=30, // mean inter-arrival (0 = burst)
-        1usize..=4,  // max_batch
-        0usize..3,   // policy index
-        0usize..3,   // sampling choice
-        0usize..5,   // chunked-prefill budget choice
+        (
+            any::<u64>(),
+            1usize..=5,  // requests
+            0usize..=30, // mean inter-arrival (0 = burst)
+            1usize..=4,  // max_batch
+            0usize..3,   // policy index
+            0usize..3,   // sampling choice
+            0usize..5,   // chunked-prefill budget choice
+        ),
+        (
+            0usize..6,    // paged-KV block size choice
+            0usize..3,    // pool tightness
+            any::<u64>(), // forced-preemption seed (odd = on, even = off)
+        ),
     )
-        .prop_map(|(seed, requests, gap, max_batch, pix, six, cix)| Scenario {
-            seed,
-            requests,
-            mean_interarrival: gap as f64,
-            max_batch,
-            policy: Policy::ALL[pix],
-            sampling: [
-                Sampling::Greedy,
-                Sampling::Temperature(1.0),
-                Sampling::Temperature(0.7),
-            ][six],
-            prefill_chunk: [None, Some(1), Some(2), Some(3), Some(8)][cix],
-        })
+        .prop_map(
+            |((seed, requests, gap, max_batch, pix, six, cix), (bix, pool_mode, praw))| {
+                let preempt_seed = (praw % 2 == 1).then_some(praw >> 1);
+                Scenario {
+                    seed,
+                    requests,
+                    mean_interarrival: gap as f64,
+                    max_batch,
+                    policy: Policy::ALL[pix],
+                    sampling: [
+                        Sampling::Greedy,
+                        Sampling::Temperature(1.0),
+                        Sampling::Temperature(0.7),
+                    ][six],
+                    prefill_chunk: [None, Some(1), Some(2), Some(3), Some(8)][cix],
+                    block_size: [None, Some(1), Some(2), Some(7), Some(16), Some(64)][bix],
+                    pool_mode,
+                    preempt_seed,
+                }
+            },
+        )
 }
 
 fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
@@ -78,7 +106,30 @@ fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
     let engine = BatchEngine::new(model, backend);
     let mut cfg = ServeConfig::new(sc.max_batch, sc.policy);
     cfg.prefill_chunk = sc.prefill_chunk;
-    let report = serve(&engine, &trace, &cfg);
+    if let Some(bs) = sc.block_size {
+        cfg = cfg.with_block_size(bs);
+        let min_cap = model.cfg.max_seq.div_ceil(bs);
+        cfg.pool_blocks = match sc.pool_mode {
+            0 => None,
+            1 => Some(min_cap),
+            _ => Some(min_cap + 2),
+        };
+    }
+    let hooks = ServeHooks {
+        force_preempt: match (sc.block_size, sc.preempt_seed) {
+            (Some(_), Some(ps)) => Some(Box::new(move |step, ids: &[usize]| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        (ps ^ (step as u64).wrapping_mul(31) ^ (id as u64).wrapping_mul(7))
+                            .is_multiple_of(3)
+                    })
+                    .collect()
+            })),
+            _ => None,
+        },
+    };
+    let report = serve_with_hooks(&engine, &trace, &cfg, hooks);
 
     // Everyone was served, exactly once.
     assert_eq!(report.requests.len(), trace.len(), "{sc:?}");
@@ -123,6 +174,30 @@ fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
     }
     let work: u64 = report.steps.iter().map(|s| s.cost).sum();
     assert!(report.ticks >= work, "{sc:?}");
+    // Paging bookkeeping: refcount conservation (every block returned),
+    // swap symmetry (everything preempted was restored), priced traffic
+    // (every swapped row shows up in exactly one step record), and the
+    // pool cap honored at the peak.
+    let step_swap_rows: usize = report.steps.iter().map(|s| s.swapped_rows).sum();
+    match (&report.paging, sc.block_size) {
+        (Some(stats), Some(bs)) => {
+            assert_eq!(stats.block_size, bs, "{sc:?}");
+            assert_eq!(stats.final_live_blocks, 0, "{sc:?}: leaked KV blocks");
+            assert_eq!(stats.swaps_out, stats.swaps_in, "{sc:?}");
+            assert_eq!(step_swap_rows, stats.swapped_rows, "{sc:?}");
+            if let Some(cap) = stats.pool_blocks {
+                assert!(
+                    stats.peak_live_blocks <= cap,
+                    "{sc:?}: peak {} over cap {cap}",
+                    stats.peak_live_blocks
+                );
+            }
+        }
+        (None, None) => {
+            assert_eq!(step_swap_rows, 0, "{sc:?}: swap traffic without paging");
+        }
+        (paging, _) => panic!("{sc:?}: paging report mismatch: {paging:?}"),
+    }
 }
 
 proptest! {

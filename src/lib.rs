@@ -18,7 +18,7 @@
 //! | [`exec`] (`figlut-exec`) | packed, batch-blocked LUT-GEMM kernels + `ExecPlan`, bit-exact vs FIGLUT-I |
 //! | [`sim`] (`figlut-sim`) | 28 nm cost model: power, area, cycles, TOPS/W |
 //! | [`model`] (`figlut-model`) | synthetic OPT-style transformer + perplexity |
-//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (traces, scheduler, metrics) |
+//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (traces, scheduler, paged KV with prefix sharing + preempt/restore, metrics) |
 //!
 //! ## Quickstart
 //!
@@ -49,12 +49,12 @@ pub mod prelude {
     pub use figlut_exec::{exec_f, exec_i, ExecPlan, PackedBcq};
     pub use figlut_gemm::{Engine, EngineConfig, Weights};
     pub use figlut_lut::{FullLut, GenSchedule, HalfLut, Key, LutRead, Rac};
-    pub use figlut_model::{Backend, ModelConfig, OptConfig, Transformer, OPT_FAMILY};
+    pub use figlut_model::{Backend, BlockPool, ModelConfig, OptConfig, Transformer, OPT_FAMILY};
     pub use figlut_num::{AlignMode, AlignedVector, Bf16, Fp16, Fp32, FpFormat, Mat};
     pub use figlut_quant::{BcqParams, BcqWeight, BitMatrix, RtnParams, UniformWeight};
     pub use figlut_serve::{
-        synthetic_trace, BatchEngine, Policy, Request, Sampling, ServeConfig, ServeReport, Trace,
-        TraceParams,
+        synthetic_trace, BatchEngine, PagingStats, Policy, Request, Sampling, ServeConfig,
+        ServeHooks, ServeReport, Trace, TraceParams,
     };
     pub use figlut_sim::{evaluate, EngineSpec, GemmShape, Report, SimEngine, Tech, Workload};
 }

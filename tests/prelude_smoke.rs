@@ -84,6 +84,22 @@ fn prelude_reexports_resolve() {
     for r in &chunked.requests {
         assert_eq!(r.generated, engine.solo_run(&trace.requests[r.id]));
     }
+    // The README quickstart's paged-KV configuration: block-table paging
+    // with prefix sharing keeps the tokens bit-identical and reports
+    // PagingStats; BlockPool is the underlying refcounted block store.
+    let _pool: BlockPool = BlockPool::new(4, t.cfg.layers, t.cfg.d_model, None);
+    let _hooks: ServeHooks = ServeHooks::default();
+    let paged = figlut::serve::serve(
+        &engine,
+        &trace,
+        &ServeConfig::new(2, Policy::PrefillPriority).with_block_size(16),
+    );
+    let stats: &PagingStats = paged.paging.as_ref().expect("paged run reports stats");
+    assert_eq!(stats.block_size, 16);
+    assert_eq!(stats.final_live_blocks, 0);
+    for r in &paged.requests {
+        assert_eq!(r.generated, engine.solo_run(&trace.requests[r.id]));
+    }
 
     // figlut-sim
     let tech = Tech::cmos28();
