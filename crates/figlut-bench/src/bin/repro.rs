@@ -6,6 +6,7 @@
 //! repro calibration              # cost-model calibration report
 //! repro --out-dir /tmp/r fig16   # write CSVs somewhere else
 //! repro --threads 2 ext-serving  # pin the exec kernels' worker count
+//! repro --trace t.json ext-serving  # also write a Chrome trace
 //! repro --list                   # list experiment ids
 //! ```
 //!
@@ -14,15 +15,25 @@
 //! worker count for the throughput/serving experiments; an explicit
 //! `FIGLUT_EXEC_THREADS` environment variable still wins (results are
 //! bit-identical either way — thread count only moves the measured rates).
+//!
+//! `--trace <path>` records the run through `figlut-trace`: a `.jsonl`
+//! path gets one JSON event per line, anything else gets Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`; timestamps
+//! are virtual serving ticks). The Chrome output is validated after the
+//! run and the process fails if it is malformed. Tracing never changes
+//! the tables or CSVs — the serving clock is virtual and the sinks are
+//! pure observers.
 
 use figlut_bench::{run, EXPERIMENTS};
 use figlut_exec::parallel::THREADS_ENV;
+use figlut_trace::{install, validate_chrome_trace, ChromeTraceSink, JsonlSink, TraceSink};
 use std::path::PathBuf;
 
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut threads: Option<String> = None;
+    let mut trace_path: Option<PathBuf> = None;
     // "Pinned" means the env holds a value thread_count() would actually
     // honor (same predicate); a garbage value must not eat the flag.
     let env_pinned =
@@ -55,9 +66,17 @@ fn main() {
                 }
                 threads = Some(n);
             }
+            "--trace" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --trace needs a file path argument");
+                    std::process::exit(2);
+                };
+                trace_path = Some(PathBuf::from(p));
+            }
             other if other.starts_with('-') => {
                 eprintln!(
-                    "error: unknown flag '{other}' (try --list, --out-dir <dir>, or --threads <n>)"
+                    "error: unknown flag '{other}' (try --list, --out-dir <dir>, \
+                     --threads <n>, or --trace <path>)"
                 );
                 std::process::exit(2);
             }
@@ -74,12 +93,56 @@ fn main() {
         eprintln!("error: cannot create {}: {e}", out_dir.display());
         std::process::exit(1);
     }
+    // A `.jsonl` suffix picks the line-oriented sink; everything else is
+    // Chrome trace-event JSON (validated below after the sink closes).
+    let chrome = trace_path
+        .as_deref()
+        .is_some_and(|p| p.extension().is_none_or(|e| e != "jsonl"));
+    let guard = trace_path.as_deref().map(|p| {
+        let sink: std::io::Result<Box<dyn TraceSink>> = if chrome {
+            ChromeTraceSink::create(p).map(|s| Box::new(s) as Box<dyn TraceSink>)
+        } else {
+            JsonlSink::create(p).map(|s| Box::new(s) as Box<dyn TraceSink>)
+        };
+        match sink {
+            Ok(sink) => install(sink),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        }
+    });
     if ids.is_empty() {
         run("all", &out_dir);
         run("calibration", &out_dir);
     } else {
         for a in &ids {
             run(a, &out_dir);
+        }
+    }
+    if let Some(guard) = guard {
+        let path = trace_path.expect("guard implies path");
+        if let Err(e) = guard.finish() {
+            eprintln!("error: cannot finish trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        if chrome {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read back trace {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            match validate_chrome_trace(&text) {
+                Ok(n) => println!(
+                    "\ntrace: {} ({n} events, Chrome trace JSON)",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("error: malformed Chrome trace {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            println!("\ntrace: {} (JSONL)", path.display());
         }
     }
 }

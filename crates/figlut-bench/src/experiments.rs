@@ -1142,6 +1142,7 @@ fn ext_serving() -> Vec<(String, Table)> {
             "nJ/token",
         ],
     );
+    let mut last = None;
     for (policy, max_batch) in [
         (Policy::Fcfs, 8usize),
         (Policy::DecodePriority, 8),
@@ -1169,6 +1170,13 @@ fn ext_serving() -> Vec<(String, Table)> {
             f3(report.mean_decode_occupancy()),
             f3(report.energy_per_token_pj(&tech, &spec, opt, avg_bits) / 1e3),
         ]);
+        last = Some(report);
+    }
+    // The per-run rollup figlut-serve exposes as `ServeReport: Display`
+    // (rendered through the same table helpers), for the last
+    // configuration above (prefill-priority, max_batch 8).
+    if let Some(report) = &last {
+        print!("{report}");
     }
     t.note("per-session tokens asserted bit-identical to solo batch-1 runs before any");
     t.note("rate is reported (the batch-invariance property figlut-serve's tests pin)");

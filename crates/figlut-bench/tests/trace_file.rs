@@ -1,0 +1,21 @@
+//! The committed sample trace (`results/ext_serving_trace.json`, produced
+//! by `repro --threads 2 --trace results/ext_serving_trace.json
+//! ext-serving --out-dir <tmp>`) must stay well-formed Chrome trace-event
+//! JSON — it is the artifact README points Perfetto users at.
+
+use std::path::Path;
+
+#[test]
+fn committed_sample_trace_is_valid_chrome_json() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/ext_serving_trace.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let n = figlut_trace::validate_chrome_trace(&text)
+        .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+    assert!(n > 0, "sample trace is empty");
+    // It records an actual serving run: admission instants, step spans of
+    // every phase the scheduler emits, and the queue-depth counter track.
+    for needle in ["\"admit\"", "\"Prefill\"", "\"Decode\"", "\"queue_depth\""] {
+        assert!(text.contains(needle), "sample trace lacks {needle}");
+    }
+}

@@ -118,6 +118,19 @@ pub(crate) fn tile_windows(mu: u32, batch: usize) -> usize {
     t.next_multiple_of(kpw)
 }
 
+/// Packed words one tile walk streams per (bit-plane, output row): the
+/// contiguous word range covering the tile's windows. Windows cover the
+/// columns gap-free and tile boundaries are word-aligned on the fast path,
+/// so first-to-last word span is exactly what both the fast and generic
+/// passes read. This is the unit of the `exec_streamed_words` trace
+/// counter and of [`crate::ExecPlan::streamed_words`] — keeping the two on
+/// one formula is what makes them reconcile exactly.
+pub(crate) fn tile_span_words(tile_wins: &[Window]) -> usize {
+    let first = &tile_wins[0];
+    let last = &tile_wins[tile_wins.len() - 1];
+    (last.start as usize + last.width as usize - 1) / 64 - first.start as usize / 64 + 1
+}
+
 /// Accumulator `Self` absorbing table entries of type `E`. Decoupling the
 /// two lets `exec_i` keep exact `i64` group partials while reading *narrow*
 /// `i32` tables — half the bytes per lookup, which matters because large-k
@@ -594,6 +607,15 @@ pub(crate) fn accumulate_panel<E: Copy, A: Accum<E>>(
     let wpg = gs / mu; // windows per group (fast path only)
     let tile = tile_windows(shift, batch);
     let wide = (WIDE_MIN..=WIDE_MAX).contains(&batch);
+    // Traffic accounting, off the walk itself: the words a panel pass
+    // streams are fully determined by the window plan, so tally them in
+    // one cheap pre-pass (guarded so the disabled path costs one load).
+    if figlut_trace::enabled() {
+        let span: u64 = wins.chunks(tile).map(|t| tile_span_words(t) as u64).sum();
+        let tiles = wins.chunks(tile).len() as u64;
+        figlut_trace::counters::bump_exec_streamed_words(span * (q * rows) as u64);
+        figlut_trace::counters::bump_exec_ktiles(tiles * rows as u64);
+    }
     let mut wacc0 = [A::default(); WIDE_MAX];
     let mut wacc1 = [A::default(); WIDE_MAX];
     for (t, tile_wins) in wins.chunks(tile).enumerate() {

@@ -27,7 +27,7 @@
 //! throwaway plan per call, which preserves their historical semantics;
 //! anything that executes the same weights twice should hold a plan.
 
-use crate::kernel::{check, effective_mu, panel_f, panel_i};
+use crate::kernel::{check, effective_mu, panel_f, panel_i, tile_span_words, tile_windows};
 use crate::lut::{windows, FlatLuts, Window};
 use crate::packed::PackedBcq;
 use crate::parallel::{run_strided_panels, thread_count};
@@ -148,6 +148,7 @@ impl ExecPlan {
     /// Panics if `cfg.mu ∉ 1..=8`.
     pub fn new(w: &PackedBcq, cfg: &EngineConfig) -> Self {
         assert!((1..=8).contains(&cfg.mu), "µ = {} unsupported", cfg.mu);
+        figlut_trace::counters::bump_exec_plan_builds(1);
         let (rows, cols) = w.shape();
         let gs = w.group_size();
         let mu = effective_mu(gs, cfg.mu);
@@ -174,6 +175,26 @@ impl ExecPlan {
             && w.group_size() == self.group_size
             && w.bits() == self.bits
             && effective_mu(self.group_size, cfg.mu) == self.mu
+    }
+
+    /// Packed weight words one non-empty `exec_*` call at this batch size
+    /// streams through the tile walk: the per-tile word spans of the
+    /// window plan (tile size depends on `batch` — tables are batch-
+    /// stacked, so wider batches shrink the k-tile to hold the cache
+    /// budget), times one pass per (bit-plane, output row).
+    ///
+    /// This is the analytical model of the kernel's weight traffic; the
+    /// `exec_streamed_words` trace counter reconciles against it exactly
+    /// (asserted by `tests/trace_reconcile.rs`), which is what makes the
+    /// traced number trustworthy as a bandwidth proxy.
+    pub fn streamed_words(&self, batch: usize) -> u64 {
+        let tile = tile_windows(self.mu as u32, batch);
+        let span: u64 = self
+            .wins
+            .chunks(tile)
+            .map(|t| tile_span_words(t) as u64)
+            .sum();
+        span * (self.bits * self.rows) as u64
     }
 
     fn assert_matches(&self, w: &PackedBcq, cfg: &EngineConfig) {
@@ -239,6 +260,7 @@ impl ExecPlan {
         if batch == 0 {
             return; // empty activation matrix: nothing to compute
         }
+        figlut_trace::counters::bump_exec_calls(1);
         let groups = w.groups();
         let gs = self.group_size;
         let mut s = self.pop_call();
@@ -289,14 +311,19 @@ impl ExecPlan {
             s.m32.extend(s.mant.iter().map(|&v| v as i32));
             s.luts32
                 .rebuild(&s.m32, n, &self.wins, self.mu as u32, batch);
+            figlut_trace::counters::bump_exec_lut_builds(1);
             if fits(self.group_size) {
+                figlut_trace::counters::bump_exec_tier_i32_i32(1);
                 self.run_i::<i32, i32>(w, &s.luts32, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
             } else {
+                figlut_trace::counters::bump_exec_tier_i32_i64(1);
                 self.run_i::<i32, i64>(w, &s.luts32, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
             }
         } else {
             s.luts64
                 .rebuild(&s.mant, n, &self.wins, self.mu as u32, batch);
+            figlut_trace::counters::bump_exec_lut_builds(1);
+            figlut_trace::counters::bump_exec_tier_i64_i64(1);
             self.run_i::<i64, i64>(w, &s.luts64, &s.gsum_folds, &s.lambdas, threads, &mut s.yt);
         }
         scatter(&s.yt, batch, out);
@@ -380,6 +407,7 @@ impl ExecPlan {
         if batch == 0 {
             return; // empty activation matrix: nothing to compute
         }
+        figlut_trace::counters::bump_exec_f_calls(1);
         let groups = w.groups();
         let gs = self.group_size;
         let mut s = self.pop_call();
@@ -395,6 +423,7 @@ impl ExecPlan {
             }
         }
         s.lutsf.rebuild(&s.xa, n, &self.wins, self.mu as u32, batch);
+        figlut_trace::counters::bump_exec_lut_builds(1);
         s.yt.clear();
         s.yt.resize(m * batch, 0.0);
         {

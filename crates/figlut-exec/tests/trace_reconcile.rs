@@ -1,0 +1,114 @@
+//! Reconciles the exec-layer trace counters against the analytical models
+//! the workspace already commits to: traced streamed words must equal
+//! `ExecPlan::streamed_words` exactly, call/build/tier counters must match
+//! the call pattern, and enabling tracing must not change a single output
+//! bit. One trace session is installed per test; the `TraceGuard` holds
+//! the process-wide session lock, so the tests serialize naturally.
+
+use figlut_exec::{exec_i, ExecPlan, PackedBcq};
+use figlut_gemm::EngineConfig;
+use figlut_num::Mat;
+use figlut_quant::bcq::{BcqParams, BcqWeight};
+use figlut_trace::{install, snapshot, CollectSink};
+
+fn packed(m: usize, k: usize, gs: usize, bits: u32, seed: u64) -> PackedBcq {
+    let w = Mat::from_fn(m, k, |r, c| {
+        (((r * k + c) as f64 + seed as f64) * 0.13).sin()
+    });
+    PackedBcq::pack(&BcqWeight::quantize(&w, BcqParams::grouped(bits, gs)))
+}
+
+fn acts(batch: usize, k: usize) -> Mat<f64> {
+    Mat::from_fn(batch, k, |b, c| ((b * k + c) as f64 * 0.07).cos())
+}
+
+#[test]
+fn streamed_words_match_the_plan_formula() {
+    // Fast-path (µ divides 64 and the group size) and generic (gs 15,
+    // µ 4 → ragged windows) shapes, across batch sizes spanning the
+    // register-blocked, wide, and fallback column engines.
+    let cases = [
+        (16, 128, 64, 3, 4usize),
+        (16, 128, 64, 3, 12),
+        (8, 256, 32, 2, 1),
+        (8, 60, 15, 3, 5),
+        (4, 90, 15, 2, 80),
+    ];
+    for (m, k, gs, bits, batch) in cases {
+        let w = packed(m, k, gs, bits, 7);
+        let cfg = EngineConfig::paper_default();
+        let plan = ExecPlan::new(&w, &cfg);
+        let x = acts(batch, k);
+
+        let guard = install(Box::new(CollectSink::default()));
+        let before = snapshot();
+        let calls = 3;
+        for _ in 0..calls {
+            plan.exec_i(&x, &w, &cfg);
+        }
+        let d = snapshot().since(&before);
+        guard.finish().unwrap();
+
+        assert_eq!(d.exec_calls, calls, "case {m}x{k} gs {gs} batch {batch}");
+        assert_eq!(d.exec_lut_builds, calls, "one LUT build per call");
+        assert_eq!(
+            d.exec_tier_i32_i32 + d.exec_tier_i32_i64 + d.exec_tier_i64_i64,
+            calls,
+            "exactly one tier per call"
+        );
+        assert_eq!(
+            d.exec_streamed_words,
+            calls * plan.streamed_words(batch),
+            "traced words != formula for {m}x{k} gs {gs} bits {bits} batch {batch}"
+        );
+        assert!(
+            d.exec_ktiles >= calls * m as u64,
+            "at least one tile per row"
+        );
+    }
+}
+
+#[test]
+fn plan_reuse_and_float_path_are_counted() {
+    let w = packed(8, 128, 64, 3, 11);
+    let cfg = EngineConfig::paper_default();
+    let x = acts(2, 128);
+
+    let guard = install(Box::new(CollectSink::default()));
+    let before = snapshot();
+    let plan = ExecPlan::new(&w, &cfg);
+    plan.exec_i(&x, &w, &cfg);
+    plan.exec_i(&x, &w, &cfg);
+    plan.exec_f(&x, &w, &cfg);
+    // The free function builds (and discards) a plan per call.
+    exec_i(&x, &w, &cfg);
+    let d = snapshot().since(&before);
+    guard.finish().unwrap();
+
+    assert_eq!(d.exec_plan_builds, 2, "one held plan + one throwaway");
+    assert_eq!(d.exec_calls, 3);
+    assert_eq!(d.exec_f_calls, 1);
+    assert_eq!(d.exec_lut_builds, 4, "every non-empty call rebuilds once");
+    // The float path streams the same packed words as the integer path.
+    assert_eq!(d.exec_streamed_words, 4 * plan.streamed_words(2));
+}
+
+#[test]
+fn tracing_does_not_change_results_and_empty_calls_are_free() {
+    let w = packed(8, 64, 32, 3, 3);
+    let cfg = EngineConfig::paper_default();
+    let plan = ExecPlan::new(&w, &cfg);
+    let x = acts(4, 64);
+    let quiet = plan.exec_i(&x, &w, &cfg);
+
+    let guard = install(Box::new(CollectSink::default()));
+    let before = snapshot();
+    let traced = plan.exec_i(&x, &w, &cfg);
+    let empty = plan.exec_i(&Mat::zeros(0, 64), &w, &cfg);
+    let d = snapshot().since(&before);
+    guard.finish().unwrap();
+
+    assert_eq!(traced.as_slice(), quiet.as_slice(), "tracing changed bits");
+    assert_eq!(empty.shape(), (0, 8));
+    assert_eq!(d.exec_calls, 1, "batch-0 call must not count");
+}

@@ -246,6 +246,7 @@ impl PagedKv {
         if p.blocks[old].refs == 1 {
             return;
         }
+        figlut_trace::counters::bump_kv_cow_copies(1);
         let new = p.alloc();
         let bs = p.block_size;
         let d = p.d_model;
@@ -568,6 +569,7 @@ impl KvCache {
         };
         p.release();
         *self = KvCache::Swapped(image);
+        figlut_trace::counters::bump_kv_swap_out_rows(len as u64);
         len
     }
 
@@ -613,6 +615,7 @@ impl KvCache {
         }
         paged.lens = vec![len; paged.lens.len()];
         *self = KvCache::Paged(paged);
+        figlut_trace::counters::bump_kv_swap_in_rows(len as u64);
         len
     }
 

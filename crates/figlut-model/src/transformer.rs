@@ -576,6 +576,20 @@ impl Transformer {
             }
             row_of.extend((0..chunk.len()).map(|t| (i, t)));
         }
+        // Phase accounting for the trace layer: a single-token chunk is a
+        // decode row, a longer chunk contributes prefill rows (the serving
+        // scheduler's phase definition, so the counters reconcile with
+        // `Σ StepRecord::rows()`).
+        if figlut_trace::enabled() {
+            figlut_trace::counters::bump_model_forward_calls(1);
+            for chunk in chunks {
+                if chunk.len() == 1 {
+                    figlut_trace::counters::bump_model_decode_rows(1);
+                } else {
+                    figlut_trace::counters::bump_model_prefill_rows(chunk.len() as u64);
+                }
+            }
+        }
         let rows = row_of.len();
         let d = cfg.d_model;
         let dh = d / cfg.heads;

@@ -57,6 +57,11 @@ pub struct SessionState {
     pub token_ticks: Vec<u64>,
     /// Prompt tokens consumed by prefill chunks so far.
     pub prefilled: usize,
+    /// Virtual-clock tick at which the scheduler admitted the request out
+    /// of the pending queue (stamped by the serving loop; 0 until then).
+    /// `admitted - arrival` is pure queueing delay, which TTFT alone
+    /// conflates with prefill compute time.
+    pub admitted: u64,
     cache: KvCache,
     rng: Rng,
 }
@@ -175,6 +180,7 @@ impl<'m> BatchEngine<'m> {
             generated: Vec::new(),
             token_ticks: Vec::new(),
             prefilled: 0,
+            admitted: 0,
             cache,
             rng,
         }

@@ -15,6 +15,7 @@ use figlut_sim::engine::evaluate;
 use figlut_sim::mpu::EngineSpec;
 use figlut_sim::tech::Tech;
 use figlut_sim::Workload;
+use figlut_trace::fmt::{f3, Table};
 use std::collections::BTreeMap;
 
 /// What a step did (derived from a [`StepRecord`]'s row counts).
@@ -27,6 +28,17 @@ pub enum StepKind {
     Decode,
     /// A fused step carrying both running decode rows and a prefill chunk.
     Mixed,
+}
+
+impl StepKind {
+    /// Short display name (also the trace span name for the step).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepKind::Prefill => "Prefill",
+            StepKind::Decode => "Decode",
+            StepKind::Mixed => "Mixed",
+        }
+    }
 }
 
 /// One executed scheduler step: a single fused forward pass whose
@@ -60,15 +72,28 @@ impl StepRecord {
 
     /// Classify the step by which phases contributed rows.
     ///
-    /// # Panics
+    /// The scheduler never emits a row-less record, so a `(0, 0)` record is
+    /// a caller bug: debug builds panic on it, release builds classify it
+    /// as [`StepKind::Decode`] (the choice that prices to zero everywhere).
     ///
-    /// Panics on a row-less record (the scheduler never emits one).
+    /// ```should_panic
+    /// use figlut_serve::StepRecord;
+    ///
+    /// let bogus = StepRecord {
+    ///     prefill_rows: 0,
+    ///     prefill_pos: 0,
+    ///     decode_rows: 0,
+    ///     swapped_rows: 0,
+    ///     cost: 1,
+    /// };
+    /// bogus.kind(); // debug builds: "step record with no rows"
+    /// ```
     pub fn kind(&self) -> StepKind {
+        debug_assert!(self.rows() > 0, "step record with no rows");
         match (self.prefill_rows > 0, self.decode_rows > 0) {
             (true, false) => StepKind::Prefill,
-            (false, true) => StepKind::Decode,
             (true, true) => StepKind::Mixed,
-            (false, false) => panic!("step record with no rows"),
+            _ => StepKind::Decode,
         }
     }
 }
@@ -80,6 +105,10 @@ pub struct RequestMetrics {
     pub id: usize,
     /// Arrival tick.
     pub arrival: u64,
+    /// Tick at which the scheduler admitted the request out of the pending
+    /// queue (its prefill began). `admitted - arrival` is pure queueing
+    /// delay; `first_token - admitted` is the compute side of TTFT.
+    pub admitted: u64,
     /// Tick at which the first token was emitted (end of prefill).
     pub first_token: u64,
     /// Tick at which the session finished.
@@ -108,6 +137,13 @@ impl RequestMetrics {
         self.finish - self.arrival
     }
 
+    /// Ticks spent waiting in the pending queue before admission — the
+    /// scheduling share of [`RequestMetrics::ttft`], with the prefill
+    /// compute share (`first_token - admitted`) split out.
+    pub fn queue_wait(&self) -> u64 {
+        self.admitted - self.arrival
+    }
+
     /// Gaps between consecutive emitted tokens, in ticks (empty for a
     /// single-token session).
     pub fn inter_token_stalls(&self) -> impl Iterator<Item = u64> + '_ {
@@ -115,7 +151,13 @@ impl RequestMetrics {
     }
 }
 
-/// Nearest-rank percentile (`p` in `(0, 100]`) of `values`; 0 when empty.
+/// Nearest-rank percentile (`p` in `(0, 100]`) of `values`.
+///
+/// **Edge behavior, relied on by callers:** an empty sample returns 0 —
+/// not an error — so report-level percentiles over quantities that can
+/// legitimately be absent (inter-token stalls of single-token sessions,
+/// queue waits of an empty run) degrade to 0 instead of panicking. A
+/// single-element sample returns that element at every `p`.
 ///
 /// # Panics
 ///
@@ -252,13 +294,59 @@ impl ServeReport {
     }
 
     /// Nearest-rank percentile of the inter-token stalls (`p` in
-    /// `(0, 100]`), in ticks; 0 if no session emitted a second token.
+    /// `(0, 100]`), in ticks.
+    ///
+    /// Single-token sessions contribute no stalls (a session must emit a
+    /// second token to have an inter-token gap), so a run of only
+    /// single-token sessions — or an empty run — returns 0 at every `p`
+    /// rather than panicking. Pinned by the `percentile_edge_behavior`
+    /// test.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
     pub fn stall_percentile(&self, p: f64) -> u64 {
         percentile(self.inter_token_stalls(), p)
+    }
+
+    /// Mean ticks requests spent queued before admission.
+    pub fn mean_queue_wait(&self) -> f64 {
+        let n = self.requests.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.requests
+            .iter()
+            .map(|r| r.queue_wait() as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// The pending-queue depth over the run as `(tick, depth)` change
+    /// points: +1 at each request's arrival, −1 at its admission, events
+    /// at the same tick coalesced (admissions applied after arrivals, so
+    /// the reported depth is the end-of-tick value). The scheduler admits
+    /// every request exactly once, so the timeline always returns to 0.
+    pub fn queue_depth_timeline(&self) -> Vec<(u64, usize)> {
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(2 * self.requests.len());
+        for r in &self.requests {
+            events.push((r.arrival, 1));
+            events.push((r.admitted, -1));
+        }
+        // Sort decrements after increments within a tick: a same-tick
+        // arrive+admit pair must not report a negative intermediate.
+        events.sort_by_key(|&(t, d)| (t, -d));
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        let mut depth = 0i64;
+        for (t, d) in events {
+            depth += d;
+            debug_assert!(depth >= 0, "queue depth went negative at tick {t}");
+            match out.last_mut() {
+                Some(last) if last.0 == t => last.1 = depth as usize,
+                _ => out.push((t, depth as usize)),
+            }
+        }
+        out
     }
 
     /// Re-express the executed step sequence as the workload it would be at
@@ -340,6 +428,59 @@ impl ServeReport {
     }
 }
 
+impl std::fmt::Display for ServeReport {
+    /// A human-readable summary table of the run (rendered through the
+    /// shared `figlut_trace::fmt` table engine, so `repro` prints reports
+    /// and experiment tables in one visual idiom). All values are virtual-
+    /// clock ticks; the table is stable enough to snapshot-test but not a
+    /// machine interface — use the fields for that.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut by_kind = [0usize; 3];
+        for s in &self.steps {
+            by_kind[match s.kind() {
+                StepKind::Prefill => 0,
+                StepKind::Decode => 1,
+                StepKind::Mixed => 2,
+            }] += 1;
+        }
+        let mut t = Table::new("serving summary", &["metric", "value"]);
+        let mut row = |k: &str, v: String| t.row(vec![k.to_string(), v]);
+        row("requests", self.requests.len().to_string());
+        row("tokens", self.total_tokens().to_string());
+        row("ticks", self.ticks.to_string());
+        row("tokens/kilotick", f3(self.tokens_per_kilotick()));
+        row("mean ttft (ticks)", f3(self.mean_ttft()));
+        row("mean queue wait (ticks)", f3(self.mean_queue_wait()));
+        if !self.requests.is_empty() {
+            row(
+                "p50 latency (ticks)",
+                self.latency_percentile(50.0).to_string(),
+            );
+            row(
+                "p99 latency (ticks)",
+                self.latency_percentile(99.0).to_string(),
+            );
+        }
+        row(
+            "max stall (ticks)",
+            self.max_inter_token_stall().to_string(),
+        );
+        row("decode occupancy", f3(self.mean_decode_occupancy()));
+        row(
+            "steps (prefill/decode/mixed)",
+            format!("{}/{}/{}", by_kind[0], by_kind[1], by_kind[2]),
+        );
+        row("peak kv rows", self.peak_kv_rows.to_string());
+        if let Some(p) = &self.paging {
+            row("peak live blocks", p.peak_live_blocks.to_string());
+            row("swaps out/in", format!("{}/{}", p.swaps_out, p.swaps_in));
+            row("swapped kv rows", p.swapped_rows.to_string());
+            row("shared prefix rows", p.shared_rows.to_string());
+        }
+        f.write_str(&t.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +516,7 @@ mod tests {
             RequestMetrics {
                 id,
                 arrival,
+                admitted: arrival + 2,
                 first_token: first,
                 finish,
                 tokens,
@@ -583,6 +725,7 @@ mod tests {
         let single = RequestMetrics {
             id: 9,
             arrival: 0,
+            admitted: 0,
             first_token: 3,
             finish: 3,
             tokens: 1,
@@ -606,5 +749,91 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn percentile_range_checked() {
         let _ = demo_report().latency_percentile(0.0);
+    }
+
+    #[test]
+    fn percentile_edge_behavior() {
+        // Empty sample → 0 at every p (not a panic): a report whose
+        // sessions all emitted a single token has no inter-token stalls.
+        let mut r = demo_report();
+        for req in &mut r.requests {
+            req.tokens = 1;
+            req.generated.truncate(1);
+            req.token_ticks.truncate(1);
+        }
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(r.stall_percentile(p), 0, "p{p} of empty sample");
+        }
+        // Single-element sample → that element at every p.
+        r.requests[0].tokens = 2;
+        r.requests[0].generated.push(1);
+        r.requests[0].token_ticks.push(12);
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(r.stall_percentile(p), 7, "p{p} of singleton sample");
+        }
+    }
+
+    #[test]
+    fn queue_wait_splits_ttft() {
+        let r = demo_report();
+        // demo requests are admitted 2 ticks after arrival.
+        assert_eq!(r.requests[0].queue_wait(), 2);
+        assert_eq!(r.mean_queue_wait(), 2.0);
+        // queue wait + post-admission compute == TTFT, per request.
+        for req in &r.requests {
+            assert_eq!(
+                req.queue_wait() + (req.first_token - req.admitted),
+                req.ttft()
+            );
+        }
+    }
+
+    #[test]
+    fn queue_depth_timeline_folds_arrivals_and_admissions() {
+        let mut r = demo_report();
+        // Arrivals at 0, 2, 10; admissions at 2, 4, 12. The same-tick
+        // pair at 2 coalesces into one end-of-tick entry.
+        assert_eq!(
+            r.queue_depth_timeline(),
+            vec![(0, 1), (2, 1), (4, 0), (10, 1), (12, 0)]
+        );
+        // Everything admitted instantly → depth spikes vanish by tick end.
+        for req in &mut r.requests {
+            req.admitted = req.arrival;
+        }
+        assert_eq!(r.queue_depth_timeline(), vec![(0, 0), (2, 0), (10, 0)]);
+    }
+
+    #[test]
+    fn display_renders_summary_table() {
+        let shown = demo_report().to_string();
+        for needle in [
+            "serving summary",
+            "requests",
+            "tokens/kilotick",
+            "400.0",
+            "mean queue wait (ticks)",
+            "steps (prefill/decode/mixed)",
+            "1/2/0",
+        ] {
+            assert!(shown.contains(needle), "missing {needle:?} in:\n{shown}");
+        }
+        // Paging rows appear only when paging was on.
+        assert!(!shown.contains("swaps out/in"));
+        let mut paged = demo_report();
+        paged.paging = Some(PagingStats {
+            block_size: 16,
+            pool_blocks: Some(8),
+            peak_live_blocks: 6,
+            final_live_blocks: 0,
+            bytes_per_block: 4096,
+            swaps_out: 2,
+            swaps_in: 2,
+            swapped_rows: 40,
+            shared_rows: 12,
+        });
+        let shown = paged.to_string();
+        assert!(shown.contains("swaps out/in"));
+        assert!(shown.contains("2/2"));
     }
 }

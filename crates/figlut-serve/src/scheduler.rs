@@ -29,6 +29,7 @@ use crate::engine::{BatchEngine, FinishReason, SessionState};
 use crate::metrics::{PagingStats, RequestMetrics, ServeReport, StepRecord};
 use crate::request::{Request, Trace};
 use figlut_model::{BlockPool, PrefixRegistry};
+use figlut_trace::{counters, Event};
 use std::collections::VecDeque;
 
 /// Batch-assembly policy.
@@ -273,6 +274,7 @@ impl PagedRt {
         self.pending_swap_rows += rows;
         self.swapped_rows_total += rows;
         self.swaps_out += 1;
+        counters::bump_serve_preemptions(1);
         self.swapped.push_back(s);
     }
 
@@ -292,6 +294,7 @@ impl PagedRt {
         self.pending_swap_rows += rows;
         self.swapped_rows_total += rows;
         self.swaps_in += 1;
+        counters::bump_serve_restores(1);
         Some(s)
     }
 
@@ -331,6 +334,72 @@ impl PagedRt {
     }
 }
 
+/// Admission bookkeeping shared by both serving loops: stamp the session's
+/// admission tick (queue wait = `admitted - arrival`), bump the trace
+/// counter, and emit an instant event when a session is being traced.
+fn note_admission(s: &mut SessionState, clock: u64, queue_after: usize) {
+    s.admitted = clock;
+    counters::bump_serve_admissions(1);
+    if !figlut_trace::enabled() {
+        return;
+    }
+    let args = [("id", s.request.id as u64), ("queue", queue_after as u64)];
+    figlut_trace::emit(&Event::Instant {
+        name: "admit",
+        ts: figlut_trace::run_base() + clock,
+        args: &args,
+    });
+}
+
+/// Per-step trace hook, called right after each `StepRecord` is pushed:
+/// one span per executed scheduler step, stamped with its virtual start
+/// tick and cost and carrying queue depth, batch occupancy, the phase row
+/// split, and the paging activity since the previous step (`last_swaps`
+/// carries the previous step's cumulative swap counts across calls).
+fn trace_step(
+    clock_after: u64,
+    rec: &StepRecord,
+    queue: usize,
+    batch: usize,
+    memory: &Memory,
+    last_swaps: &mut (usize, usize),
+) {
+    counters::bump_serve_steps(1);
+    if !figlut_trace::enabled() {
+        return;
+    }
+    let (preempts, restores, live_blocks) = match memory {
+        Memory::Unmanaged => (0, 0, 0),
+        Memory::Paged(rt) => {
+            let d = (rt.swaps_out - last_swaps.0, rt.swaps_in - last_swaps.1);
+            *last_swaps = (rt.swaps_out, rt.swaps_in);
+            (d.0, d.1, rt.pool.live_blocks())
+        }
+    };
+    let ts = figlut_trace::run_base() + (clock_after - rec.cost);
+    let args = [
+        ("queue", queue as u64),
+        ("batch", batch as u64),
+        ("prefill_rows", rec.prefill_rows as u64),
+        ("decode_rows", rec.decode_rows as u64),
+        ("swapped_rows", rec.swapped_rows as u64),
+        ("preempts", preempts as u64),
+        ("restores", restores as u64),
+        ("live_blocks", live_blocks as u64),
+    ];
+    figlut_trace::emit(&Event::Span {
+        name: rec.kind().name(),
+        ts,
+        dur: rec.cost,
+        args: &args,
+    });
+    figlut_trace::emit(&Event::Counter {
+        name: "queue_depth",
+        ts,
+        value: queue as u64,
+    });
+}
+
 /// Close a finished session into its metrics record.
 fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetrics {
     debug_assert_eq!(
@@ -342,6 +411,7 @@ fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetr
     RequestMetrics {
         id: s.request.id,
         arrival: s.request.arrival,
+        admitted: s.admitted,
         first_token: *s
             .token_ticks
             .first()
@@ -417,6 +487,9 @@ pub fn serve_with_hooks(
             shared_rows: rt.shared_rows,
         });
     }
+    // Close the trace run: later serve calls in the same session continue
+    // on a globally-monotone timestamp axis.
+    figlut_trace::end_run(report.ticks);
     report
 }
 
@@ -445,6 +518,9 @@ fn serve_monolithic(
     // FCFS only: set once the current batch starts decoding; admission
     // reopens when the batch drains.
     let mut sealed = false;
+    // Cumulative (swaps_out, swaps_in) at the previous step's span, so
+    // each step span carries only its own paging activity.
+    let mut last_swaps = (0usize, 0usize);
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
@@ -525,6 +601,7 @@ fn serve_monolithic(
                     .pop_front()
                     .expect("admission without a pending request");
                 let mut s = memory.start(engine, req);
+                note_admission(&mut s, clock, pending.len());
                 if let Memory::Paged(rt) = memory {
                     // The whole prompt lands this step; running sessions
                     // append nothing but may be preempted to make room.
@@ -541,6 +618,14 @@ fn serve_monolithic(
                     swapped_rows: memory.take_pending(),
                     cost: cfg.step_overhead + rows as u64,
                 });
+                trace_step(
+                    clock,
+                    steps.last().expect("just pushed"),
+                    pending.len(),
+                    running.len() + 1,
+                    memory,
+                    &mut last_swaps,
+                );
                 peak_kv_rows = peak_kv_rows.max(
                     s.positions() + running.iter().map(SessionState::positions).sum::<usize>(),
                 );
@@ -571,6 +656,14 @@ fn serve_monolithic(
                     swapped_rows: memory.take_pending(),
                     cost: cfg.step_overhead + batch as u64,
                 });
+                trace_step(
+                    clock,
+                    steps.last().expect("just pushed"),
+                    pending.len(),
+                    batch,
+                    memory,
+                    &mut last_swaps,
+                );
                 peak_kv_rows =
                     peak_kv_rows.max(running.iter().map(SessionState::positions).sum::<usize>());
                 sealed = true;
@@ -634,6 +727,9 @@ fn serve_chunked(
     // FCFS only: set once a pure-decode step runs; admission reopens when
     // the batch drains.
     let mut sealed = false;
+    // Cumulative (swaps_out, swaps_in) at the previous step's span, so
+    // each step span carries only its own paging activity.
+    let mut last_swaps = (0usize, 0usize);
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
@@ -669,7 +765,9 @@ fn serve_chunked(
                 Policy::DecodePriority => can_admit && running.is_empty(),
             };
             if admit {
-                prefilling = Some(memory.start(engine, pending.pop_front().unwrap()));
+                let mut s = memory.start(engine, pending.pop_front().unwrap());
+                note_admission(&mut s, clock, pending.len());
+                prefilling = Some(s);
             }
         }
         // Forced preemption (tests/experiments), once per step index. The
@@ -725,6 +823,14 @@ fn serve_chunked(
             swapped_rows: memory.take_pending(),
             cost,
         });
+        trace_step(
+            clock,
+            steps.last().expect("just pushed"),
+            pending.len(),
+            running.len() + usize::from(prefilling.is_some()),
+            memory,
+            &mut last_swaps,
+        );
         peak_kv_rows = peak_kv_rows.max(
             running.iter().map(SessionState::positions).sum::<usize>()
                 + prefilling.as_ref().map_or(0, SessionState::positions),

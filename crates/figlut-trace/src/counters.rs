@@ -1,0 +1,137 @@
+//! The process-wide counter registry.
+//!
+//! Each counter is a relaxed `AtomicU64` bumped by an instrumentation site
+//! in `figlut-exec`, `figlut-model`, or `figlut-serve`. Bumps are dropped
+//! while no trace session is installed ([`crate::enabled`] is the gate), so
+//! the disabled path costs one relaxed load per site and the counters of a
+//! session always start from zero ([`crate::install`] resets them).
+//!
+//! Every counter reconciles against an analytical formula the workspace
+//! already commits to — that is the design contract, asserted by the
+//! `trace_reconcile` test binaries in `figlut-exec` and `figlut-serve`:
+//!
+//! | counter group | reconciles with |
+//! |---|---|
+//! | `exec_streamed_words` | `ExecPlan::streamed_words` (the tile-walk formula) |
+//! | `exec_calls` / `exec_lut_builds` / tier counters | one LUT build + one tier pick per non-empty call |
+//! | `model_*_rows` | `Σ StepRecord::rows()` over a serve run |
+//! | `kv_swap_*_rows` | `Σ StepRecord.swapped_rows` = `PagingStats.swapped_rows` |
+//! | `serve_steps` / `serve_admissions` / … | `ServeReport.steps.len()`, request count, `PagingStats.swaps_out/in` |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! registry {
+    ($($(#[$m:meta])* $STATIC:ident, $bump:ident, $field:ident;)+) => {
+        $( static $STATIC: AtomicU64 = AtomicU64::new(0); )+
+
+        $(
+            $(#[$m])*
+            ///
+            /// Adds `n` while a trace session is installed; dropped otherwise.
+            #[inline]
+            pub fn $bump(n: u64) {
+                if crate::enabled() {
+                    $STATIC.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        )+
+
+        /// A point-in-time copy of every counter (see the module table for
+        /// what each group reconciles against).
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(missing_docs)] // each field documents itself via its bump fn
+        pub struct Counters {
+            $( pub $field: u64, )+
+        }
+
+        /// Snapshot the registry.
+        pub fn snapshot() -> Counters {
+            Counters { $( $field: $STATIC.load(Ordering::Relaxed), )+ }
+        }
+
+        /// Zero every counter (done by [`crate::install`]).
+        pub fn reset() {
+            $( $STATIC.store(0, Ordering::Relaxed); )+
+        }
+
+        impl Counters {
+            /// Per-field difference `self − earlier` — the activity between
+            /// two snapshots of the same session.
+            ///
+            /// # Panics
+            ///
+            /// Panics (in debug builds, via arithmetic overflow) if
+            /// `earlier` is not actually an earlier snapshot.
+            #[must_use]
+            pub fn since(&self, earlier: &Counters) -> Counters {
+                Counters { $( $field: self.$field - earlier.$field, )+ }
+            }
+        }
+    };
+}
+
+registry! {
+    /// Integer exec kernel calls (`ExecPlan::exec_i_into` with a non-empty batch).
+    EXEC_CALLS, bump_exec_calls, exec_calls;
+    /// Float exec kernel calls (`ExecPlan::exec_f_into` with a non-empty batch).
+    EXEC_F_CALLS, bump_exec_f_calls, exec_f_calls;
+    /// `ExecPlan` constructions (calls minus builds = plan reuse).
+    EXEC_PLAN_BUILDS, bump_exec_plan_builds, exec_plan_builds;
+    /// Batched FFLUT (re)builds — one per non-empty exec call, at exactly one tier.
+    EXEC_LUT_BUILDS, bump_exec_lut_builds, exec_lut_builds;
+    /// Packed weight words streamed by the tile walk, summed over every
+    /// (k-tile, bit-plane, output row). Reconciles with
+    /// `ExecPlan::streamed_words` per call.
+    EXEC_STREAMED_WORDS, bump_exec_streamed_words, exec_streamed_words;
+    /// K-tile walks: one per (k-tile, output row) of each panel pass.
+    EXEC_KTILES, bump_exec_ktiles, exec_ktiles;
+    /// Calls running the narrowest tier (i32 tables, i32 accumulators).
+    EXEC_TIER_I32_I32, bump_exec_tier_i32_i32, exec_tier_i32_i32;
+    /// Calls running the middle tier (i32 tables, i64 accumulators).
+    EXEC_TIER_I32_I64, bump_exec_tier_i32_i64, exec_tier_i32_i64;
+    /// Calls running the widest tier (i64 tables and accumulators).
+    EXEC_TIER_I64_I64, bump_exec_tier_i64_i64, exec_tier_i64_i64;
+    /// `Transformer::forward_batch` invocations.
+    MODEL_FORWARD_CALLS, bump_model_forward_calls, model_forward_calls;
+    /// Token rows from multi-token chunks (prefill-phase rows).
+    MODEL_PREFILL_ROWS, bump_model_prefill_rows, model_prefill_rows;
+    /// Token rows from single-token chunks (decode-phase rows).
+    MODEL_DECODE_ROWS, bump_model_decode_rows, model_decode_rows;
+    /// Copy-on-write block copies actually performed by the paged KV cache.
+    KV_COW_COPIES, bump_kv_cow_copies, kv_cow_copies;
+    /// KV positions copied to host by preemption swap-outs.
+    KV_SWAP_OUT_ROWS, bump_kv_swap_out_rows, kv_swap_out_rows;
+    /// KV positions copied back from host by restores.
+    KV_SWAP_IN_ROWS, bump_kv_swap_in_rows, kv_swap_in_rows;
+    /// Scheduler steps executed (= emitted `StepRecord`s).
+    SERVE_STEPS, bump_serve_steps, serve_steps;
+    /// Requests admitted out of the pending queue.
+    SERVE_ADMISSIONS, bump_serve_admissions, serve_admissions;
+    /// Sessions preempted to host under pool pressure.
+    SERVE_PREEMPTIONS, bump_serve_preemptions, serve_preemptions;
+    /// Preempted sessions restored into the running set.
+    SERVE_RESTORES, bump_serve_restores, serve_restores;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = Counters {
+            exec_calls: 5,
+            serve_steps: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            exec_calls: 9,
+            serve_steps: 7,
+            ..Counters::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.exec_calls, 4);
+        assert_eq!(d.serve_steps, 5);
+        assert_eq!(d.kv_cow_copies, 0);
+    }
+}

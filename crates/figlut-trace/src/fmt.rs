@@ -1,0 +1,175 @@
+//! Text-table rendering and CSV output.
+//!
+//! Shared by the reproduction harness (`figlut-bench` re-exports this
+//! module as `figlut_bench::fmt`, its historical home) and by
+//! `figlut-serve`'s human-readable `Display for ServeReport` — living here
+//! keeps the serving crate free of a bench dependency while both render
+//! through one table engine.
+
+use std::fs;
+use std::path::Path;
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title line (e.g. `"Table IV — perplexity parity"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Write the table as CSV under `dir`. Notes are appended as trailing
+    /// `# note:` comment lines so the CSV carries the same caveats as the
+    /// printed table (a committed CSV must be self-describing).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        s.push_str(&self.headers.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            let esc: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') {
+                        format!("\"{c}\"")
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            s.push_str(&esc.join(","));
+            s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(&format!("# note: {n}\n"));
+        }
+        fs::write(dir.join(format!("{name}.csv")), s)
+    }
+}
+
+/// Format a float with 3 significant-ish decimals.
+pub fn f3(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a ratio like `1.62×`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("long-header"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_carries_notes_as_comment_lines() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        t.note("measured at batch 2, extrapolated");
+        let dir = std::env::temp_dir().join("figlut-fmt-test");
+        t.write_csv(&dir, "demo").unwrap();
+        let s = fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(
+            s,
+            "a,b\n1,\"x,y\"\n# note: measured at batch 2, extrapolated\n"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(1234.5), "1234.5");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f3(0.012345), "0.0123");
+        assert_eq!(ratio(1.618), "1.62x");
+    }
+}

@@ -1,0 +1,275 @@
+//! # figlut-trace — deterministic observability for the FIGLUT workspace
+//!
+//! A structured event/span/counter layer threaded through the execution
+//! (`figlut-exec`), model (`figlut-model`), and serving (`figlut-serve`)
+//! hot paths. Because the serving layer runs on a *virtual* clock and every
+//! layer below it is bit-deterministic, the traces this crate records are
+//! themselves bit-reproducible: the same run always emits the same events
+//! with the same timestamps, so a trace diff is a regression signal, not
+//! noise (DESIGN.md §8).
+//!
+//! Three pieces:
+//!
+//! * **A counter registry** ([`counters`]): process-wide atomic counters
+//!   bumped by the instrumented layers (packed words streamed, k-tiles
+//!   walked, LUT builds, KV copy-on-writes, swap rows, scheduler steps, …).
+//!   Counters only advance while a trace session is installed, and every
+//!   counter *reconciles* against an analytical formula the repo already
+//!   commits to (`ExecPlan::streamed_words`, `StepRecord.swapped_rows`,
+//!   `ServeReport.steps`) — the trace cross-checks the cost model instead
+//!   of keeping parallel books that can drift.
+//! * **Trace sinks** ([`sink`]): the [`TraceSink`] trait with two file
+//!   sinks — newline-delimited JSON ([`JsonlSink`]) and Chrome trace-event
+//!   JSON ([`ChromeTraceSink`], loadable in Perfetto / `chrome://tracing`,
+//!   with `ts` measured in virtual ticks) — plus an in-memory
+//!   [`CollectSink`] for tests.
+//! * **Zero-cost disablement**: with no session installed (the default),
+//!   every instrumentation site reduces to one relaxed atomic load and
+//!   performs **zero heap allocations** (pinned by `tests/alloc.rs` with a
+//!   counting global allocator), and instrumented code paths compute
+//!   nothing they would not compute anyway — serving output is
+//!   byte-identical to the pre-instrumentation golden traces.
+//!
+//! ```
+//! use figlut_trace::{install, CollectSink, Event};
+//!
+//! let sink = CollectSink::new();
+//! let events = sink.events();
+//! let guard = install(Box::new(sink));
+//! figlut_trace::emit(&Event::Instant { name: "demo", ts: 3, args: &[("k", 7)] });
+//! guard.finish().unwrap();
+//! assert_eq!(events.lock().unwrap().len(), 1);
+//! ```
+//!
+//! Sessions are process-global (the instrumented hot paths cannot thread a
+//! sink handle through `Copy` configs and per-layer call chains), so
+//! [`install`] serializes: a second session blocks until the first guard
+//! drops. That is what keeps concurrently running tests from polluting each
+//! other's counters.
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod fmt;
+pub mod json;
+pub mod sink;
+
+pub use counters::{snapshot, Counters};
+pub use sink::{validate_chrome_trace, ChromeTraceSink, CollectSink, JsonlSink, OwnedEvent};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One structured trace event, built on the caller's stack — no allocation
+/// is required to construct one, so instrumentation sites can assemble
+/// events inside `if figlut_trace::enabled()` blocks without touching the
+/// heap when tracing is off.
+#[derive(Clone, Copy, Debug)]
+pub enum Event<'a> {
+    /// A closed interval on the virtual clock (one scheduler step).
+    Span {
+        /// Static event name (e.g. the step kind).
+        name: &'static str,
+        /// Start tick (already offset by [`run_base`]).
+        ts: u64,
+        /// Duration in virtual ticks (the step's cost).
+        dur: u64,
+        /// Numeric payload, e.g. queue depth or row counts.
+        args: &'a [(&'static str, u64)],
+    },
+    /// A point event (admission, preemption, restore).
+    Instant {
+        /// Static event name.
+        name: &'static str,
+        /// Tick (already offset by [`run_base`]).
+        ts: u64,
+        /// Numeric payload, e.g. the request id.
+        args: &'a [(&'static str, u64)],
+    },
+    /// A sampled counter track (queue depth, live KV blocks).
+    Counter {
+        /// Static track name.
+        name: &'static str,
+        /// Tick (already offset by [`run_base`]).
+        ts: u64,
+        /// The sampled value.
+        value: u64,
+    },
+}
+
+impl Event<'_> {
+    /// The event's timestamp in global virtual ticks.
+    pub fn ts(&self) -> u64 {
+        match *self {
+            Event::Span { ts, .. } | Event::Instant { ts, .. } | Event::Counter { ts, .. } => ts,
+        }
+    }
+}
+
+/// Where recorded events go. Implementations receive every event of a
+/// session in emission order, tagged with the 0-based serve-run index
+/// (Chrome sinks map it to a thread lane).
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, run: u64, event: &Event<'_>);
+
+    /// Flush buffered output; called once by [`TraceGuard::finish`] (or on
+    /// guard drop, with the result discarded).
+    fn close(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TS_BASE: AtomicU64 = AtomicU64::new(0);
+static RUN: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Box<dyn TraceSink>>> = Mutex::new(None);
+/// Serializes whole trace sessions (held by [`TraceGuard`]); see the
+/// module docs for why sessions are process-global.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn lock_sink() -> MutexGuard<'static, Option<Box<dyn TraceSink>>> {
+    SINK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `true` while a trace session is installed. Instrumentation sites gate
+/// on this: one relaxed load, and when `false` nothing else runs — the
+/// whole zero-overhead-when-disabled argument.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Keeps a trace session alive; dropping (or [`TraceGuard::finish`]ing)
+/// it uninstalls the sink and re-disables all instrumentation.
+#[must_use = "dropping the guard ends the trace session"]
+pub struct TraceGuard {
+    _session: MutexGuard<'static, ()>,
+}
+
+/// Install `sink` as the process-wide trace destination: resets the
+/// counter registry and run/timestamp bases, then enables every
+/// instrumentation site. Blocks until any other live session's guard
+/// drops (sessions are serialized — see the module docs).
+pub fn install(sink: Box<dyn TraceSink>) -> TraceGuard {
+    let session = SESSION
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    counters::reset();
+    TS_BASE.store(0, Ordering::SeqCst);
+    RUN.store(0, Ordering::SeqCst);
+    *lock_sink() = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+    TraceGuard { _session: session }
+}
+
+impl TraceGuard {
+    /// End the session: disable instrumentation, flush and drop the sink,
+    /// and return the sink's flush result (file sinks surface I/O errors
+    /// here instead of silently on drop).
+    pub fn finish(self) -> std::io::Result<()> {
+        ENABLED.store(false, Ordering::SeqCst);
+        match lock_sink().take() {
+            Some(mut sink) => sink.close(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        if let Some(mut sink) = lock_sink().take() {
+            let _ = sink.close();
+        }
+    }
+}
+
+/// Send one event to the installed sink. A no-op (one relaxed load, no
+/// allocation, no lock) when no session is installed.
+pub fn emit(event: &Event<'_>) {
+    if !enabled() {
+        return;
+    }
+    if let Some(sink) = lock_sink().as_mut() {
+        sink.record(RUN.load(Ordering::Relaxed), event);
+    }
+}
+
+/// The virtual-tick offset of the current run. A serve run stamps its
+/// events `run_base() + local clock`, which keeps `ts` globally monotone
+/// across the multiple runs a process records into one trace (each run's
+/// local clock restarts at 0).
+pub fn run_base() -> u64 {
+    TS_BASE.load(Ordering::Relaxed)
+}
+
+/// Close the current run, whose virtual clock ended at `ticks`: advances
+/// the global timestamp base past the run and bumps the run index (the
+/// Chrome sink's thread lane). No-op while disabled.
+pub fn end_run(ticks: u64) {
+    if !enabled() {
+        return;
+    }
+    TS_BASE.fetch_add(ticks, Ordering::Relaxed);
+    RUN.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emit_is_dropped_and_session_scopes_events() {
+        assert!(!enabled());
+        emit(&Event::Counter {
+            name: "ghost",
+            ts: 0,
+            value: 1,
+        });
+        let sink = CollectSink::new();
+        let events = sink.events();
+        let guard = install(Box::new(sink));
+        assert!(enabled());
+        emit(&Event::Instant {
+            name: "a",
+            ts: 1,
+            args: &[],
+        });
+        assert_eq!(run_base(), 0);
+        end_run(10);
+        assert_eq!(run_base(), 10);
+        emit(&Event::Instant {
+            name: "b",
+            ts: run_base() + 2,
+            args: &[],
+        });
+        guard.finish().unwrap();
+        assert!(!enabled());
+        emit(&Event::Instant {
+            name: "after",
+            ts: 99,
+            args: &[],
+        });
+        let evs = events.lock().unwrap();
+        assert_eq!(evs.len(), 2);
+        let (runs, ts): (Vec<u64>, Vec<u64>) = evs.iter().map(|e| (e.run(), e.ts())).unzip();
+        assert_eq!(runs, [0, 1], "end_run advances the run index");
+        assert_eq!(ts, [1, 12], "second run's ts offset by the first's ticks");
+    }
+
+    #[test]
+    fn install_resets_counters() {
+        let guard = install(Box::new(CollectSink::new()));
+        counters::bump_serve_steps(3);
+        assert_eq!(snapshot().serve_steps, 3);
+        guard.finish().unwrap();
+        // Disabled: bumps are dropped.
+        counters::bump_serve_steps(5);
+        assert_eq!(snapshot().serve_steps, 3);
+        // A fresh session starts from zero.
+        let guard = install(Box::new(CollectSink::new()));
+        assert_eq!(snapshot().serve_steps, 0);
+        guard.finish().unwrap();
+    }
+}

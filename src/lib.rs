@@ -12,6 +12,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`num`] (`figlut-num`) | bit-accurate FP16/BF16/FP32, pre-alignment, matrices |
+//! | [`trace`] (`figlut-trace`) | zero-cost-when-off tracing: counter registry, spans, JSONL/Chrome-trace sinks |
 //! | [`quant`] (`figlut-quant`) | RTN, BCQ, GPTQ-style, ShiftAddLLM-style quantizers |
 //! | [`lut`] (`figlut-lut`) | keys, FFLUT/hFFLUT, generator schedules, RACs, bank model |
 //! | [`gemm`] (`figlut-gemm`) | FPE / iFPU / FIGNA / FIGLUT-F / FIGLUT-I engine models |
@@ -43,6 +44,7 @@ pub use figlut_num as num;
 pub use figlut_quant as quant;
 pub use figlut_serve as serve;
 pub use figlut_sim as sim;
+pub use figlut_trace as trace;
 
 /// The most commonly used items, one `use` away.
 pub mod prelude {
@@ -57,4 +59,5 @@ pub mod prelude {
         ServeHooks, ServeReport, Trace, TraceParams,
     };
     pub use figlut_sim::{evaluate, EngineSpec, GemmShape, Report, SimEngine, Tech, Workload};
+    pub use figlut_trace::{install, snapshot, ChromeTraceSink, JsonlSink, TraceGuard, TraceSink};
 }
