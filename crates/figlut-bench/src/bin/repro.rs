@@ -7,6 +7,7 @@
 //! repro --out-dir /tmp/r fig16   # write CSVs somewhere else
 //! repro --threads 2 ext-serving  # pin the exec kernels' worker count
 //! repro --trace t.json ext-serving  # also write a Chrome trace
+//! repro analyze t.jsonl          # replay an exported trace offline
 //! repro --list                   # list experiment ids
 //! ```
 //!
@@ -23,8 +24,14 @@
 //! run and the process fails if it is malformed. Tracing never changes
 //! the tables or CSVs — the serving clock is virtual and the sinks are
 //! pure observers.
+//!
+//! `repro analyze <trace>...` reads previously exported trace files
+//! (either format, auto-detected) and replays them into distribution
+//! tables: per-kind span statistics, the step-duration histogram, the
+//! admission timeline, and a per-run queue/occupancy breakdown. Malformed
+//! input exits nonzero naming the first bad line or event.
 
-use figlut_bench::{run, EXPERIMENTS};
+use figlut_bench::{analyze_trace, run, EXPERIMENTS};
 use figlut_exec::parallel::THREADS_ENV;
 use figlut_trace::{install, validate_chrome_trace, ChromeTraceSink, JsonlSink, TraceSink};
 use std::path::PathBuf;
@@ -82,6 +89,37 @@ fn main() {
             }
             other => ids.push(other.to_string()),
         }
+    }
+    // `analyze` consumes the remaining positionals as trace files and
+    // never runs experiments (so it also ignores --trace/--threads).
+    if ids.first().is_some_and(|s| s == "analyze") {
+        let paths = &ids[1..];
+        if paths.is_empty() {
+            eprintln!("error: analyze needs at least one trace file argument");
+            std::process::exit(2);
+        }
+        for p in paths {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read trace {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match analyze_trace(&text) {
+                Ok(tables) => {
+                    println!("analysis of {p}:");
+                    for t in tables {
+                        print!("{}", t.render());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: malformed trace {p}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
     }
     // Applied once after the parse (last --threads wins); an environment
     // override present at startup still takes precedence — the flag is a

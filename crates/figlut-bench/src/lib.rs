@@ -10,9 +10,13 @@
 //!
 //! Each experiment prints an aligned text table and writes a CSV to
 //! `results/`. Criterion benches in `benches/` cover the hot kernels
-//! (LUT construction, RAC vs MAC, full engines).
+//! (LUT construction, RAC vs MAC, full engines). `repro analyze <trace>`
+//! replays an exported `figlut-trace` file offline into distribution
+//! tables ([`analyze`]).
 
+pub mod analyze;
 pub mod experiments;
 pub mod fmt;
 
+pub use analyze::analyze_trace;
 pub use experiments::{run, EXPERIMENTS};

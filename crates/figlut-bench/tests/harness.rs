@@ -50,7 +50,8 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"ext-serving"));
     assert!(EXPERIMENTS.contains(&"ext-chunked-prefill"));
     assert!(EXPERIMENTS.contains(&"ext-paged-kv"));
-    assert_eq!(EXPERIMENTS.len(), 26);
+    assert!(EXPERIMENTS.contains(&"ext-overload"));
+    assert_eq!(EXPERIMENTS.len(), 27);
     let err = std::panic::catch_unwind(|| {
         figlut_bench::run("fig99", &std::env::temp_dir());
     });

@@ -19,10 +19,10 @@
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) |
+//! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) and the [`Scenario`] library (bursty on-off, heavy-tail, flash-crowd) |
 //! | [`engine`] | [`BatchEngine`]: fused mixed steps (decode rows + prefill chunks in one pass) over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
 //! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`]; paged KV ([`ServeConfig::block_size`] × [`ServeConfig::pool_blocks`]) with shared prefixes and preempt/restore ([`serve_with_hooks`]) |
-//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT, p50/p99, inter-token stalls, occupancy, [`PagingStats`], phase-split `figlut-sim` energy per token |
+//! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT (with per-session [`TtftSplit`] decomposition), full latency [`Dist`]ributions, [`Slo`] [`Goodput`], inter-token stalls, occupancy, [`PagingStats`], phase-split `figlut-sim` energy per token |
 //!
 //! **The correctness commitment** is the repo's signature move applied at
 //! the serving layer: for any trace, policy, batch limit, and thread
@@ -56,6 +56,12 @@ pub mod request;
 pub mod scheduler;
 
 pub use engine::{BatchEngine, FinishReason, SessionState};
-pub use metrics::{PagingStats, RequestMetrics, ServeReport, StepKind, StepRecord};
-pub use request::{synthetic_trace, Request, Sampling, Trace, TraceParams};
+pub use metrics::{
+    Dist, Goodput, PagingStats, RequestMetrics, ServeDists, ServeReport, Slo, StepKind, StepRecord,
+    TtftSplit,
+};
+pub use request::{
+    bursty_trace, flash_crowd_trace, heavy_tail_trace, synthetic_trace, BurstyParams,
+    FlashCrowdParams, HeavyTailParams, Request, Sampling, Scenario, Trace, TraceParams,
+};
 pub use scheduler::{serve, serve_with_hooks, Policy, ServeConfig, ServeHooks};

@@ -1,5 +1,5 @@
-//! Serving metrics: throughput, TTFT, latency percentiles, occupancy, and
-//! cost-model pricing of the served trace.
+//! Serving metrics: throughput, goodput, TTFT decomposition, latency
+//! distributions, occupancy, and cost-model pricing of the served trace.
 //!
 //! All times are virtual-clock ticks (see [`crate::scheduler`]), so every
 //! number here is deterministic. [`ServeReport::workload`] re-expresses the
@@ -7,6 +7,16 @@
 //! [`Workload`] at a real OPT shape, which turns a served trace into
 //! energy-per-token on the modeled accelerator — the paper's
 //! efficiency-under-serving story closed end to end.
+//!
+//! Beyond scalar aggregates, [`ServeReport::distributions`] materializes
+//! TTFT, end-to-end latency, inter-token stalls, and queue wait as full
+//! [`Dist`]ributions (exact sorted views paired with deterministic
+//! [`Hist`] streaming histograms, DESIGN.md §9), [`RequestMetrics::ttft_split`]
+//! decomposes each session's TTFT into queue-wait / prefill / first-sample
+//! shares that reconcile tick-exactly against the step sequence, and
+//! [`ServeReport::goodput`] counts the tokens that met a configurable
+//! TTFT + stall [`Slo`] — the number overload hides when only mean
+//! throughput is reported.
 
 use crate::engine::FinishReason;
 use figlut_model::workload::{decode_workload, prefill_workload};
@@ -16,6 +26,7 @@ use figlut_sim::mpu::EngineSpec;
 use figlut_sim::tech::Tech;
 use figlut_sim::Workload;
 use figlut_trace::fmt::{f3, Table};
+use figlut_trace::Hist;
 use std::collections::BTreeMap;
 
 /// What a step did (derived from a [`StepRecord`]'s row counts).
@@ -113,6 +124,10 @@ pub struct RequestMetrics {
     pub first_token: u64,
     /// Tick at which the session finished.
     pub finish: u64,
+    /// Prompt length in tokens — the row count the session's prefill
+    /// charged the virtual clock, and the prefill share of
+    /// [`RequestMetrics::ttft_split`].
+    pub prompt_len: usize,
     /// Tokens emitted.
     pub tokens: usize,
     /// Why the session ended.
@@ -149,6 +164,176 @@ impl RequestMetrics {
     pub fn inter_token_stalls(&self) -> impl Iterator<Item = u64> + '_ {
         self.token_ticks.windows(2).map(|w| w[1] - w[0])
     }
+
+    /// Decompose this session's TTFT into where the ticks went (all three
+    /// shares sum back to [`RequestMetrics::ttft`]):
+    ///
+    /// * **queue** — `admitted − arrival`: pure scheduling delay before the
+    ///   prefill began.
+    /// * **prefill** — `prompt_len`: the session's own prompt rows, each of
+    ///   which costs exactly one tick under the virtual-clock cost model.
+    /// * **sample** — the remainder of `first_token − admitted`: step
+    ///   overheads plus *foreign* rows (co-scheduled decode batches in the
+    ///   fused chunked path) the session's prefill steps carried.
+    ///
+    /// This split reconciles tick-exactly against the step sequence: the
+    /// scheduler runs exactly one prefill at a time and a session's prefill
+    /// steps run consecutively from its admission, so the steps ending in
+    /// `(admitted, first_token]` cost exactly `first_token − admitted`
+    /// ticks and carry exactly `prompt_len` prefill rows (pinned by the
+    /// trace-reconciliation suite).
+    pub fn ttft_split(&self) -> TtftSplit {
+        let compute = self.first_token - self.admitted;
+        TtftSplit {
+            queue: self.queue_wait(),
+            prefill: (self.prompt_len as u64).min(compute),
+            sample: compute.saturating_sub(self.prompt_len as u64),
+        }
+    }
+}
+
+/// Where a session's TTFT ticks went (see [`RequestMetrics::ttft_split`]).
+/// `queue + prefill + sample == ttft`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TtftSplit {
+    /// Ticks queued before admission.
+    pub queue: u64,
+    /// Ticks charged for the session's own prompt rows (= prompt length).
+    pub prefill: u64,
+    /// Ticks of step overhead and co-scheduled foreign rows between
+    /// admission and the first token.
+    pub sample: u64,
+}
+
+/// A latency distribution: the exact sorted sample paired with a
+/// deterministic streaming [`Hist`]ogram over the same values.
+///
+/// The sorted view answers exact nearest-rank percentiles (sorted **once**
+/// at construction — the fix for `Display` re-sorting per percentile); the
+/// histogram is the mergeable, fixed-boundary form `repro analyze` renders
+/// and cross-run tooling can fold without ever changing a quantile
+/// (DESIGN.md §9).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dist {
+    sorted: Vec<u64>,
+    hist: Hist,
+}
+
+impl Dist {
+    /// Build from an unsorted sample (sorts once, feeds the histogram).
+    pub fn from_values(mut values: Vec<u64>) -> Self {
+        values.sort_unstable();
+        let mut hist = Hist::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        Dist {
+            sorted: values,
+            hist,
+        }
+    }
+
+    /// Exact nearest-rank percentile (`p` in `(0, 100]`); empty sample → 0,
+    /// singleton → that element at every `p`. Same edge behavior as the
+    /// report-level percentiles (pinned by `percentile_edge_behavior`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1)]
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Smallest value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.sorted.first().copied().unwrap_or(0)
+    }
+
+    /// Largest value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().map(|&v| v as f64).sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The streaming-histogram form of the same sample.
+    pub fn hist(&self) -> &Hist {
+        &self.hist
+    }
+
+    /// The sorted sample itself.
+    pub fn values(&self) -> &[u64] {
+        &self.sorted
+    }
+}
+
+/// The four serving latency distributions, each computed exactly once from
+/// a [`ServeReport`] (see [`ServeReport::distributions`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeDists {
+    /// Time to first token, per request.
+    pub ttft: Dist,
+    /// End-to-end latency, per request.
+    pub latency: Dist,
+    /// Inter-token stalls, across all requests.
+    pub stall: Dist,
+    /// Pre-admission queue wait, per request.
+    pub queue_wait: Dist,
+}
+
+/// A per-request service-level objective over the virtual clock: the
+/// request meets the SLO iff its TTFT is at most `ttft` ticks **and**
+/// every inter-token stall is at most `stall` ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slo {
+    /// Maximum acceptable time to first token, in ticks.
+    pub ttft: u64,
+    /// Maximum acceptable inter-token stall, in ticks.
+    pub stall: u64,
+}
+
+impl Default for Slo {
+    /// The display default (`ttft: 50, stall: 25`), sized for the light
+    /// traces the repo's quickstarts serve so the summary table's goodput
+    /// row is meaningful out of the box; experiments pass explicit SLOs.
+    fn default() -> Self {
+        Slo {
+            ttft: 50,
+            stall: 25,
+        }
+    }
+}
+
+/// Tokens and requests that met an [`Slo`], reported beside raw
+/// throughput (see [`ServeReport::goodput`]). Under overload goodput
+/// diverges from throughput: the scheduler still emits tokens at full
+/// tilt, but ever fewer of them belong to sessions whose latency contract
+/// held — the `ext-overload` experiment's headline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Goodput {
+    /// Requests whose TTFT and every stall met the SLO.
+    pub met_requests: usize,
+    /// Tokens emitted by those requests.
+    pub met_tokens: usize,
+    /// SLO-meeting tokens per 1000 virtual ticks — directly comparable to
+    /// [`ServeReport::tokens_per_kilotick`].
+    pub tokens_per_kilotick: f64,
 }
 
 /// Nearest-rank percentile (`p` in `(0, 100]`) of `values`.
@@ -322,6 +507,51 @@ impl ServeReport {
             / n as f64
     }
 
+    /// Materialize the report's four latency distributions — TTFT,
+    /// end-to-end latency, inter-token stalls, queue wait — each sorted
+    /// and histogrammed exactly once. Callers needing several percentiles
+    /// (the `Display` impl, `repro analyze`, experiments) build this once
+    /// instead of re-sorting per percentile call.
+    pub fn distributions(&self) -> ServeDists {
+        ServeDists {
+            ttft: Dist::from_values(self.requests.iter().map(RequestMetrics::ttft).collect()),
+            latency: Dist::from_values(self.requests.iter().map(RequestMetrics::latency).collect()),
+            stall: Dist::from_values(self.inter_token_stalls()),
+            queue_wait: Dist::from_values(
+                self.requests
+                    .iter()
+                    .map(RequestMetrics::queue_wait)
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Goodput under `slo`: the tokens belonging to requests whose TTFT
+    /// and every inter-token stall met the objective, as a rate
+    /// comparable to [`ServeReport::tokens_per_kilotick`]. Raw throughput
+    /// counts every emitted token; goodput counts only the ones a client
+    /// holding this latency contract would accept.
+    pub fn goodput(&self, slo: &Slo) -> Goodput {
+        let mut met_requests = 0;
+        let mut met_tokens = 0;
+        for r in &self.requests {
+            if r.ttft() <= slo.ttft && r.inter_token_stalls().all(|s| s <= slo.stall) {
+                met_requests += 1;
+                met_tokens += r.tokens;
+            }
+        }
+        let tokens_per_kilotick = if self.ticks == 0 {
+            0.0
+        } else {
+            met_tokens as f64 * 1000.0 / self.ticks as f64
+        };
+        Goodput {
+            met_requests,
+            met_tokens,
+            tokens_per_kilotick,
+        }
+    }
+
     /// The pending-queue depth over the run as `(tick, depth)` change
     /// points: +1 at each request's arrival, −1 at its admission, events
     /// at the same tick coalesced (admissions applied after arrivals, so
@@ -443,27 +673,53 @@ impl std::fmt::Display for ServeReport {
                 StepKind::Mixed => 2,
             }] += 1;
         }
+        // One pass over the report: every percentile below reads the same
+        // four distributions, sorted exactly once.
+        let dists = self.distributions();
+        let slo = Slo::default();
+        let goodput = self.goodput(&slo);
         let mut t = Table::new("serving summary", &["metric", "value"]);
         let mut row = |k: &str, v: String| t.row(vec![k.to_string(), v]);
         row("requests", self.requests.len().to_string());
         row("tokens", self.total_tokens().to_string());
         row("ticks", self.ticks.to_string());
         row("tokens/kilotick", f3(self.tokens_per_kilotick()));
-        row("mean ttft (ticks)", f3(self.mean_ttft()));
-        row("mean queue wait (ticks)", f3(self.mean_queue_wait()));
+        row(
+            &format!("goodput tok/ktick (slo {}/{})", slo.ttft, slo.stall),
+            f3(goodput.tokens_per_kilotick),
+        );
+        row(
+            "slo-met requests",
+            format!("{}/{}", goodput.met_requests, self.requests.len()),
+        );
+        row("mean ttft (ticks)", f3(dists.ttft.mean()));
+        row("mean queue wait (ticks)", f3(dists.queue_wait.mean()));
+        row(
+            "queue wait p50/p99 (ticks)",
+            format!(
+                "{}/{}",
+                dists.queue_wait.percentile(50.0),
+                dists.queue_wait.percentile(99.0)
+            ),
+        );
         if !self.requests.is_empty() {
             row(
                 "p50 latency (ticks)",
-                self.latency_percentile(50.0).to_string(),
+                dists.latency.percentile(50.0).to_string(),
             );
             row(
                 "p99 latency (ticks)",
-                self.latency_percentile(99.0).to_string(),
+                dists.latency.percentile(99.0).to_string(),
             );
         }
         row(
-            "max stall (ticks)",
-            self.max_inter_token_stall().to_string(),
+            "stall p50/p99/max (ticks)",
+            format!(
+                "{}/{}/{}",
+                dists.stall.percentile(50.0),
+                dists.stall.percentile(99.0),
+                dists.stall.max()
+            ),
         );
         row("decode occupancy", f3(self.mean_decode_occupancy()));
         row(
@@ -519,6 +775,7 @@ mod tests {
                 admitted: arrival + 2,
                 first_token: first,
                 finish,
+                prompt_len: 2,
                 tokens,
                 reason: FinishReason::Completed,
                 generated: vec![1; tokens],
@@ -728,6 +985,7 @@ mod tests {
             admitted: 0,
             first_token: 3,
             finish: 3,
+            prompt_len: 2,
             tokens: 1,
             reason: FinishReason::Completed,
             generated: vec![1],
@@ -789,6 +1047,71 @@ mod tests {
     }
 
     #[test]
+    fn ttft_split_shares_sum_back() {
+        let r = demo_report();
+        // Request 0: arrival 0, admitted 2, first 5, prompt 2 →
+        // queue 2, prefill 2, sample 1.
+        let s = r.requests[0].ttft_split();
+        assert_eq!(
+            s,
+            TtftSplit {
+                queue: 2,
+                prefill: 2,
+                sample: 1
+            }
+        );
+        for req in &r.requests {
+            let s = req.ttft_split();
+            assert_eq!(s.queue + s.prefill + s.sample, req.ttft(), "req {}", req.id);
+        }
+    }
+
+    #[test]
+    fn distributions_match_exact_percentiles() {
+        let r = demo_report();
+        let d = r.distributions();
+        // The cached sorted views must agree with the one-shot percentile
+        // path at every probe, and the histogram must hold the same count.
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(d.latency.percentile(p), r.latency_percentile(p), "p{p}");
+            assert_eq!(d.stall.percentile(p), r.stall_percentile(p), "p{p}");
+        }
+        assert_eq!(d.ttft.count(), r.requests.len());
+        assert_eq!(d.ttft.hist().count(), r.requests.len() as u64);
+        assert_eq!(d.ttft.mean(), r.mean_ttft());
+        assert_eq!(d.queue_wait.mean(), r.mean_queue_wait());
+        assert_eq!(d.stall.max(), r.max_inter_token_stall());
+        // Small tick values land in exact unit buckets, so the histogram
+        // quantile agrees with the exact one on this report.
+        assert_eq!(d.latency.hist().quantile(50.0), d.latency.percentile(50.0));
+    }
+
+    #[test]
+    fn goodput_counts_only_slo_meeting_tokens() {
+        let r = demo_report();
+        // TTFTs 5/7/6, stalls ≤ 6 → everything meets a loose SLO.
+        let all = r.goodput(&Slo {
+            ttft: 10,
+            stall: 10,
+        });
+        assert_eq!(all.met_requests, 3);
+        assert_eq!(all.met_tokens, r.total_tokens());
+        assert_eq!(all.tokens_per_kilotick, r.tokens_per_kilotick());
+        // Tighten TTFT to 6: request 1 (ttft 7) falls out with its 5 tokens.
+        let tight = r.goodput(&Slo { ttft: 6, stall: 10 });
+        assert_eq!(tight.met_requests, 2);
+        assert_eq!(tight.met_tokens, 7);
+        assert!(tight.tokens_per_kilotick < all.tokens_per_kilotick);
+        // A stall bound below 5 kills every multi-token session.
+        let none = r.goodput(&Slo {
+            ttft: 100,
+            stall: 4,
+        });
+        assert_eq!(none.met_requests, 0);
+        assert_eq!(none.tokens_per_kilotick, 0.0);
+    }
+
+    #[test]
     fn queue_depth_timeline_folds_arrivals_and_admissions() {
         let mut r = demo_report();
         // Arrivals at 0, 2, 10; admissions at 2, 4, 12. The same-tick
@@ -813,6 +1136,11 @@ mod tests {
             "tokens/kilotick",
             "400.0",
             "mean queue wait (ticks)",
+            "queue wait p50/p99 (ticks)",
+            "goodput tok/ktick (slo 50/25)",
+            "slo-met requests",
+            "3/3",
+            "stall p50/p99/max (ticks)",
             "steps (prefill/decode/mixed)",
             "1/2/0",
         ] {

@@ -182,6 +182,359 @@ pub fn synthetic_trace(cfg: &ModelConfig, params: &TraceParams, seed: u64) -> Tr
     trace
 }
 
+/// Exponential gap with the given mean, rounded up to whole ticks.
+///
+/// Always consumes exactly one RNG draw — even for a degenerate mean — so
+/// scaling a scenario's arrival rate can never shift the draws that shape
+/// prompts and budgets: the same `(scenario, requests, seed)` produces the
+/// same request *contents* at every load, only the arrival times move.
+fn exp_gap(rng: &mut Rng, mean: f64) -> u64 {
+    let u = rng.uniform();
+    if mean <= 0.0 {
+        0
+    } else {
+        (-mean * (1.0 - u).ln()).ceil() as u64
+    }
+}
+
+/// One draw from a bounded Pareto distribution on `[lo, hi]` with shape
+/// `alpha` (inverse-CDF method), floored to an integer and clamped.
+fn bounded_pareto(rng: &mut Rng, lo: usize, hi: usize, alpha: f64) -> usize {
+    let u = rng.uniform();
+    let (l, h) = (lo as f64, hi as f64);
+    let (la, ha) = (l.powf(-alpha), h.powf(-alpha));
+    let x = (la - u * (la - ha)).powf(-1.0 / alpha);
+    (x.floor() as usize).clamp(lo, hi)
+}
+
+/// Per-request sampling seed: `salt` separates the scenario families so
+/// two scenarios at the same top-level seed still produce distinct traces.
+fn request_seed(seed: u64, salt: u64, id: usize) -> u64 {
+    seed ^ salt.wrapping_add(id as u64).wrapping_mul(0x9e37)
+}
+
+/// Knobs of [`bursty_trace`]: a two-state on-off (MMPP-style) arrival
+/// process — geometric bursts of closely spaced requests separated by
+/// long quiet gaps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstyParams {
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap *inside* a burst, in ticks.
+    pub on_interarrival: f64,
+    /// Mean quiet gap *between* bursts, in ticks.
+    pub off_interarrival: f64,
+    /// Mean burst length in requests (geometric; must be ≥ 1).
+    pub mean_burst: f64,
+    /// Inclusive prompt-length range (first token is always BOS 0).
+    pub prompt_len: (usize, usize),
+    /// Inclusive range of the per-request generation budget.
+    pub new_tokens: (usize, usize),
+    /// Sampling rule shared by every request.
+    pub sampling: Sampling,
+}
+
+/// Generate a seeded bursty on-off arrival trace: requests arrive in
+/// geometric bursts (mean [`BurstyParams::mean_burst`]) with exponential
+/// in-burst gaps, separated by exponential quiet gaps. Everything is a
+/// pure function of `(cfg, params, seed)`.
+///
+/// # Panics
+///
+/// Panics if a range is inverted, `mean_burst < 1`, or the longest
+/// request cannot fit in `cfg.max_seq`.
+pub fn bursty_trace(cfg: &ModelConfig, params: &BurstyParams, seed: u64) -> Trace {
+    let (pmin, pmax) = params.prompt_len;
+    let (nmin, nmax) = params.new_tokens;
+    assert!(pmin >= 1 && pmin <= pmax, "inverted prompt_len range");
+    assert!(nmin >= 1 && nmin <= nmax, "inverted new_tokens range");
+    assert!(params.mean_burst >= 1.0, "mean_burst must be >= 1");
+    assert!(
+        pmax + nmax <= cfg.max_seq,
+        "prompt {pmax} + new {nmax} exceeds max_seq {}",
+        cfg.max_seq
+    );
+    let mut rng = Rng::new(seed);
+    let mut clock = 0u64;
+    let mut quiet_gap_next = false;
+    let requests = (0..params.requests)
+        .map(|id| {
+            if id > 0 {
+                let mean = if quiet_gap_next {
+                    params.off_interarrival
+                } else {
+                    params.on_interarrival
+                };
+                clock += exp_gap(&mut rng, mean);
+            }
+            // Geometric burst termination — drawn for every request so the
+            // stream position is load-independent.
+            quiet_gap_next = rng.uniform() < 1.0 / params.mean_burst;
+            let plen = pmin + rng.below(pmax - pmin + 1);
+            let mut prompt = vec![0usize];
+            for _ in 1..plen {
+                prompt.push(rng.below(cfg.vocab));
+            }
+            Request {
+                id,
+                arrival: clock,
+                prompt,
+                max_new: nmin + rng.below(nmax - nmin + 1),
+                sampling: params.sampling,
+                seed: request_seed(seed, 0xb7a5_7e11, id),
+            }
+        })
+        .collect();
+    let trace = Trace { requests };
+    trace.validate(cfg);
+    trace
+}
+
+/// Knobs of [`heavy_tail_trace`]: Poisson arrivals with bounded-Pareto
+/// prompt and output lengths — most requests are short, a few are near
+/// the context limit, which is what makes head-of-line blocking and
+/// occupancy collapse visible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeavyTailParams {
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap in ticks (exponential).
+    pub mean_interarrival: f64,
+    /// Inclusive bounded-Pareto range of prompt lengths.
+    pub prompt_range: (usize, usize),
+    /// Inclusive bounded-Pareto range of generation budgets.
+    pub new_range: (usize, usize),
+    /// Pareto shape (smaller = heavier tail; must be positive).
+    pub alpha: f64,
+    /// Sampling rule shared by every request.
+    pub sampling: Sampling,
+}
+
+/// Generate a seeded heavy-tailed trace: exponential arrival gaps,
+/// bounded-Pareto prompt and output lengths (inverse-CDF draws). A pure
+/// function of `(cfg, params, seed)`.
+///
+/// # Panics
+///
+/// Panics if a range is inverted, `alpha` is not positive, or the longest
+/// request cannot fit in `cfg.max_seq`.
+pub fn heavy_tail_trace(cfg: &ModelConfig, params: &HeavyTailParams, seed: u64) -> Trace {
+    let (pmin, pmax) = params.prompt_range;
+    let (nmin, nmax) = params.new_range;
+    assert!(pmin >= 1 && pmin <= pmax, "inverted prompt_range");
+    assert!(nmin >= 1 && nmin <= nmax, "inverted new_range");
+    assert!(
+        params.alpha > 0.0 && params.alpha.is_finite(),
+        "alpha must be positive and finite"
+    );
+    assert!(
+        pmax + nmax <= cfg.max_seq,
+        "prompt {pmax} + new {nmax} exceeds max_seq {}",
+        cfg.max_seq
+    );
+    let mut rng = Rng::new(seed);
+    let mut clock = 0u64;
+    let requests = (0..params.requests)
+        .map(|id| {
+            if id > 0 {
+                clock += exp_gap(&mut rng, params.mean_interarrival);
+            }
+            let plen = bounded_pareto(&mut rng, pmin, pmax, params.alpha);
+            let mut prompt = vec![0usize];
+            for _ in 1..plen {
+                prompt.push(rng.below(cfg.vocab));
+            }
+            Request {
+                id,
+                arrival: clock,
+                prompt,
+                max_new: bounded_pareto(&mut rng, nmin, nmax, params.alpha),
+                sampling: params.sampling,
+                seed: request_seed(seed, 0x4ea1_7a11, id),
+            }
+        })
+        .collect();
+    let trace = Trace { requests };
+    trace.validate(cfg);
+    trace
+}
+
+/// Knobs of [`flash_crowd_trace`]: a tight spike of requests that all
+/// share one prompt prefix (the "everyone pastes the same article"
+/// pattern) with short divergent tails — the scenario paged-KV prefix
+/// sharing and admission queues feel the hardest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlashCrowdParams {
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap in ticks (exponential; small = spike).
+    pub mean_interarrival: f64,
+    /// Length of the shared prompt prefix (≥ 1; first token is BOS 0).
+    pub prefix_len: usize,
+    /// Inclusive range of the per-request divergent tail length.
+    pub tail_len: (usize, usize),
+    /// Inclusive range of the per-request generation budget.
+    pub new_tokens: (usize, usize),
+    /// Sampling rule shared by every request.
+    pub sampling: Sampling,
+}
+
+/// Generate a seeded flash-crowd trace: one shared prefix (drawn once
+/// from `seed`), per-request divergent tails, arrivals packed into a
+/// spike. A pure function of `(cfg, params, seed)`.
+///
+/// # Panics
+///
+/// Panics if a range is inverted, `prefix_len` is 0, or the longest
+/// request cannot fit in `cfg.max_seq`.
+pub fn flash_crowd_trace(cfg: &ModelConfig, params: &FlashCrowdParams, seed: u64) -> Trace {
+    let (tmin, tmax) = params.tail_len;
+    let (nmin, nmax) = params.new_tokens;
+    assert!(params.prefix_len >= 1, "prefix_len must be >= 1");
+    assert!(tmin <= tmax, "inverted tail_len range");
+    assert!(nmin >= 1 && nmin <= nmax, "inverted new_tokens range");
+    assert!(
+        params.prefix_len + tmax + nmax <= cfg.max_seq,
+        "prefix {} + tail {tmax} + new {nmax} exceeds max_seq {}",
+        params.prefix_len,
+        cfg.max_seq
+    );
+    let mut rng = Rng::new(seed);
+    let mut prefix = vec![0usize];
+    for _ in 1..params.prefix_len {
+        prefix.push(rng.below(cfg.vocab));
+    }
+    let mut clock = 0u64;
+    let requests = (0..params.requests)
+        .map(|id| {
+            if id > 0 {
+                clock += exp_gap(&mut rng, params.mean_interarrival);
+            }
+            let tlen = tmin + rng.below(tmax - tmin + 1);
+            let mut prompt = prefix.clone();
+            for _ in 0..tlen {
+                prompt.push(rng.below(cfg.vocab));
+            }
+            Request {
+                id,
+                arrival: clock,
+                prompt,
+                max_new: nmin + rng.below(nmax - nmin + 1),
+                sampling: params.sampling,
+                seed: request_seed(seed, 0xf1a5_c04d, id),
+            }
+        })
+        .collect();
+    let trace = Trace { requests };
+    trace.validate(cfg);
+    trace
+}
+
+/// The named trace-scenario library: four seed-deterministic load shapes
+/// behind one dial. [`Scenario::trace`] scales each scenario's *arrival
+/// rate* by a load multiplier while keeping prompts and budgets fixed —
+/// the same `(scenario, requests, seed)` serves the same work at 1× and
+/// 10×, so goodput differences are purely scheduling, never workload
+/// drift (the `ext-overload` experiment's contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Open-loop Poisson arrivals, uniform lengths ([`synthetic_trace`]).
+    Steady,
+    /// On-off bursts separated by quiet gaps ([`bursty_trace`]).
+    Bursty,
+    /// Bounded-Pareto prompt/output lengths ([`heavy_tail_trace`]).
+    HeavyTail,
+    /// A spike sharing one prompt prefix ([`flash_crowd_trace`]).
+    FlashCrowd,
+}
+
+impl Scenario {
+    /// Every scenario, in reporting order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Steady,
+        Scenario::Bursty,
+        Scenario::HeavyTail,
+        Scenario::FlashCrowd,
+    ];
+
+    /// Short display name (also the experiment-table row label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Steady => "steady",
+            Scenario::Bursty => "bursty",
+            Scenario::HeavyTail => "heavy-tail",
+            Scenario::FlashCrowd => "flash-crowd",
+        }
+    }
+
+    /// Generate this scenario's trace at an arrival-rate multiplier of
+    /// `load` (1.0 = the scenario's nominal rate; 10.0 = ten times as
+    /// fast). Request contents are independent of `load` (see the type
+    /// docs); the built-in length ranges fit any model with
+    /// `max_seq >= 40` (both repo test shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not positive and finite, or the model's
+    /// context is too short for the scenario's ranges.
+    pub fn trace(&self, cfg: &ModelConfig, requests: usize, load: f64, seed: u64) -> Trace {
+        assert!(
+            load > 0.0 && load.is_finite(),
+            "load {load} must be positive and finite"
+        );
+        match self {
+            Scenario::Steady => synthetic_trace(
+                cfg,
+                &TraceParams {
+                    requests,
+                    mean_interarrival: 12.0 / load,
+                    prompt_len: (4, 10),
+                    new_tokens: (6, 14),
+                    sampling: Sampling::Greedy,
+                },
+                seed,
+            ),
+            Scenario::Bursty => bursty_trace(
+                cfg,
+                &BurstyParams {
+                    requests,
+                    on_interarrival: 4.0 / load,
+                    off_interarrival: 48.0 / load,
+                    mean_burst: 4.0,
+                    prompt_len: (4, 10),
+                    new_tokens: (6, 14),
+                    sampling: Sampling::Greedy,
+                },
+                seed,
+            ),
+            Scenario::HeavyTail => heavy_tail_trace(
+                cfg,
+                &HeavyTailParams {
+                    requests,
+                    mean_interarrival: 12.0 / load,
+                    prompt_range: (2, 24),
+                    new_range: (2, 12),
+                    alpha: 1.1,
+                    sampling: Sampling::Greedy,
+                },
+                seed,
+            ),
+            Scenario::FlashCrowd => flash_crowd_trace(
+                cfg,
+                &FlashCrowdParams {
+                    requests,
+                    mean_interarrival: 3.0 / load,
+                    prefix_len: 12,
+                    tail_len: (1, 6),
+                    new_tokens: (4, 10),
+                    sampling: Sampling::Greedy,
+                },
+                seed,
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +591,149 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_valid() {
+        let cfg = ModelConfig::tiny();
+        for sc in Scenario::ALL {
+            let a = sc.trace(&cfg, 10, 1.0, 7);
+            let b = sc.trace(&cfg, 10, 1.0, 7);
+            assert_eq!(a, b, "{} must be a pure function of its seed", sc.name());
+            assert_eq!(a.len(), 10, "{}", sc.name());
+            a.validate(&cfg);
+            let c = sc.trace(&cfg, 10, 1.0, 8);
+            assert_ne!(a, c, "{} must vary with the seed", sc.name());
+        }
+    }
+
+    #[test]
+    fn load_moves_arrivals_but_not_request_contents() {
+        let cfg = ModelConfig::tiny();
+        for sc in Scenario::ALL {
+            let light = sc.trace(&cfg, 12, 1.0, 11);
+            let crush = sc.trace(&cfg, 12, 10.0, 11);
+            let strip = |t: &Trace| {
+                t.requests
+                    .iter()
+                    .map(|r| (r.id, r.prompt.clone(), r.max_new, r.seed))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                strip(&light),
+                strip(&crush),
+                "{}: load must only rescale arrivals",
+                sc.name()
+            );
+            let span = |t: &Trace| t.requests.last().unwrap().arrival;
+            assert!(
+                span(&crush) <= span(&light),
+                "{}: 10x load should compress the arrival span ({} vs {})",
+                sc.name(),
+                span(&crush),
+                span(&light)
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_differ_from_each_other_at_the_same_seed() {
+        let cfg = ModelConfig::tiny();
+        let traces: Vec<Trace> = Scenario::ALL
+            .iter()
+            .map(|sc| sc.trace(&cfg, 8, 1.0, 3))
+            .collect();
+        for i in 0..traces.len() {
+            for j in i + 1..traces.len() {
+                assert_ne!(
+                    traces[i],
+                    traces[j],
+                    "{} vs {} collided",
+                    Scenario::ALL[i].name(),
+                    Scenario::ALL[j].name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_trace_has_on_off_structure() {
+        let cfg = ModelConfig::tiny();
+        let t = bursty_trace(
+            &cfg,
+            &BurstyParams {
+                requests: 24,
+                on_interarrival: 2.0,
+                off_interarrival: 80.0,
+                mean_burst: 4.0,
+                prompt_len: (2, 6),
+                new_tokens: (2, 6),
+                sampling: Sampling::Greedy,
+            },
+            5,
+        );
+        let gaps: Vec<u64> = t
+            .requests
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
+        // With an off mean 40x the on mean, the trace must show both
+        // regimes: tight in-burst gaps and at least one long quiet gap.
+        assert!(gaps.iter().any(|&g| g <= 6), "no in-burst gaps: {gaps:?}");
+        assert!(gaps.iter().any(|&g| g >= 40), "no quiet gaps: {gaps:?}");
+    }
+
+    #[test]
+    fn heavy_tail_lengths_stay_in_range_and_skew_short() {
+        let cfg = ModelConfig::tiny();
+        let t = heavy_tail_trace(
+            &cfg,
+            &HeavyTailParams {
+                requests: 64,
+                mean_interarrival: 4.0,
+                prompt_range: (2, 24),
+                new_range: (2, 12),
+                alpha: 1.1,
+                sampling: Sampling::Greedy,
+            },
+            9,
+        );
+        let lens: Vec<usize> = t.requests.iter().map(|r| r.prompt.len()).collect();
+        assert!(lens.iter().all(|&l| (2..=24).contains(&l)));
+        assert!(t.requests.iter().all(|r| (2..=12).contains(&r.max_new)));
+        // Heavy tail: the median sits near the floor, the max near the cap.
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted[sorted.len() / 2] <= 6,
+            "median too large: {sorted:?}"
+        );
+        assert!(*sorted.last().unwrap() >= 12, "no tail: {sorted:?}");
+    }
+
+    #[test]
+    fn flash_crowd_shares_a_prefix_and_diverges() {
+        let cfg = ModelConfig::tiny();
+        let params = FlashCrowdParams {
+            requests: 8,
+            mean_interarrival: 2.0,
+            prefix_len: 12,
+            tail_len: (1, 6),
+            new_tokens: (2, 6),
+            sampling: Sampling::Greedy,
+        };
+        let t = flash_crowd_trace(&cfg, &params, 13);
+        let prefix = &t.requests[0].prompt[..12];
+        for r in &t.requests {
+            assert_eq!(&r.prompt[..12], prefix, "request {} lost the prefix", r.id);
+            assert!(r.prompt.len() > 12, "request {} has no tail", r.id);
+        }
+        // Tails diverge somewhere (else prefix sharing is trivial).
+        assert!(
+            t.requests
+                .windows(2)
+                .any(|w| w[0].prompt[12..] != w[1].prompt[12..]),
+            "all tails identical"
+        );
     }
 }

@@ -417,6 +417,7 @@ fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetr
             .first()
             .expect("finished session without a first token"),
         finish,
+        prompt_len: s.request.prompt.len(),
         tokens: s.generated.len(),
         reason,
         generated: s.generated,

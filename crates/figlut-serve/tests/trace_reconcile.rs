@@ -219,6 +219,71 @@ fn tracing_is_a_pure_observer_and_reconciles() {
     }
 }
 
+/// The TTFT decomposition's reconciliation argument, tick-exact: the
+/// scheduler runs one prefill anchor at a time and its steps run
+/// consecutively from admission, so for every request the spans ending in
+/// `(admitted, first_token]` (its prefill-carrying steps) cost exactly
+/// `first_token − admitted` ticks and carry exactly `prompt_len` prefill
+/// rows. That is precisely `TtftSplit`'s claim: `prefill` is the
+/// session's own rows, `sample` is the step overheads plus co-scheduled
+/// foreign rows in the same window, `queue` is everything before it.
+#[test]
+fn ttft_decomposition_reconciles_against_the_step_log() {
+    for sc in scenarios() {
+        let sink = CollectSink::default();
+        let events = sink.events();
+        let guard = install(Box::new(sink));
+        let report = run(&sc);
+        guard.finish().unwrap();
+        let events = events.lock().unwrap();
+        let name = sc.name;
+        // One run in this session, so span timestamps are local ticks.
+        for r in &report.requests {
+            let split = r.ttft_split();
+            assert_eq!(
+                split.queue + split.prefill + split.sample,
+                r.ttft(),
+                "{name}: request {} split does not sum to TTFT",
+                r.id
+            );
+            assert_eq!(split.queue, r.admitted - r.arrival, "{name}: queue share");
+            assert_eq!(
+                split.prefill, r.prompt_len as u64,
+                "{name}: prefill share must be the prompt length"
+            );
+            let (mut window_cost, mut window_prefill_rows) = (0u64, 0u64);
+            for e in events.iter() {
+                if let OwnedEvent::Span { ts, dur, .. } = e {
+                    let end = ts + dur;
+                    if end > r.admitted && end <= r.first_token {
+                        window_cost += dur;
+                        window_prefill_rows +=
+                            e.arg("prefill_rows").expect("span without prefill_rows");
+                    }
+                }
+            }
+            assert_eq!(
+                window_cost,
+                r.first_token - r.admitted,
+                "{name}: request {}'s admission→first-token window is not \
+                 exactly covered by its prefill-carrying steps",
+                r.id
+            );
+            assert_eq!(
+                window_prefill_rows, r.prompt_len as u64,
+                "{name}: request {}'s window carries foreign prefill rows",
+                r.id
+            );
+            assert_eq!(
+                split.prefill + split.sample,
+                window_cost,
+                "{name}: request {} compute share != window cost",
+                r.id
+            );
+        }
+    }
+}
+
 #[test]
 fn timestamps_stay_monotone_across_runs_in_one_session() {
     let scs = scenarios();

@@ -1,0 +1,429 @@
+//! Deterministic, mergeable log-bucketed streaming histograms.
+//!
+//! The serving layer reports latency *distributions* (TTFT, per-token
+//! latency, inter-token stalls, queue wait), and the repo's reproducibility
+//! contract extends to them: a reported quantile must never depend on
+//! merge order, thread count, or recording interleaving. [`Hist`] gets
+//! there the same way the batch-invariance gates do — by construction, not
+//! by tolerance. Bucket boundaries are **fixed at compile time** (a
+//! log-linear HDR-style scheme), `record` is a single array increment, and
+//! `merge` is element-wise addition of bucket counts. Addition of `u64`
+//! counts is associative and commutative, so any partition of a value
+//! stream into sub-histograms, merged in any order on any number of
+//! threads, yields a histogram *bit-identical* to sequential recording —
+//! pinned by property tests in this module.
+//!
+//! ## Bucketing scheme
+//!
+//! Values `0..=63` land in their own exact bucket. Above that, each
+//! power-of-two range `[2^e, 2^(e+1))` is split into 32 linear sub-buckets,
+//! so the relative width of any bucket is at most `1/32` (≈ 3.1%): a
+//! quantile read from bucket upper bounds overstates the true value by at
+//! most 3.2%. With 64-bit values the index space tops out below
+//! [`Hist::BUCKETS`], so counts live in a plain fixed-size array — `record`
+//! and `merge` never allocate (pinned by `tests/alloc.rs`).
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` linear buckets.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS; // 32
+
+/// A deterministic streaming histogram over `u64` values (virtual ticks).
+///
+/// See the module docs for the bucketing scheme and the merge-invariance
+/// argument. Quantiles use the same nearest-rank convention as
+/// `ServeReport`'s exact percentiles: `quantile(p)` with `p ∈ (0, 100]`
+/// returns the upper bound of the bucket holding the value of rank
+/// `ceil(p/100 · count)` (clamped to the exact recorded maximum), and an
+/// empty histogram reports 0.
+#[derive(Clone)]
+pub struct Hist {
+    counts: [u64; Hist::BUCKETS],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Hist {
+    /// Number of buckets: 64 exact unit buckets (`0..=63`), then 32 linear
+    /// sub-buckets per power-of-two range `[2^e, 2^(e+1))` for
+    /// `e ∈ 6..=63`.
+    pub const BUCKETS: usize = 2 * SUB + (64 - SUB_BITS as usize - 1) * SUB;
+
+    /// An empty histogram. `const`, so warm statics and stack construction
+    /// are allocation-free.
+    pub const fn new() -> Self {
+        Hist {
+            counts: [0; Hist::BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The fixed bucket index of `value`. Pure arithmetic on the value's
+    /// bit pattern — the same value always lands in the same bucket,
+    /// independent of everything else ever recorded.
+    pub fn bucket_of(value: u64) -> usize {
+        if value < (2 * SUB) as u64 {
+            return value as usize;
+        }
+        let e = 63 - value.leading_zeros(); // value >= 64 so e >= 6
+        let m = (value >> (e - SUB_BITS)) as usize; // in [SUB, 2*SUB)
+        (e as usize - SUB_BITS as usize) * SUB + m
+    }
+
+    /// `(lo, width)` of bucket `index`.
+    fn bucket_lo_width(index: usize) -> (u64, u64) {
+        assert!(index < Hist::BUCKETS, "bucket index out of range");
+        if index < 2 * SUB {
+            return (index as u64, 1);
+        }
+        // index = (e − SUB_BITS)·SUB + m with m ∈ [SUB, 2·SUB), so
+        // index / SUB = e − SUB_BITS + 1.
+        let e = (index / SUB) as u32 + SUB_BITS - 1;
+        let m = (index - (e - SUB_BITS) as usize * SUB) as u64;
+        (m << (e - SUB_BITS), 1u64 << (e - SUB_BITS))
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `index`
+    /// (inverse of [`Hist::bucket_of`]). The topmost bucket's true upper
+    /// bound is 2^64, which saturates to `u64::MAX` here — that bucket
+    /// alone is effectively inclusive of `u64::MAX`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        let (lo, width) = Self::bucket_lo_width(index);
+        (lo, lo.saturating_add(width))
+    }
+
+    /// Largest value bucket `index` can hold (`lo + width − 1`, exact even
+    /// for the topmost bucket).
+    fn bucket_hi_inclusive(index: usize) -> u64 {
+        let (lo, width) = Self::bucket_lo_width(index);
+        lo + (width - 1)
+    }
+
+    /// Record one value. One array increment plus scalar bookkeeping — no
+    /// allocation, no data-dependent control flow beyond the bucket index.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold `other` into `self` by element-wise addition of bucket counts.
+    /// Because the boundaries are fixed and addition commutes, any merge
+    /// tree over any partition of a value stream produces the same
+    /// histogram as sequential recording.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of the recorded values (0.0 when empty) —
+    /// `sum` accumulates true values, not bucket midpoints.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank quantile from bucket upper bounds, clamped to the
+    /// recorded maximum. Same edge behavior as the exact percentile in
+    /// `figlut-serve`: empty histograms report 0, and `p` outside
+    /// `(0, 100]` panics.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "quantile {p} out of range (0, 100]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_hi_inclusive(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(lo, hi, count)` over non-empty buckets, in value order —
+    /// what `repro analyze` renders as a distribution table.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl PartialEq for Hist {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl Eq for Hist {}
+
+impl std::fmt::Debug for Hist {
+    /// Compact form listing only non-empty buckets — the full 1920-slot
+    /// array would drown every assertion message.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Hist {{ count: {}, min: {}, max: {}, buckets: [",
+            self.total,
+            self.min(),
+            self.max
+        )?;
+        for (k, (lo, hi, c)) in self.nonzero_buckets().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{lo}..{hi}: {c}")?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        for v in 0..64u64 {
+            let (lo, hi) = Hist::bucket_bounds(Hist::bucket_of(v));
+            assert_eq!((lo, hi), (v, v + 1), "value {v} must be exact");
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.quantile(50.0), 31);
+        assert_eq!(h.quantile(100.0), 63);
+    }
+
+    #[test]
+    fn bounds_invert_bucket_of_across_the_range() {
+        // Every bucket's bounds round-trip, and boundary values (powers of
+        // two and their neighbours) land inside their claimed bucket.
+        for e in 0..64u32 {
+            let v = 1u64 << e;
+            for probe in [
+                v.saturating_sub(1),
+                v,
+                v.saturating_add(1),
+                v.saturating_add(v >> 1),
+            ] {
+                let i = Hist::bucket_of(probe);
+                let (lo, _) = Hist::bucket_bounds(i);
+                let hi = Hist::bucket_hi_inclusive(i);
+                assert!(
+                    lo <= probe && probe <= hi,
+                    "value {probe} mapped to bucket {i} = [{lo}, {hi}]"
+                );
+            }
+        }
+        assert!(Hist::bucket_of(u64::MAX) < Hist::BUCKETS);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in 2 * SUB..Hist::BUCKETS {
+            let (lo, hi) = Hist::bucket_bounds(i);
+            let width = hi - lo;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUB as f64 + 1e-12,
+                "bucket {i} = [{lo}, {hi}) too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_edge_behavior() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.quantile(p), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        Hist::new().quantile(0.0);
+    }
+
+    #[test]
+    fn quantile_clamps_to_recorded_max() {
+        // 1000 lands in a bucket wider than 1; the p100 must still report
+        // the exact max, not the bucket's upper bound.
+        let mut h = Hist::new();
+        h.record(1000);
+        let (lo, hi) = Hist::bucket_bounds(Hist::bucket_of(1000));
+        assert!(hi - lo > 1, "test premise: 1000 is in a coarse bucket");
+        for p in [1.0, 50.0, 100.0] {
+            assert_eq!(h.quantile(p), 1000);
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_bucket() {
+        let mut h = Hist::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i) % 100_000;
+            h.record(x);
+            exact.push(x);
+        }
+        exact.sort_unstable();
+        for p in [25.0, 50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * exact.len() as f64).ceil() as usize;
+            let truth = exact[rank - 1];
+            let got = h.quantile(p);
+            assert!(got >= truth, "quantile must not understate ({p}%)");
+            assert!(
+                got as f64 <= truth as f64 * (1.0 + 1.0 / SUB as f64) + 1.0,
+                "quantile {p}%: got {got}, exact {truth}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Splitting a value stream into chunks, recording each chunk into
+        /// its own histogram, and merging in a seed-chosen order yields a
+        /// histogram bit-identical to sequential recording.
+        #[test]
+        fn merge_order_cannot_change_any_quantile(
+            values in prop::collection::vec(any::<u64>(), 0..200),
+            chunks in 1usize..8,
+            perm_seed in any::<u64>(),
+        ) {
+            let mut sequential = Hist::new();
+            for &v in &values {
+                sequential.record(v);
+            }
+
+            let n = chunks.min(values.len().max(1));
+            let mut parts: Vec<Hist> = (0..n).map(|_| Hist::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                parts[i % n].record(v);
+            }
+            // Deterministic permutation of merge order from the seed.
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut s = perm_seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let mut merged = Hist::new();
+            for &k in &order {
+                merged.merge(&parts[k]);
+            }
+
+            prop_assert_eq!(&merged, &sequential);
+            for p in [1.0, 50.0, 99.0, 100.0] {
+                prop_assert_eq!(merged.quantile(p), sequential.quantile(p));
+            }
+            prop_assert_eq!(merged.count(), values.len() as u64);
+        }
+
+        /// Recording the same partition on real spawned threads (any
+        /// thread count) merges to the same histogram as one thread.
+        #[test]
+        fn thread_count_cannot_change_any_quantile(
+            values in prop::collection::vec(any::<u64>(), 0..120),
+            threads in 1usize..5,
+        ) {
+            let mut sequential = Hist::new();
+            for &v in &values {
+                sequential.record(v);
+            }
+
+            let n = threads;
+            let handles: Vec<_> = (0..n)
+                .map(|t| {
+                    let mine: Vec<u64> = values
+                        .iter()
+                        .copied()
+                        .skip(t)
+                        .step_by(n)
+                        .collect();
+                    std::thread::spawn(move || {
+                        let mut h = Hist::new();
+                        for v in mine {
+                            h.record(v);
+                        }
+                        h
+                    })
+                })
+                .collect();
+            let mut merged = Hist::new();
+            for handle in handles {
+                merged.merge(&handle.join().expect("recorder thread"));
+            }
+
+            prop_assert_eq!(&merged, &sequential);
+            for p in [1.0, 50.0, 99.0, 100.0] {
+                prop_assert_eq!(merged.quantile(p), sequential.quantile(p));
+            }
+        }
+    }
+}

@@ -50,10 +50,12 @@
 
 pub mod counters;
 pub mod fmt;
+pub mod hist;
 pub mod json;
 pub mod sink;
 
 pub use counters::{snapshot, Counters};
+pub use hist::Hist;
 pub use sink::{validate_chrome_trace, ChromeTraceSink, CollectSink, JsonlSink, OwnedEvent};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -5,40 +5,55 @@
 //! one relaxed atomic load and performs **zero** heap allocations. This
 //! pins it with a counting global allocator over every disabled entry
 //! point an instrumented hot path can reach: the `enabled()` gate, each
-//! counter bump, event emission, and run scoping.
+//! counter bump, event emission, and run scoping. [`Hist`] shares the
+//! contract's spirit: once constructed, `record`, `merge`, and `quantile`
+//! run on a fixed-size counts array and never touch the heap, so a live
+//! histogram inside a metrics hot loop is also allocation-free.
 //!
 //! This lives in its own integration-test binary on purpose — a global
 //! allocator is per-process, and a sibling `#[test]` allocating on another
 //! thread while the counter is armed would make the count meaningless.
 //! Keep this file at exactly one test.
 
-use figlut_trace::{counters, Event};
+use figlut_trace::{counters, Event, Hist};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Counts allocations (alloc / alloc_zeroed / realloc) while armed.
+///
+/// The armed flag is thread-local (const-initialized, so reading it never
+/// allocates): only the test thread's own allocations count, and a
+/// harness thread allocating concurrently cannot fail the audit.
 struct CountingAlloc;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn armed() -> bool {
+    // try_with: the allocator can run during TLS teardown.
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -59,8 +74,15 @@ fn disabled_trace_path_is_allocation_free() {
         "no session installed in this test"
     );
 
+    // Histograms are constructed (and warmed) before arming: `Hist` holds
+    // its buckets inline, so everything past construction must be free.
+    let mut hist = Hist::new();
+    let mut other = Hist::new();
+    hist.record(7);
+    other.record(1 << 40);
+
     ALLOCS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
 
     // Exactly what an instrumented hot path can execute while disabled.
     for i in 0..100u64 {
@@ -92,9 +114,17 @@ fn disabled_trace_path_is_allocation_free() {
         });
         let _ = figlut_trace::run_base();
         figlut_trace::end_run(i);
+        // A warm histogram in the same loop: record across the exact and
+        // log-bucketed ranges, merge, and query — all heap-free.
+        hist.record(i);
+        hist.record(i << 20);
+        hist.merge(&other);
+        let _ = hist.quantile(50.0);
+        let _ = hist.quantile(99.0);
+        let _ = (hist.count(), hist.min(), hist.max(), hist.mean());
     }
 
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
     let allocs = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(allocs, 0, "disabled trace path allocated {allocs} times");
 

@@ -12,14 +12,14 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`num`] (`figlut-num`) | bit-accurate FP16/BF16/FP32, pre-alignment, matrices |
-//! | [`trace`] (`figlut-trace`) | zero-cost-when-off tracing: counter registry, spans, JSONL/Chrome-trace sinks |
+//! | [`trace`] (`figlut-trace`) | zero-cost-when-off tracing: counter registry, spans, JSONL/Chrome-trace sinks, mergeable streaming histograms |
 //! | [`quant`] (`figlut-quant`) | RTN, BCQ, GPTQ-style, ShiftAddLLM-style quantizers |
 //! | [`lut`] (`figlut-lut`) | keys, FFLUT/hFFLUT, generator schedules, RACs, bank model |
 //! | [`gemm`] (`figlut-gemm`) | FPE / iFPU / FIGNA / FIGLUT-F / FIGLUT-I engine models |
 //! | [`exec`] (`figlut-exec`) | packed, batch-blocked LUT-GEMM kernels + `ExecPlan`, bit-exact vs FIGLUT-I |
 //! | [`sim`] (`figlut-sim`) | 28 nm cost model: power, area, cycles, TOPS/W |
 //! | [`model`] (`figlut-model`) | synthetic OPT-style transformer + perplexity |
-//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (traces, scheduler, paged KV with prefix sharing + preempt/restore, metrics) |
+//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (scenario traces, scheduler, paged KV with prefix sharing + preempt/restore, SLO metrics) |
 //!
 //! ## Quickstart
 //!
@@ -55,9 +55,12 @@ pub mod prelude {
     pub use figlut_num::{AlignMode, AlignedVector, Bf16, Fp16, Fp32, FpFormat, Mat};
     pub use figlut_quant::{BcqParams, BcqWeight, BitMatrix, RtnParams, UniformWeight};
     pub use figlut_serve::{
-        synthetic_trace, BatchEngine, PagingStats, Policy, Request, Sampling, ServeConfig,
-        ServeHooks, ServeReport, Trace, TraceParams,
+        synthetic_trace, BatchEngine, Dist, Goodput, PagingStats, Policy, Request, Sampling,
+        Scenario, ServeConfig, ServeDists, ServeHooks, ServeReport, Slo, Trace, TraceParams,
+        TtftSplit,
     };
     pub use figlut_sim::{evaluate, EngineSpec, GemmShape, Report, SimEngine, Tech, Workload};
-    pub use figlut_trace::{install, snapshot, ChromeTraceSink, JsonlSink, TraceGuard, TraceSink};
+    pub use figlut_trace::{
+        install, snapshot, ChromeTraceSink, Hist, JsonlSink, TraceGuard, TraceSink,
+    };
 }
