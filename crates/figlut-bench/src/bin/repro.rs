@@ -150,12 +150,18 @@ fn main() {
             }
         }
     });
+    let run_or_die = |id: &str| {
+        if let Err(e) = run(id, &out_dir) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     if ids.is_empty() {
-        run("all", &out_dir);
-        run("calibration", &out_dir);
+        run_or_die("all");
+        run_or_die("calibration");
     } else {
         for a in &ids {
-            run(a, &out_dir);
+            run_or_die(a);
         }
     }
     if let Some(guard) = guard {

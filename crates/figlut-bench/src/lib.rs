@@ -19,4 +19,4 @@ pub mod experiments;
 pub mod fmt;
 
 pub use analyze::analyze_trace;
-pub use experiments::{run, EXPERIMENTS};
+pub use experiments::{run, UnknownExperiment, EXPERIMENTS};

@@ -28,8 +28,8 @@ fn fast_experiments_produce_tables() {
         "table1", "fig1", "fig2", "table2", "fig6", "fig8", "fig9", "table3", "fig11", "fig14",
         "ext-node",
     ] {
-        // `run` prints and writes CSVs; it must not panic.
-        figlut_bench::run(id, &dir);
+        // `run` prints and writes CSVs; every registered id is known.
+        figlut_bench::run(id, &dir).unwrap();
     }
     // CSVs landed.
     assert!(dir.join("table1.csv").exists());
@@ -42,7 +42,7 @@ fn fast_experiments_produce_tables() {
 #[test]
 fn experiment_registry_is_complete() {
     // Every registered id dispatches (checked cheaply via --list parity);
-    // unknown ids panic with a helpful message.
+    // unknown ids come back as a named error, not a panic.
     assert!(EXPERIMENTS.contains(&"table5"));
     assert!(EXPERIMENTS.contains(&"fig17"));
     assert!(EXPERIMENTS.contains(&"ext-throughput"));
@@ -51,11 +51,15 @@ fn experiment_registry_is_complete() {
     assert!(EXPERIMENTS.contains(&"ext-chunked-prefill"));
     assert!(EXPERIMENTS.contains(&"ext-paged-kv"));
     assert!(EXPERIMENTS.contains(&"ext-overload"));
-    assert_eq!(EXPERIMENTS.len(), 27);
-    let err = std::panic::catch_unwind(|| {
-        figlut_bench::run("fig99", &std::env::temp_dir());
-    });
-    assert!(err.is_err(), "unknown experiment must panic");
+    assert!(EXPERIMENTS.contains(&"ext-resilience"));
+    assert_eq!(EXPERIMENTS.len(), 28);
+    let err = figlut_bench::run("fig99", &std::env::temp_dir()).unwrap_err();
+    assert_eq!(err, figlut_bench::UnknownExperiment("fig99".into()));
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unknown experiment 'fig99'") && msg.contains("ext-serving"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -35,8 +35,44 @@
 //!   [`KvCache::restore`] re-allocates and copies back. Contents round-trip
 //!   bit-exactly, which is what makes scheduler preemption invisible to
 //!   the token stream.
+//! * **Checksums (gated).** When [`set_kv_checksums`] turns the pass on,
+//!   every block write re-stamps an FNV-1a checksum of the block's K/V
+//!   bits and [`KvCache::verify_checksums`] detects silent corruption
+//!   (injected through [`KvCache::corrupt_row`] by the serving layer's
+//!   fault plans). Off by default; the disabled path is one relaxed atomic
+//!   load per site, exactly like the `figlut-trace` counter gate.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Global gate for the per-block checksum pass (off by default).
+static CHECKSUMS: AtomicBool = AtomicBool::new(false);
+
+/// Turn the per-block KV checksum pass on or off (process-wide).
+///
+/// Disabled (the default), block writes skip checksum maintenance and
+/// [`KvCache::verify_checksums`] vacuously passes — the cost is one relaxed
+/// atomic load per site, mirroring the `figlut-trace` counter gate, so the
+/// zero-overhead pins and every committed result stay byte-identical.
+pub fn set_kv_checksums(enabled: bool) {
+    CHECKSUMS.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` while the per-block checksum pass is enabled.
+#[inline]
+pub fn kv_checksums_enabled() -> bool {
+    CHECKSUMS.load(Ordering::Relaxed)
+}
+
+/// FNV-1a over raw `f64` bit patterns — the per-block checksum kernel.
+fn fnv1a_f64(h: &mut u64, data: &[f64]) {
+    for &x in data {
+        for byte in x.to_bits().to_le_bytes() {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
 
 /// One pool block: refcount plus K and V storage for `block_size`
 /// positions across every layer (`layers × block_size × d_model` each).
@@ -45,6 +81,9 @@ struct Block {
     refs: usize,
     keys: Vec<f64>,
     values: Vec<f64>,
+    /// FNV-1a over the block's K/V bits, maintained only while
+    /// [`kv_checksums_enabled`] — stale (and never read) otherwise.
+    sum: u64,
 }
 
 #[derive(Debug)]
@@ -83,10 +122,29 @@ impl PoolInner {
                     refs: 1,
                     keys: vec![0.0; elems],
                     values: vec![0.0; elems],
+                    sum: 0,
                 });
                 self.blocks.len() - 1
             }
         }
+    }
+
+    /// Recompute block `id`'s checksum over its current contents.
+    fn restamp(&mut self, id: usize) {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let b = &self.blocks[id];
+        fnv1a_f64(&mut h, &b.keys);
+        fnv1a_f64(&mut h, &b.values);
+        self.blocks[id].sum = h;
+    }
+
+    /// Recompute block `id`'s checksum without storing it.
+    fn current_sum(&self, id: usize) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let b = &self.blocks[id];
+        fnv1a_f64(&mut h, &b.keys);
+        fnv1a_f64(&mut h, &b.values);
+        h
     }
 
     fn ref_inc(&mut self, id: usize) {
@@ -268,6 +326,9 @@ impl PagedKv {
             dst.keys[lo..hi].copy_from_slice(&keys);
             dst.values[lo..hi].copy_from_slice(&values);
         }
+        if kv_checksums_enabled() {
+            p.restamp(new);
+        }
         p.ref_dec(old);
         self.table[b] = new;
     }
@@ -312,6 +373,9 @@ impl PagedKv {
         let blk = &mut p.blocks[self.table[b]];
         blk.keys[lo..lo + d].copy_from_slice(k);
         blk.values[lo..lo + d].copy_from_slice(v);
+        if kv_checksums_enabled() {
+            p.restamp(self.table[b]);
+        }
         drop(p);
         self.lens[li] += 1;
     }
@@ -612,6 +676,11 @@ impl KvCache {
                     blk.values[lo..lo + d].copy_from_slice(&values);
                 }
             }
+            if kv_checksums_enabled() {
+                for &id in &paged.table {
+                    pool.restamp(id);
+                }
+            }
         }
         paged.lens = vec![len; paged.lens.len()];
         *self = KvCache::Paged(paged);
@@ -648,6 +717,80 @@ impl KvCache {
                 panic!("KV read from a swapped-out cache — restore before stepping")
             }
         }
+    }
+
+    /// Verify every resident block's stored checksum against its current
+    /// contents: `Err(table_index)` names the first corrupted block.
+    ///
+    /// Vacuously `Ok` while the pass is disabled (see [`set_kv_checksums`])
+    /// and for contiguous or swapped caches (host images are never silently
+    /// mutated in this model). A detected mismatch bumps the
+    /// `kv_checksum_faults` trace counter.
+    pub fn verify_checksums(&self) -> Result<(), usize> {
+        if !kv_checksums_enabled() {
+            return Ok(());
+        }
+        let KvCache::Paged(p) = self else {
+            return Ok(());
+        };
+        let pool = p.pool.lock();
+        for (b, &id) in p.table.iter().enumerate() {
+            if pool.current_sum(id) != pool.blocks[id].sum {
+                figlut_trace::counters::bump_kv_checksum_faults(1);
+                return Err(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection support: silently flip one stored bit (the mantissa
+    /// LSB of one cached `f64`, chosen deterministically from `salt`)
+    /// *without* re-stamping the block's checksum — modelling a device-side
+    /// upset that only [`KvCache::verify_checksums`] can catch. Returns
+    /// `false` (and injects nothing) on non-paged or empty caches.
+    ///
+    /// Callers must only corrupt caches whose blocks are private (e.g. a
+    /// freshly restored session); corrupting a shared block would alias the
+    /// fault into innocent sessions.
+    pub fn corrupt_row(&mut self, salt: u64) -> bool {
+        let KvCache::Paged(p) = self else {
+            return false;
+        };
+        let len = p.len();
+        if len == 0 {
+            return false;
+        }
+        let mut pool = p.pool.lock();
+        let (bs, d, layers) = (pool.block_size, pool.d_model, pool.layers);
+        let pos = salt as usize % len;
+        let li = (salt >> 16) as usize % layers;
+        let j = (salt >> 32) as usize % d;
+        let lo = pool.row_off(li, pos % bs);
+        let blk = &mut pool.blocks[p.table[pos / bs]];
+        let bits = blk.keys[lo + j].to_bits();
+        blk.keys[lo + j] = f64::from_bits(bits ^ 1);
+        true
+    }
+
+    /// Re-target a swapped-out cache at `pool`, so a checkpointed host
+    /// image can be restored into a fresh pool after the pool that wrote
+    /// it died with a crashed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a resident cache or when `pool`'s shape (block size,
+    /// layers, width) differs from the image's original pool.
+    pub fn rebind_pool(&mut self, pool: &BlockPool) {
+        let KvCache::Swapped(s) = self else {
+            panic!("rebind_pool on a cache that is not swapped out");
+        };
+        assert!(
+            s.pool.block_size() == pool.block_size()
+                && s.pool.layers() == pool.layers()
+                && s.pool.d_model() == pool.d_model(),
+            "rebind_pool across differently shaped pools"
+        );
+        s.pool = pool.clone();
     }
 
     /// Materialize the full contents as `([layer][pos][d] keys, values)` —
@@ -1047,6 +1190,80 @@ mod tests {
         assert_eq!(k[1][0], krow(1, 0));
         assert_eq!(v[1][0], vrow(1, 0));
         assert_eq!(k[0][1], krow(0, 9));
+    }
+
+    #[test]
+    fn pool_mutex_poison_recovers_and_refcounts_conserve() {
+        let p = BlockPool::new(2, 2, 4, Some(2));
+        let mut keep = KvCache::paged(&p);
+        fill(&mut keep, 0, 4); // pool full: 2 blocks live
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d = KvCache::paged(&p);
+            // The capacity assert fires while the pool mutex is held, so
+            // the unwind leaves it poisoned.
+            d.push_row(0, &krow(0, 0), &vrow(0, 0));
+        }));
+        assert!(poisoned.is_err(), "over-capacity alloc must panic");
+        // Every subsequent operation recovers the poisoned lock.
+        assert_eq!(p.live_blocks(), 2, "accounting intact after the panic");
+        drop(keep);
+        assert_eq!(p.live_blocks(), 0, "frees succeed and refcounts conserve");
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 4);
+        assert_eq!(p.live_blocks(), 2, "allocs succeed after poisoning");
+        drop(c);
+        assert_eq!(p.live_blocks(), 0);
+    }
+
+    #[test]
+    fn checksums_detect_injected_corruption_when_enabled() {
+        let p = pool(3);
+        // Disabled (the default): verify is vacuous even on corrupted data.
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 7);
+        assert!(c.corrupt_row(99));
+        assert_eq!(c.verify_checksums(), Ok(()), "disabled pass never fires");
+        drop(c);
+        set_kv_checksums(true);
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 7);
+        assert_eq!(c.verify_checksums(), Ok(()), "clean writes stamp validly");
+        // A swap round trip re-stamps the restored blocks.
+        let _ = c.swap_out();
+        let _ = c.restore();
+        assert_eq!(c.verify_checksums(), Ok(()));
+        assert!(c.corrupt_row(42));
+        assert!(
+            c.verify_checksums().is_err(),
+            "silent bit flip must be detected"
+        );
+        set_kv_checksums(false);
+        assert_eq!(c.verify_checksums(), Ok(()), "gate turns the pass back off");
+    }
+
+    #[test]
+    fn swap_images_rebind_and_restore_into_a_fresh_pool() {
+        let p = pool(3);
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 8);
+        let snap = c.snapshot();
+        let _ = c.swap_out();
+        let fresh = pool(3);
+        c.rebind_pool(&fresh);
+        let _ = c.restore();
+        assert_eq!(p.live_blocks(), 0, "original pool untouched");
+        assert_eq!(fresh.live_blocks(), 3, "blocks drawn from the new pool");
+        assert_eq!(c.snapshot(), snap, "contents survive the rebind");
+    }
+
+    #[test]
+    #[should_panic(expected = "differently shaped pools")]
+    fn rebind_rejects_mismatched_pool_shapes() {
+        let p = pool(3);
+        let mut c = KvCache::paged(&p);
+        fill(&mut c, 0, 4);
+        let _ = c.swap_out();
+        c.rebind_pool(&pool(2));
     }
 
     #[test]

@@ -30,8 +30,9 @@ use figlut_model::{Backend, Transformer};
 ///
 /// Memory pressure is **not** a finish reason: under pool pressure the
 /// scheduler preempts (swaps a session's KV blocks to host and restores
-/// them later, bit-identically) instead of killing. The only way a session
-/// ends short of its budget is the model's own positional limit.
+/// them later, bit-identically) instead of killing. Short of its budget a
+/// session ends only at the model's positional limit — or before any
+/// compute at all, when an admission policy sheds it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FinishReason {
     /// Emitted its full `max_new` budget.
@@ -40,6 +41,11 @@ pub enum FinishReason {
     /// was spent — no backing store can extend a model past its learned
     /// positions, so the session finishes early.
     ContextExhausted,
+    /// Shed from the pending queue by the scheduler's admission policy
+    /// ([`crate::AdmissionPolicy`]) before any compute ran: zero tokens,
+    /// `first_token == finish` stamped at the shed tick. Shed requests are
+    /// excluded from goodput — they met no latency contract.
+    Shed,
 }
 
 /// The live state of one admitted session.
@@ -139,6 +145,34 @@ impl SessionState {
     /// Read access to the session's cache (registration, accounting).
     pub fn cache(&self) -> &KvCache {
         &self.cache
+    }
+
+    /// Fault injection: silently flip one stored KV bit, chosen
+    /// deterministically from `salt`, without re-stamping the block's
+    /// checksum (see [`KvCache::corrupt_row`]). `false` when the session's
+    /// cache holds nothing corruptible (non-paged or empty).
+    pub fn corrupt_kv(&mut self, salt: u64) -> bool {
+        self.cache.corrupt_row(salt)
+    }
+
+    /// Verify the session's resident KV blocks against their stored
+    /// checksums: `Err(block_index)` names the first corrupted block.
+    /// Vacuously `Ok` while the checksum pass is disabled (see
+    /// [`figlut_model::set_kv_checksums`]).
+    pub fn verify_kv(&self) -> Result<(), usize> {
+        self.cache.verify_checksums()
+    }
+
+    /// Re-target a preempted session's host image at `pool`, so a
+    /// checkpointed session can be restored into a fresh pool after the
+    /// pool that wrote it died with a crashed run (see
+    /// [`KvCache::rebind_pool`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not swapped out or the pool shapes differ.
+    pub fn rebind_pool(&mut self, pool: &figlut_model::BlockPool) {
+        self.cache.rebind_pool(pool);
     }
 }
 

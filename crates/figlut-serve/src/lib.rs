@@ -21,7 +21,7 @@
 //! |---|---|
 //! | [`request`] | [`Request`], [`Sampling`], seeded arrival traces ([`synthetic_trace`]) and the [`Scenario`] library (bursty on-off, heavy-tail, flash-crowd) |
 //! | [`engine`] | [`BatchEngine`]: fused mixed steps (decode rows + prefill chunks in one pass) over one shared model, [`solo_run`](BatchEngine::solo_run) reference |
-//! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`]; paged KV ([`ServeConfig::block_size`] × [`ServeConfig::pool_blocks`]) with shared prefixes and preempt/restore ([`serve_with_hooks`]) |
+//! | [`scheduler`] | [`serve`]: admission, mixed prefill/decode steps, [`Policy`] × `max_batch` × [`ServeConfig::prefill_chunk`]; paged KV ([`ServeConfig::block_size`] × [`ServeConfig::pool_blocks`]) with shared prefixes and preempt/restore ([`serve_with_hooks`]); resilience — [`AdmissionPolicy`] shedding, deterministic [`FaultPlan`] injection, crash-consistent [`Checkpoint`]/[`resume`] (DESIGN.md §10) |
 //! | [`metrics`] | [`ServeReport`]: tokens/s, TTFT (with per-session [`TtftSplit`] decomposition), full latency [`Dist`]ributions, [`Slo`] [`Goodput`], inter-token stalls, occupancy, [`PagingStats`], phase-split `figlut-sim` energy per token |
 //!
 //! **The correctness commitment** is the repo's signature move applied at
@@ -57,11 +57,14 @@ pub mod scheduler;
 
 pub use engine::{BatchEngine, FinishReason, SessionState};
 pub use metrics::{
-    Dist, Goodput, PagingStats, RequestMetrics, ServeDists, ServeReport, Slo, StepKind, StepRecord,
-    TtftSplit,
+    Dist, Goodput, PagingStats, RequestMetrics, ResilienceStats, ServeDists, ServeReport, Slo,
+    StepKind, StepRecord, TtftSplit,
 };
 pub use request::{
     bursty_trace, flash_crowd_trace, heavy_tail_trace, synthetic_trace, BurstyParams,
     FlashCrowdParams, HeavyTailParams, Request, Sampling, Scenario, Trace, TraceParams,
 };
-pub use scheduler::{serve, serve_with_hooks, Policy, ServeConfig, ServeHooks};
+pub use scheduler::{
+    resume, serve, serve_with_hooks, AdmissionPolicy, Checkpoint, CheckpointHook, FaultPlan,
+    Policy, ServeConfig, ServeHooks,
+};

@@ -386,6 +386,29 @@ pub struct PagingStats {
     pub shared_rows: usize,
 }
 
+/// Fault, recovery, and admission-control activity over one serving run
+/// (counted locally by the scheduler, so the numbers survive even with
+/// tracing off). All-zero — the `Default` — on a quiet run with
+/// [`crate::AdmissionPolicy::Unbounded`] and no fault plan, which is what
+/// keeps pre-resilience reports byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Scheduled steps abandoned by injected transient failures and
+    /// retried (each charged `step_overhead` ticks).
+    pub step_retries: usize,
+    /// Restore attempts abandoned (injected swap-in failures plus
+    /// detected-corruption retries) and re-queued.
+    pub swap_in_retries: usize,
+    /// KV corruptions detected by the block checksum pass during restore.
+    pub checksum_faults: usize,
+    /// Injected pool-exhaustion spikes (each preempted one session).
+    pub pool_spikes: usize,
+    /// Requests shed from the pending queue by the admission policy.
+    pub shed_requests: usize,
+    /// Checkpoints captured by the [`crate::CheckpointHook`].
+    pub checkpoints: usize,
+}
+
 /// Everything a serving run produced.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
@@ -405,6 +428,9 @@ pub struct ServeReport {
     pub peak_kv_rows: usize,
     /// Paged-KV accounting, when paging was on.
     pub paging: Option<PagingStats>,
+    /// Fault, recovery, and admission-control activity (all zero on a
+    /// quiet, unbounded-admission run).
+    pub resilience: ResilienceStats,
 }
 
 impl ServeReport {
@@ -530,11 +556,17 @@ impl ServeReport {
     /// and every inter-token stall met the objective, as a rate
     /// comparable to [`ServeReport::tokens_per_kilotick`]. Raw throughput
     /// counts every emitted token; goodput counts only the ones a client
-    /// holding this latency contract would accept.
+    /// holding this latency contract would accept. Shed requests
+    /// ([`FinishReason::Shed`]) are excluded outright — they emitted
+    /// nothing and met no contract, and their synthetic `first_token ==
+    /// finish` stamps must not leak into the met set.
     pub fn goodput(&self, slo: &Slo) -> Goodput {
         let mut met_requests = 0;
         let mut met_tokens = 0;
         for r in &self.requests {
+            if r.reason == FinishReason::Shed {
+                continue;
+            }
             if r.ttft() <= slo.ttft && r.inter_token_stalls().all(|s| s <= slo.stall) {
                 met_requests += 1;
                 met_tokens += r.tokens;
@@ -733,6 +765,21 @@ impl std::fmt::Display for ServeReport {
             row("swapped kv rows", p.swapped_rows.to_string());
             row("shared prefix rows", p.shared_rows.to_string());
         }
+        let res = &self.resilience;
+        if *res != ResilienceStats::default() {
+            row("shed requests", res.shed_requests.to_string());
+            row(
+                "fault retries (step/swap-in/checksum)",
+                format!(
+                    "{}/{}/{}",
+                    res.step_retries, res.swap_in_retries, res.checksum_faults
+                ),
+            );
+            row(
+                "pool spikes / checkpoints",
+                format!("{}/{}", res.pool_spikes, res.checkpoints),
+            );
+        }
         f.write_str(&t.render())
     }
 }
@@ -791,6 +838,7 @@ mod tests {
             max_batch: 4,
             peak_kv_rows: 9,
             paging: None,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -998,6 +1046,7 @@ mod tests {
             max_batch: 1,
             peak_kv_rows: 2,
             paging: None,
+            resilience: ResilienceStats::default(),
         };
         assert_eq!(lone.max_inter_token_stall(), 0);
         assert_eq!(lone.stall_percentile(99.0), 0);

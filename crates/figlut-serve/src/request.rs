@@ -60,6 +60,12 @@ impl Trace {
     /// the prompt within `max_seq`, sampling temperatures positive and
     /// finite, arrivals sorted.
     ///
+    /// A *zero* generation budget is allowed: the scheduler finishes such
+    /// a request at its admission tick with zero tokens and a well-defined
+    /// [`RequestMetrics`](crate::metrics::RequestMetrics) (prefilling it
+    /// would wrongly emit a first token — the prompt's last row always
+    /// samples), so degenerate budgets never panic the serving loop.
+    ///
     /// A *budget* exceeding the remaining context is allowed: such a
     /// session is served until the model's position table runs out and then
     /// finishes early
@@ -77,7 +83,6 @@ impl Trace {
         let mut last = (0u64, 0usize);
         for r in &self.requests {
             assert!(!r.prompt.is_empty(), "request {}: empty prompt", r.id);
-            assert!(r.max_new > 0, "request {}: zero generation budget", r.id);
             if let Sampling::Temperature(t) = r.sampling {
                 assert!(
                     t > 0.0 && t.is_finite(),

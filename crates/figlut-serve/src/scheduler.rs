@@ -26,8 +26,9 @@
 //! provably fixed.
 
 use crate::engine::{BatchEngine, FinishReason, SessionState};
-use crate::metrics::{PagingStats, RequestMetrics, ServeReport, StepRecord};
+use crate::metrics::{PagingStats, RequestMetrics, ResilienceStats, ServeReport, StepRecord};
 use crate::request::{Request, Trace};
+use figlut_model::rng::Rng;
 use figlut_model::{BlockPool, PrefixRegistry};
 use figlut_trace::{counters, Event};
 use std::collections::VecDeque;
@@ -68,6 +69,56 @@ impl Policy {
     }
 }
 
+/// When the scheduler sheds pending work instead of queueing it forever.
+///
+/// Applied to the pending queue every loop iteration, right after the
+/// arrival drain. A shed request finishes immediately with
+/// [`FinishReason::Shed`], zero tokens, and `admitted == first_token ==
+/// finish` stamped at the shed tick — so overload degrades into an honest
+/// rejection signal instead of unbounded queue delay eating every TTFT
+/// (the `ext-overload` collapse). Shedding never touches admitted
+/// sessions, so every served token stream stays bit-identical to its solo
+/// run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything, however late (the default — byte-identical to the
+    /// pre-admission-control scheduler).
+    Unbounded,
+    /// Shed newest-first whenever more than `depth` requests are pending.
+    QueueCap {
+        /// Maximum pending requests retained.
+        depth: usize,
+    },
+    /// Token-budget backpressure: shed newest-first while the pending
+    /// queue's committed token load (`prompt_len + max_new`, summed)
+    /// exceeds `tokens`. The oldest pending request always survives, so
+    /// one oversized request cannot wedge the queue.
+    TokenBudget {
+        /// Maximum committed prompt+generation tokens queued.
+        tokens: usize,
+    },
+    /// SLO-aware shedding: drop any pending request whose time-to-first-
+    /// token is already unattainable — `queue wait so far + prompt_len +
+    /// step_overhead` is a lower bound on its TTFT no schedule can beat,
+    /// so once that exceeds `ttft` the request is dead weight.
+    SloShed {
+        /// The TTFT bound (ticks) being enforced.
+        ttft: u64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short display name (CSV/report key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Unbounded => "unbounded",
+            AdmissionPolicy::QueueCap { .. } => "queue-cap",
+            AdmissionPolicy::TokenBudget { .. } => "token-budget",
+            AdmissionPolicy::SloShed { .. } => "slo-shed",
+        }
+    }
+}
+
 /// Scheduler knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -102,6 +153,10 @@ pub struct ServeConfig {
     /// **preempting** sessions to host memory — never by finishing them —
     /// and restores them later with RNG and generated tokens intact.
     pub pool_blocks: Option<usize>,
+    /// Admission control over the pending queue
+    /// ([`AdmissionPolicy::Unbounded`] by default — every committed trace
+    /// predates shedding and must stay byte-identical).
+    pub admission: AdmissionPolicy,
 }
 
 impl ServeConfig {
@@ -116,6 +171,7 @@ impl ServeConfig {
             prefill_chunk: None,
             block_size: None,
             pool_blocks: None,
+            admission: AdmissionPolicy::Unbounded,
         }
     }
 
@@ -142,6 +198,175 @@ impl ServeConfig {
         self.pool_blocks = Some(pool_blocks);
         self
     }
+
+    /// Set the admission policy over the pending queue.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// A deterministic, seeded schedule of injected faults, delivered through
+/// [`ServeHooks::fault_plan`]. Every fault class draws from one seeded
+/// [`Rng`] at defined scheduler points, so a given `(plan, trace, config)`
+/// triple injects the identical fault sequence on every run — which is
+/// what lets the property suite assert recovery is *exact* (served token
+/// streams bit-identical to the fault-free run) rather than best-effort.
+///
+/// The plan carries a total fault `budget`; every injected fault consumes
+/// one unit and an exhausted plan is quiet, so faulted runs provably
+/// terminate (a retry loop cannot be re-failed forever).
+///
+/// Fault classes (each gated by a per-mille rate, default 0):
+///
+/// * **Transient step failure** — the scheduled step is abandoned before
+///   executing; the scheduler charges `step_overhead` ticks and retries.
+/// * **Swap-in failure** — a restore attempt is abandoned; the preempted
+///   session stays queued and is retried on a later iteration.
+/// * **Restore corruption** — the swap-in transfer silently flips one KV
+///   bit. Injected only while the checksum pass is on (see
+///   [`figlut_model::set_kv_checksums`]): the verify pass detects the
+///   mismatch, the corrupted blocks are dropped, and the clean host image
+///   is re-queued for another restore — the classic detect-and-retransfer
+///   recovery. (Without checksums the corruption would silently diverge
+///   the token stream, so an un-checksummed plan never injects it.)
+/// * **Pool-exhaustion spike** — the newest running session is preempted
+///   to host as if the pool had momentarily vanished; the existing
+///   preempt/restore machinery recovers it. Requires paging.
+/// * **Crash** — `panic!` immediately before executing a chosen step
+///   index, for checkpoint/resume tests (see [`Checkpoint`]).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rng: Rng,
+    budget: usize,
+    step_fail_permille: u32,
+    swap_in_fail_permille: u32,
+    corrupt_restore_permille: u32,
+    pool_spike_permille: u32,
+    crash_at_step: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A quiet plan: seeded, budgeted, all fault rates zero.
+    pub fn new(seed: u64, budget: usize) -> Self {
+        Self {
+            rng: Rng::new(seed),
+            budget,
+            step_fail_permille: 0,
+            swap_in_fail_permille: 0,
+            corrupt_restore_permille: 0,
+            pool_spike_permille: 0,
+            crash_at_step: None,
+        }
+    }
+
+    /// Fail scheduled steps transiently at `permille`/1000.
+    pub fn with_step_failures(mut self, permille: u32) -> Self {
+        self.step_fail_permille = permille;
+        self
+    }
+
+    /// Fail restore attempts at `permille`/1000.
+    pub fn with_swap_in_failures(mut self, permille: u32) -> Self {
+        self.swap_in_fail_permille = permille;
+        self
+    }
+
+    /// Corrupt swap-in transfers at `permille`/1000 (checksums must be on
+    /// for the fault to be injected at all — see the type docs).
+    pub fn with_restore_corruption(mut self, permille: u32) -> Self {
+        self.corrupt_restore_permille = permille;
+        self
+    }
+
+    /// Inject pool-exhaustion spikes at `permille`/1000 (paging only).
+    pub fn with_pool_spikes(mut self, permille: u32) -> Self {
+        self.pool_spike_permille = permille;
+        self
+    }
+
+    /// Panic (a simulated crash) right before executing step `step`.
+    pub fn with_crash_at_step(mut self, step: usize) -> Self {
+        self.crash_at_step = Some(step);
+        self
+    }
+
+    /// Injected faults left before the plan goes quiet.
+    pub fn remaining_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// One fault decision at `permille`/1000, consuming budget on a hit.
+    fn draw(&mut self, permille: u32) -> bool {
+        if self.budget == 0 || permille == 0 {
+            return false;
+        }
+        let hit = self.rng.below(1000) < permille as usize;
+        if hit {
+            self.budget -= 1;
+        }
+        hit
+    }
+
+    fn draw_step_failure(&mut self) -> bool {
+        self.draw(self.step_fail_permille)
+    }
+
+    fn draw_swap_in_failure(&mut self) -> bool {
+        self.draw(self.swap_in_fail_permille)
+    }
+
+    fn draw_pool_spike(&mut self) -> bool {
+        self.draw(self.pool_spike_permille)
+    }
+
+    /// `Some(salt)` when a restore-corruption fault fires (only while the
+    /// checksum pass can catch it).
+    fn draw_restore_corruption(&mut self) -> Option<u64> {
+        if figlut_model::kv_checksums_enabled() && self.draw(self.corrupt_restore_permille) {
+            Some(self.rng.next_u64())
+        } else {
+            None
+        }
+    }
+
+    fn crashes_at(&self, step: usize) -> bool {
+        self.crash_at_step == Some(step)
+    }
+}
+
+/// A crash-consistent snapshot of a serving run, captured by
+/// [`ServeHooks::checkpoint`] at a step boundary (chunked runs: with no
+/// prefill in flight) and resumable with [`resume`]. Sessions are stored
+/// as host swap images when paging is on (contiguous clones otherwise),
+/// the sampler RNGs and generated tokens ride inside the cloned
+/// [`SessionState`]s, and the virtual clock, queues, finished metrics, and
+/// executed steps are carried verbatim — so a resumed run continues the
+/// exact schedule and emits byte-identical tokens, with the final
+/// [`ServeReport`]'s requests, steps, and ticks reconciling against the
+/// uninterrupted run (paging pool peaks may differ: the resumed pool and
+/// prefix registry start fresh).
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Virtual clock at capture.
+    pub clock: u64,
+    /// Requests that had not yet arrived, in trace order.
+    pub arrivals: Vec<Request>,
+    /// Arrived but unadmitted requests, queue order.
+    pub pending: Vec<Request>,
+    /// Live sessions: the running batch in order, then any preempted
+    /// sessions in restore (FIFO) order. Paged sessions are host images.
+    pub sessions: Vec<SessionState>,
+    /// Requests already finished, with their metrics.
+    pub finished: Vec<RequestMetrics>,
+    /// Steps already executed.
+    pub steps: Vec<StepRecord>,
+    /// Peak resident KV rows so far.
+    pub peak_kv_rows: usize,
+    /// The FCFS seal flag at capture.
+    pub sealed: bool,
+    /// Resilience activity up to the capture.
+    pub resilience: ResilienceStats,
 }
 
 /// Out-of-band instrumentation for [`serve_with_hooks`] — knobs that are
@@ -158,6 +383,22 @@ pub struct ServeHooks<'a> {
     /// as soon as a batch slot and pool capacity allow.
     #[allow(clippy::type_complexity)]
     pub force_preempt: Option<Box<dyn FnMut(usize, &[usize]) -> Vec<usize> + 'a>>,
+    /// Deterministic fault injection (`None` = quiet run). See
+    /// [`FaultPlan`] for the fault classes and their recovery paths.
+    pub fault_plan: Option<FaultPlan>,
+    /// Periodic checkpoint capture (`None` = never). See [`Checkpoint`].
+    pub checkpoint: Option<CheckpointHook<'a>>,
+}
+
+/// Periodic checkpoint capture for [`ServeHooks::checkpoint`].
+pub struct CheckpointHook<'a> {
+    /// Capture cadence: a snapshot after every `every_steps` executed
+    /// steps (chunked runs defer a due capture until no prefill is in
+    /// flight). Must be at least 1.
+    pub every_steps: usize,
+    /// Receives each captured [`Checkpoint`] (e.g. pushes it into a log;
+    /// [`resume`] takes the last one).
+    pub sink: Box<dyn FnMut(Checkpoint) + 'a>,
 }
 
 /// What the loop decided to do next.
@@ -400,7 +641,9 @@ fn trace_step(
     });
 }
 
-/// Close a finished session into its metrics record.
+/// Close a finished session into its metrics record. A session that
+/// finished without emitting (a zero generation budget) gets
+/// `first_token == finish` — well-defined, not a panic.
 fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetrics {
     debug_assert_eq!(
         s.token_ticks.len(),
@@ -412,10 +655,7 @@ fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetr
         id: s.request.id,
         arrival: s.request.arrival,
         admitted: s.admitted,
-        first_token: *s
-            .token_ticks
-            .first()
-            .expect("finished session without a first token"),
+        first_token: s.token_ticks.first().copied().unwrap_or(finish),
         finish,
         prompt_len: s.request.prompt.len(),
         tokens: s.generated.len(),
@@ -423,6 +663,270 @@ fn metrics_of(s: SessionState, reason: FinishReason, finish: u64) -> RequestMetr
         generated: s.generated,
         token_ticks: s.token_ticks,
     }
+}
+
+/// Close a request that finished without any engine work — a zero-budget
+/// admission or an admission-policy shed — into its metrics record:
+/// `admitted == first_token == finish == tick`, zero tokens.
+fn metrics_without_tokens(req: Request, reason: FinishReason, tick: u64) -> RequestMetrics {
+    RequestMetrics {
+        id: req.id,
+        arrival: req.arrival,
+        admitted: tick,
+        first_token: tick,
+        finish: tick,
+        prompt_len: req.prompt.len(),
+        tokens: 0,
+        reason,
+        generated: Vec::new(),
+        token_ticks: Vec::new(),
+    }
+}
+
+/// Apply the admission policy to the pending queue (called right after
+/// each arrival drain). Shed requests finish immediately with
+/// [`FinishReason::Shed`]; [`AdmissionPolicy::Unbounded`] is a no-op, so
+/// the default path is untouched.
+fn apply_admission(
+    policy: AdmissionPolicy,
+    pending: &mut VecDeque<Request>,
+    clock: u64,
+    step_overhead: u64,
+    finished: &mut Vec<RequestMetrics>,
+    resilience: &mut ResilienceStats,
+) {
+    let mut shed: Vec<Request> = Vec::new();
+    match policy {
+        AdmissionPolicy::Unbounded => {}
+        AdmissionPolicy::QueueCap { depth } => {
+            while pending.len() > depth {
+                shed.push(pending.pop_back().expect("len checked"));
+            }
+        }
+        AdmissionPolicy::TokenBudget { tokens } => {
+            let load = |q: &VecDeque<Request>| -> usize {
+                q.iter().map(|r| r.prompt.len() + r.max_new).sum()
+            };
+            while pending.len() > 1 && load(pending) > tokens {
+                shed.push(pending.pop_back().expect("len checked"));
+            }
+        }
+        AdmissionPolicy::SloShed { ttft } => {
+            let blown = |r: &Request| {
+                // The best case from here: admitted this very tick, prompt
+                // rows at one tick each, one step overhead. Unattainable
+                // TTFT = certain SLO miss = dead weight in the queue.
+                (clock - r.arrival) + r.prompt.len() as u64 + step_overhead > ttft
+            };
+            let mut keep = VecDeque::with_capacity(pending.len());
+            while let Some(r) = pending.pop_front() {
+                if blown(&r) {
+                    shed.push(r);
+                } else {
+                    keep.push_back(r);
+                }
+            }
+            *pending = keep;
+        }
+    }
+    for req in shed {
+        counters::bump_serve_sheds(1);
+        resilience.shed_requests += 1;
+        finished.push(metrics_without_tokens(req, FinishReason::Shed, clock));
+    }
+}
+
+/// Restore preempted sessions (oldest first) into free batch slots, under
+/// injected swap-in failures and transfer corruption: a failed draw
+/// abandons this iteration's restores, and a corrupted transfer — caught
+/// by the checksum pass — drops the corrupted blocks and re-queues the
+/// clean host image for a later retry. With no fault plan this is exactly
+/// the pre-resilience restore loop.
+fn restore_swapped(
+    rt: &mut PagedRt,
+    running: &mut Vec<SessionState>,
+    slots: usize,
+    mut plan: Option<&mut FaultPlan>,
+    resilience: &mut ResilienceStats,
+) {
+    while running.len() < slots && !rt.swapped.is_empty() {
+        if let Some(p) = plan.as_deref_mut() {
+            if p.draw_swap_in_failure() {
+                counters::bump_serve_swap_in_retries(1);
+                resilience.swap_in_retries += 1;
+                return;
+            }
+        }
+        let salt = plan
+            .as_deref_mut()
+            .and_then(FaultPlan::draw_restore_corruption);
+        // The host image is the clean recovery source: clone it before the
+        // (possibly corrupted) transfer.
+        let backup = salt.map(|_| rt.swapped.front().expect("checked nonempty").clone());
+        let Some(mut s) = rt.try_restore() else {
+            return;
+        };
+        if let Some(salt) = salt {
+            let _ = s.corrupt_kv(salt);
+            if s.verify_kv().is_err() {
+                // Detected: drop the corrupted blocks (s goes out of
+                // scope), re-queue the clean image, retry later.
+                resilience.checksum_faults += 1;
+                counters::bump_serve_swap_in_retries(1);
+                resilience.swap_in_retries += 1;
+                rt.swapped
+                    .push_front(backup.expect("cloned when the fault was drawn"));
+                return;
+            }
+        }
+        running.push(s);
+    }
+}
+
+/// Preempt the newest running session if a pool-exhaustion spike fires
+/// (paging only, and never the last runner — the spike models transient
+/// pressure, not a wedged scheduler).
+fn maybe_pool_spike(
+    rt: &mut PagedRt,
+    running: &mut Vec<SessionState>,
+    plan: &mut Option<FaultPlan>,
+    resilience: &mut ResilienceStats,
+) {
+    if running.len() < 2 {
+        return;
+    }
+    if let Some(p) = plan.as_mut() {
+        if p.draw_pool_spike() {
+            counters::bump_serve_pool_spikes(1);
+            resilience.pool_spikes += 1;
+            let victim = running.pop().expect("len checked");
+            rt.preempt(victim);
+        }
+    }
+}
+
+/// The mutable state both serving loops run over — built fresh from a
+/// trace, or rehydrated from a [`Checkpoint`] by [`resume`].
+struct LoopState {
+    arrivals: VecDeque<Request>,
+    pending: VecDeque<Request>,
+    running: Vec<SessionState>,
+    finished: Vec<RequestMetrics>,
+    steps: Vec<StepRecord>,
+    clock: u64,
+    peak_kv_rows: usize,
+    sealed: bool,
+    resilience: ResilienceStats,
+}
+
+impl LoopState {
+    fn fresh(trace: &Trace) -> Self {
+        Self {
+            arrivals: trace.requests.iter().cloned().collect(),
+            pending: VecDeque::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            steps: Vec::new(),
+            clock: 0,
+            peak_kv_rows: 0,
+            sealed: false,
+            resilience: ResilienceStats::default(),
+        }
+    }
+
+    /// Rehydrate from a checkpoint: paged sessions are restored straight
+    /// from their host images into a fresh pool (rebind + restore, outside
+    /// the swap accounting — in the uninterrupted run they were never
+    /// preempted); sessions the pool or batch cannot hold yet queue as
+    /// swapped and come back through the normal restore path.
+    fn from_checkpoint(ck: Checkpoint, memory: &mut Memory, max_batch: usize) -> Self {
+        let mut running: Vec<SessionState> = Vec::new();
+        match memory {
+            Memory::Unmanaged => {
+                for s in ck.sessions {
+                    assert!(
+                        !s.is_swapped(),
+                        "request {}: paged checkpoint resumed without paging",
+                        s.request.id
+                    );
+                    running.push(s);
+                }
+            }
+            Memory::Paged(rt) => {
+                for mut s in ck.sessions {
+                    assert!(
+                        s.is_swapped(),
+                        "request {}: contiguous checkpoint resumed with paging",
+                        s.request.id
+                    );
+                    s.rebind_pool(&rt.pool);
+                    if running.len() < max_batch && rt.pool.available_blocks() >= s.restore_blocks()
+                    {
+                        let _ = s.restore();
+                        running.push(s);
+                    } else {
+                        rt.swapped.push_back(s);
+                    }
+                }
+            }
+        }
+        Self {
+            arrivals: ck.arrivals.into(),
+            pending: ck.pending.into(),
+            running,
+            finished: ck.finished,
+            steps: ck.steps,
+            clock: ck.clock,
+            peak_kv_rows: ck.peak_kv_rows,
+            sealed: ck.sealed,
+            resilience: ck.resilience,
+        }
+    }
+}
+
+/// Capture the current loop state as a [`Checkpoint`] (running sessions
+/// are cloned — paged ones as host swap images — so the live run is not
+/// disturbed) and hand it to the hook's sink.
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    memory: &Memory,
+    hook: &mut CheckpointHook<'_>,
+    arrivals: &VecDeque<Request>,
+    pending: &VecDeque<Request>,
+    running: &[SessionState],
+    finished: &[RequestMetrics],
+    steps: &[StepRecord],
+    clock: u64,
+    peak_kv_rows: usize,
+    sealed: bool,
+    resilience: &mut ResilienceStats,
+) {
+    counters::bump_serve_checkpoints(1);
+    resilience.checkpoints += 1;
+    let mut sessions: Vec<SessionState> = running
+        .iter()
+        .map(|s| {
+            let mut c = s.clone();
+            if matches!(memory, Memory::Paged(_)) {
+                let _ = c.swap_out();
+            }
+            c
+        })
+        .collect();
+    if let Memory::Paged(rt) = memory {
+        sessions.extend(rt.swapped.iter().cloned());
+    }
+    (hook.sink)(Checkpoint {
+        clock,
+        arrivals: arrivals.iter().cloned().collect(),
+        pending: pending.iter().cloned().collect(),
+        sessions,
+        finished: finished.to_vec(),
+        steps: steps.to_vec(),
+        peak_kv_rows,
+        sealed,
+        resilience: *resilience,
+    });
 }
 
 /// Serve `trace` to completion and return the full report.
@@ -445,26 +949,66 @@ pub fn serve(engine: &BatchEngine<'_>, trace: &Trace, cfg: &ServeConfig) -> Serv
     serve_with_hooks(engine, trace, cfg, ServeHooks::default())
 }
 
-/// [`serve`] with out-of-band instrumentation — currently a forced
-/// preemption schedule, which the paging/preemption property suite uses
-/// to prove that *scheduler-chosen* swap points (not just memory-pressure
-/// ones) leave every token stream bit-identical.
+/// [`serve`] with out-of-band instrumentation: a forced-preemption
+/// schedule, a deterministic [`FaultPlan`], and a periodic
+/// [`CheckpointHook`]. The paging/preemption and resilience property
+/// suites use these to prove that *scheduler-chosen* swap points, injected
+/// faults, and kill/resume cycles all leave every token stream
+/// bit-identical.
 ///
 /// # Panics
 ///
-/// As [`serve`].
+/// As [`serve`], plus the injected crash of
+/// [`FaultPlan::with_crash_at_step`].
 pub fn serve_with_hooks(
     engine: &BatchEngine<'_>,
     trace: &Trace,
     cfg: &ServeConfig,
-    mut hooks: ServeHooks<'_>,
+    hooks: ServeHooks<'_>,
 ) -> ServeReport {
     let model_cfg = engine.model().cfg;
     trace.validate(&model_cfg);
+    let memory = Memory::new(engine, cfg);
+    run_loops(engine, cfg, LoopState::fresh(trace), memory, hooks)
+}
+
+/// Continue a run from a [`Checkpoint`] captured by
+/// [`ServeHooks::checkpoint`]: rebuild the scheduler state (sessions,
+/// queues, clock, executed steps) in a fresh memory runtime and run the
+/// remaining schedule to completion. The resumed report's requests,
+/// steps, and ticks reconcile exactly with the uninterrupted run's; with
+/// a bounded pool the *storage* accounting (pool peaks, shared rows) may
+/// differ, because the resumed pool and prefix registry start empty.
+///
+/// # Panics
+///
+/// Panics if `cfg` paging disagrees with the checkpoint's session images
+/// (a paged checkpoint must resume with paging on, and vice versa), or if
+/// the pool shape (`block_size` × model) differs from the captured one.
+pub fn resume(
+    engine: &BatchEngine<'_>,
+    checkpoint: Checkpoint,
+    cfg: &ServeConfig,
+    hooks: ServeHooks<'_>,
+) -> ServeReport {
+    counters::bump_serve_resumes(1);
     let mut memory = Memory::new(engine, cfg);
+    let state = LoopState::from_checkpoint(checkpoint, &mut memory, cfg.max_batch);
+    run_loops(engine, cfg, state, memory, hooks)
+}
+
+/// Shared tail of [`serve_with_hooks`] and [`resume`]: dispatch on the
+/// prefill mode, then close out paging stats and the trace run.
+fn run_loops(
+    engine: &BatchEngine<'_>,
+    cfg: &ServeConfig,
+    state: LoopState,
+    mut memory: Memory,
+    mut hooks: ServeHooks<'_>,
+) -> ServeReport {
     let mut report = match cfg.prefill_chunk {
-        None => serve_monolithic(engine, trace, cfg, &mut memory, &mut hooks),
-        Some(chunk) => serve_chunked(engine, trace, cfg, chunk, &mut memory, &mut hooks),
+        None => serve_monolithic(engine, cfg, state, &mut memory, &mut hooks),
+        Some(chunk) => serve_chunked(engine, cfg, chunk, state, &mut memory, &mut hooks),
     };
     if let Memory::Paged(rt) = &mut memory {
         debug_assert!(
@@ -500,42 +1044,56 @@ pub fn serve_with_hooks(
 /// test below) — kept as its own loop so the default path cannot drift.
 fn serve_monolithic(
     engine: &BatchEngine<'_>,
-    trace: &Trace,
     cfg: &ServeConfig,
+    state: LoopState,
     memory: &mut Memory,
     hooks: &mut ServeHooks<'_>,
 ) -> ServeReport {
     let max_seq = engine.model().cfg.max_seq;
-    let mut arrivals: VecDeque<_> = trace.requests.iter().cloned().collect();
-    let mut pending: VecDeque<_> = VecDeque::new();
-    let mut running: Vec<SessionState> = Vec::new();
-    let mut finished: Vec<RequestMetrics> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-    let mut clock = 0u64;
-    let mut peak_kv_rows = 0usize;
+    let LoopState {
+        mut arrivals,
+        mut pending,
+        mut running,
+        mut finished,
+        mut steps,
+        mut clock,
+        mut peak_kv_rows,
+        // FCFS only: set once the current batch starts decoding; admission
+        // reopens when the batch drains.
+        mut sealed,
+        mut resilience,
+    } = state;
     // Step index at which the forced-preemption hook last fired (at most
     // once per index, or an all-preempted batch would loop forever).
     let mut hook_step = usize::MAX;
-    // FCFS only: set once the current batch starts decoding; admission
-    // reopens when the batch drains.
-    let mut sealed = false;
     // Cumulative (swaps_out, swaps_in) at the previous step's span, so
     // each step span carries only its own paging activity.
     let mut last_swaps = (0usize, 0usize);
+    // Executed-step count at the last checkpoint capture.
+    let mut last_ckpt = steps.len();
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
             pending.push_back(arrivals.pop_front().unwrap());
         }
+        apply_admission(
+            cfg.admission,
+            &mut pending,
+            clock,
+            cfg.step_overhead,
+            &mut finished,
+            &mut resilience,
+        );
         // Preempted sessions come back before anything else: restore the
         // oldest into free batch slots as soon as the pool fits them.
         if let Memory::Paged(rt) = memory {
-            while running.len() < cfg.max_batch {
-                match rt.try_restore() {
-                    Some(s) => running.push(s),
-                    None => break,
-                }
-            }
+            restore_swapped(
+                rt,
+                &mut running,
+                cfg.max_batch,
+                hooks.fault_plan.as_mut(),
+                &mut resilience,
+            );
         }
         if pending.is_empty() && running.is_empty() && memory.idle() {
             match arrivals.front() {
@@ -565,9 +1123,24 @@ fn serve_monolithic(
                     }
                 }
             }
+            maybe_pool_spike(rt, &mut running, &mut hooks.fault_plan, &mut resilience);
             if running.is_empty() && pending.is_empty() {
                 // Everything resident was swapped out: the next iteration
                 // restores (always possible on an otherwise-empty pool).
+                continue;
+            }
+        }
+        if let Some(plan) = hooks.fault_plan.as_mut() {
+            if plan.crashes_at(steps.len()) {
+                panic!("injected crash before step {}", steps.len());
+            }
+            if plan.draw_step_failure() {
+                // The scheduled step is abandoned before executing: charge
+                // the fixed overhead and retry (the step index is
+                // unchanged, so per-step hooks do not refire).
+                counters::bump_serve_step_retries(1);
+                resilience.step_retries += 1;
+                clock += cfg.step_overhead;
                 continue;
             }
         }
@@ -601,6 +1174,14 @@ fn serve_monolithic(
                 let req = pending
                     .pop_front()
                     .expect("admission without a pending request");
+                if req.max_new == 0 {
+                    // A zero generation budget never runs: prefilling it
+                    // would wrongly emit a first token (the prompt's last
+                    // row always samples). Finish at the admission tick.
+                    counters::bump_serve_admissions(1);
+                    finished.push(metrics_without_tokens(req, FinishReason::Completed, clock));
+                    continue;
+                }
                 let mut s = memory.start(engine, req);
                 note_admission(&mut s, clock, pending.len());
                 if let Memory::Paged(rt) = memory {
@@ -682,6 +1263,24 @@ fn serve_monolithic(
                 }
             }
         }
+        if let Some(hook) = hooks.checkpoint.as_mut() {
+            if steps.len() - last_ckpt >= hook.every_steps.max(1) {
+                last_ckpt = steps.len();
+                capture_checkpoint(
+                    memory,
+                    hook,
+                    &arrivals,
+                    &pending,
+                    &running,
+                    &finished,
+                    &steps,
+                    clock,
+                    peak_kv_rows,
+                    sealed,
+                    &mut resilience,
+                );
+            }
+        }
     }
     finished.sort_by_key(|m| m.id);
     ServeReport {
@@ -691,6 +1290,7 @@ fn serve_monolithic(
         max_batch: cfg.max_batch,
         peak_kv_rows,
         paging: None,
+        resilience,
     }
 }
 
@@ -706,45 +1306,60 @@ fn serve_monolithic(
 /// then drains. A mid-prefill session occupies a batch slot.
 fn serve_chunked(
     engine: &BatchEngine<'_>,
-    trace: &Trace,
     cfg: &ServeConfig,
     chunk: usize,
+    state: LoopState,
     memory: &mut Memory,
     hooks: &mut ServeHooks<'_>,
 ) -> ServeReport {
     assert!(chunk >= 1, "prefill_chunk must be at least 1");
     let max_seq = engine.model().cfg.max_seq;
-    let mut arrivals: VecDeque<_> = trace.requests.iter().cloned().collect();
-    let mut pending: VecDeque<_> = VecDeque::new();
     let mut prefilling: Option<SessionState> = None;
-    let mut running: Vec<SessionState> = Vec::new();
-    let mut finished: Vec<RequestMetrics> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-    let mut clock = 0u64;
-    let mut peak_kv_rows = 0usize;
+    let LoopState {
+        mut arrivals,
+        mut pending,
+        mut running,
+        mut finished,
+        mut steps,
+        mut clock,
+        mut peak_kv_rows,
+        // FCFS only: set once a pure-decode step runs; admission reopens
+        // when the batch drains.
+        mut sealed,
+        mut resilience,
+    } = state;
     // Step index at which the forced-preemption hook last fired (at most
     // once per index, or an all-preempted batch would loop forever).
     let mut hook_step = usize::MAX;
-    // FCFS only: set once a pure-decode step runs; admission reopens when
-    // the batch drains.
-    let mut sealed = false;
     // Cumulative (swaps_out, swaps_in) at the previous step's span, so
     // each step span carries only its own paging activity.
     let mut last_swaps = (0usize, 0usize);
+    // Executed-step count at the last checkpoint capture.
+    let mut last_ckpt = steps.len();
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
             pending.push_back(arrivals.pop_front().unwrap());
         }
+        apply_admission(
+            cfg.admission,
+            &mut pending,
+            clock,
+            cfg.step_overhead,
+            &mut finished,
+            &mut resilience,
+        );
         // Preempted sessions come back before anything else (the prefill
         // slot counts against the batch like everywhere else).
         if let Memory::Paged(rt) = memory {
-            while running.len() + usize::from(prefilling.is_some()) < cfg.max_batch {
-                match rt.try_restore() {
-                    Some(s) => running.push(s),
-                    None => break,
-                }
-            }
+            let slots = cfg.max_batch - usize::from(prefilling.is_some());
+            restore_swapped(
+                rt,
+                &mut running,
+                slots,
+                hooks.fault_plan.as_mut(),
+                &mut resilience,
+            );
         }
         if pending.is_empty() && running.is_empty() && prefilling.is_none() && memory.idle() {
             match arrivals.front() {
@@ -766,9 +1381,32 @@ fn serve_chunked(
                 Policy::DecodePriority => can_admit && running.is_empty(),
             };
             if admit {
-                let mut s = memory.start(engine, pending.pop_front().unwrap());
+                let req = pending.pop_front().unwrap();
+                if req.max_new == 0 {
+                    // A zero generation budget never runs: prefilling it
+                    // would wrongly emit a first token (the prompt's last
+                    // row always samples). Finish at the admission tick.
+                    counters::bump_serve_admissions(1);
+                    finished.push(metrics_without_tokens(req, FinishReason::Completed, clock));
+                    continue;
+                }
+                let mut s = memory.start(engine, req);
                 note_admission(&mut s, clock, pending.len());
                 prefilling = Some(s);
+            }
+        }
+        if let Some(plan) = hooks.fault_plan.as_mut() {
+            if plan.crashes_at(steps.len()) {
+                panic!("injected crash before step {}", steps.len());
+            }
+            if plan.draw_step_failure() {
+                // The scheduled step is abandoned before executing: charge
+                // the fixed overhead and retry (the admitted mid-prefill
+                // session, if any, simply waits out the retry).
+                counters::bump_serve_step_retries(1);
+                resilience.step_retries += 1;
+                clock += cfg.step_overhead;
+                continue;
             }
         }
         // Forced preemption (tests/experiments), once per step index. The
@@ -788,6 +1426,7 @@ fn serve_chunked(
                     }
                 }
             }
+            maybe_pool_spike(rt, &mut running, &mut hooks.fault_plan, &mut resilience);
             if running.is_empty() && prefilling.is_none() {
                 // Everything resident was swapped out: the next iteration
                 // restores (always possible on an otherwise-empty pool).
@@ -865,6 +1504,28 @@ fn serve_chunked(
         if running.is_empty() && prefilling.is_none() {
             sealed = false;
         }
+        // A due capture waits for the prefill slot to drain: a checkpoint
+        // never holds a half-prefilled session.
+        if prefilling.is_none() {
+            if let Some(hook) = hooks.checkpoint.as_mut() {
+                if steps.len() - last_ckpt >= hook.every_steps.max(1) {
+                    last_ckpt = steps.len();
+                    capture_checkpoint(
+                        memory,
+                        hook,
+                        &arrivals,
+                        &pending,
+                        &running,
+                        &finished,
+                        &steps,
+                        clock,
+                        peak_kv_rows,
+                        sealed,
+                        &mut resilience,
+                    );
+                }
+            }
+        }
     }
     finished.sort_by_key(|m| m.id);
     ServeReport {
@@ -874,6 +1535,7 @@ fn serve_chunked(
         max_batch: cfg.max_batch,
         peak_kv_rows,
         paging: None,
+        resilience,
     }
 }
 
@@ -1355,6 +2017,7 @@ mod tests {
                         Vec::new()
                     }
                 })),
+                ..Default::default()
             };
             let r = serve_with_hooks(&engine, &trace, &cfg, hooks);
             assert_eq!(r.requests.len(), trace.len(), "chunk {chunk:?}");

@@ -128,6 +128,7 @@ fn run_scenario(model: &Transformer, backend: Backend, sc: &Scenario) {
             })),
             _ => None,
         },
+        ..Default::default()
     };
     let report = serve_with_hooks(&engine, &trace, &cfg, hooks);
 

@@ -104,6 +104,7 @@ fn run(sc: &Scenario) -> ServeReport {
                     .collect::<Vec<usize>>()
             }) as Box<dyn FnMut(usize, &[usize]) -> Vec<usize>>
         }),
+        ..Default::default()
     };
     serve_with_hooks(&engine, &trace, &sc.cfg, hooks)
 }

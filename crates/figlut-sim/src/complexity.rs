@@ -53,16 +53,43 @@ pub const TABLE1: [FeatureRow; 4] = [
     },
 ];
 
+/// Error returned by [`inner_ops`] for a platform Table I does not list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPlatform(pub String);
+
+impl core::fmt::Display for UnknownPlatform {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown platform '{}' (Table I lists GPU, iFPU, FIGNA, FIGLUT)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownPlatform {}
+
 /// Inner-loop operation count for each platform on an `(m, n, k)` GEMM with
 /// `q`-bit weights and LUT group size `mu`.
-pub fn inner_ops(name: &str, m: u64, n: u64, k: u64, q: u64, mu: u64) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`UnknownPlatform`] for a name outside Table I.
+pub fn inner_ops(
+    name: &str,
+    m: u64,
+    n: u64,
+    k: u64,
+    q: u64,
+    mu: u64,
+) -> Result<f64, UnknownPlatform> {
     let base = (m * n * k) as f64;
-    match name {
+    Ok(match name {
         "GPU" | "FIGNA" => base,
         "iFPU" => base * q as f64,
         "FIGLUT" | "FIGLUT (proposed)" => base * q as f64 / mu as f64,
-        other => panic!("unknown platform {other}"),
-    }
+        other => return Err(UnknownPlatform(other.to_string())),
+    })
 }
 
 #[cfg(test)]
@@ -71,8 +98,8 @@ mod tests {
 
     #[test]
     fn figlut_reduces_bit_serial_ops_by_mu() {
-        let ifpu = inner_ops("iFPU", 1024, 1024, 32, 4, 4);
-        let figlut = inner_ops("FIGLUT", 1024, 1024, 32, 4, 4);
+        let ifpu = inner_ops("iFPU", 1024, 1024, 32, 4, 4).unwrap();
+        let figlut = inner_ops("FIGLUT", 1024, 1024, 32, 4, 4).unwrap();
         assert_eq!(ifpu / figlut, 4.0);
     }
 
@@ -80,9 +107,16 @@ mod tests {
     fn figlut_q4_mu4_matches_fixed_engines() {
         // At q = µ = 4, FIGLUT's read count equals FIGNA's MAC count — the
         // equal-throughput normalization of §IV-B.
-        let figna = inner_ops("FIGNA", 512, 512, 8, 4, 4);
-        let figlut = inner_ops("FIGLUT", 512, 512, 8, 4, 4);
+        let figna = inner_ops("FIGNA", 512, 512, 8, 4, 4).unwrap();
+        let figlut = inner_ops("FIGLUT", 512, 512, 8, 4, 4).unwrap();
         assert_eq!(figna, figlut);
+    }
+
+    #[test]
+    fn unknown_platform_is_a_named_error() {
+        let err = inner_ops("TPU", 1, 1, 1, 4, 4).unwrap_err();
+        assert_eq!(err, UnknownPlatform("TPU".into()));
+        assert!(err.to_string().contains("unknown platform 'TPU'"));
     }
 
     #[test]

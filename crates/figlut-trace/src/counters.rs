@@ -17,6 +17,7 @@
 //! | `model_*_rows` | `Σ StepRecord::rows()` over a serve run |
 //! | `kv_swap_*_rows` | `Σ StepRecord.swapped_rows` = `PagingStats.swapped_rows` |
 //! | `serve_steps` / `serve_admissions` / … | `ServeReport.steps.len()`, request count, `PagingStats.swaps_out/in` |
+//! | `serve_step_retries` / `serve_sheds` / … | `ServeReport.resilience` (injected-fault recoveries and shed requests) |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -111,6 +112,20 @@ registry! {
     SERVE_PREEMPTIONS, bump_serve_preemptions, serve_preemptions;
     /// Preempted sessions restored into the running set.
     SERVE_RESTORES, bump_serve_restores, serve_restores;
+    /// KV block checksum mismatches detected by the verify pass.
+    KV_CHECKSUM_FAULTS, bump_kv_checksum_faults, kv_checksum_faults;
+    /// Scheduler steps retried after an injected transient failure.
+    SERVE_STEP_RETRIES, bump_serve_step_retries, serve_step_retries;
+    /// Restore attempts retried after an injected swap-in failure.
+    SERVE_SWAP_IN_RETRIES, bump_serve_swap_in_retries, serve_swap_in_retries;
+    /// Sessions preempted by injected pool-exhaustion spikes.
+    SERVE_POOL_SPIKES, bump_serve_pool_spikes, serve_pool_spikes;
+    /// Requests shed by the admission policy (`FinishReason::Shed`).
+    SERVE_SHEDS, bump_serve_sheds, serve_sheds;
+    /// Scheduler checkpoints captured at tick boundaries.
+    SERVE_CHECKPOINTS, bump_serve_checkpoints, serve_checkpoints;
+    /// Serve runs resumed from a checkpoint.
+    SERVE_RESUMES, bump_serve_resumes, serve_resumes;
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! | [`exec`] (`figlut-exec`) | packed, batch-blocked LUT-GEMM kernels + `ExecPlan`, bit-exact vs FIGLUT-I |
 //! | [`sim`] (`figlut-sim`) | 28 nm cost model: power, area, cycles, TOPS/W |
 //! | [`model`] (`figlut-model`) | synthetic OPT-style transformer + perplexity |
-//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (scenario traces, scheduler, paged KV with prefix sharing + preempt/restore, SLO metrics) |
+//! | [`serve`] (`figlut-serve`) | deterministic continuous-batching serving layer (scenario traces, scheduler, paged KV with prefix sharing + preempt/restore, SLO metrics, fault injection + admission control + checkpoint/resume) |
 //!
 //! ## Quickstart
 //!
@@ -55,9 +55,9 @@ pub mod prelude {
     pub use figlut_num::{AlignMode, AlignedVector, Bf16, Fp16, Fp32, FpFormat, Mat};
     pub use figlut_quant::{BcqParams, BcqWeight, BitMatrix, RtnParams, UniformWeight};
     pub use figlut_serve::{
-        synthetic_trace, BatchEngine, Dist, Goodput, PagingStats, Policy, Request, Sampling,
-        Scenario, ServeConfig, ServeDists, ServeHooks, ServeReport, Slo, Trace, TraceParams,
-        TtftSplit,
+        synthetic_trace, AdmissionPolicy, BatchEngine, Checkpoint, Dist, FaultPlan, Goodput,
+        PagingStats, Policy, Request, Sampling, Scenario, ServeConfig, ServeDists, ServeHooks,
+        ServeReport, Slo, Trace, TraceParams, TtftSplit,
     };
     pub use figlut_sim::{evaluate, EngineSpec, GemmShape, Report, SimEngine, Tech, Workload};
     pub use figlut_trace::{
