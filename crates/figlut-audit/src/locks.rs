@@ -1,0 +1,175 @@
+//! Lock-discipline lint.
+//!
+//! Two rules, scoped to shipping code (`src/` outside `#[cfg(test)]` —
+//! in tests a poisoned lock *should* fail the test loudly):
+//!
+//! 1. **Poison recovery.** A `.lock()` call whose result is immediately
+//!    `.unwrap()`ed or `.expect()`ed turns one panicking thread into a
+//!    cascade of panics on every other thread that touches the mutex.
+//!    The workspace pattern (see `BlockPool::lock`) is to recover the
+//!    guard: `.lock().unwrap_or_else(|e| e.into_inner())` or a `match`
+//!    on the `Err(poisoned)` arm — pool bookkeeping is kept consistent
+//!    *before* any panic point precisely so recovery is sound. An
+//!    `allow(lock)` marker records the rare site where propagating the
+//!    panic is intended.
+//! 2. **Nested acquisition.** A function that acquires two *distinct*
+//!    locks opens the door to lock-order inversion; each such pairing
+//!    must be reviewed and recorded with an `allow(lock-order)` marker
+//!    naming the global order.
+
+use crate::markers::{is_test_code, Markers};
+use crate::{Finding, Lint, Scope, SourceFile};
+
+/// Run the lint over every `src/` file.
+pub fn check(files: &[SourceFile], markers: &mut Markers, findings: &mut Vec<Finding>) {
+    for (fi, file) in files.iter().enumerate() {
+        if file.scope != Scope::Src {
+            continue;
+        }
+        check_file(fi, file, markers, findings);
+    }
+}
+
+fn check_file(fi: usize, file: &SourceFile, markers: &mut Markers, findings: &mut Vec<Finding>) {
+    // Stack of (brace depth at fn entry, distinct receivers locked).
+    let mut fn_stack: Vec<(i32, Vec<String>)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_fn = false;
+
+    for (line, code) in file.scrubbed.code.iter().enumerate() {
+        // Function-boundary tracking (lexical approximation: the next
+        // `{` after a `fn` keyword opens its body; a `;` first means it
+        // was a trait-method declaration or fn-pointer type).
+        let mut chars = code.chars().peekable();
+        let mut word = String::new();
+        while let Some(c) = chars.next() {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                if chars
+                    .peek()
+                    .is_none_or(|n| !(n.is_alphanumeric() || *n == '_'))
+                    && word == "fn"
+                {
+                    pending_fn = true;
+                }
+                continue;
+            }
+            word.clear();
+            match c {
+                '{' => {
+                    if pending_fn {
+                        fn_stack.push((depth, Vec::new()));
+                        pending_fn = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if fn_stack.last().is_some_and(|(d, _)| depth <= *d) {
+                        fn_stack.pop();
+                    }
+                }
+                ';' if pending_fn => pending_fn = false,
+                _ => {}
+            }
+        }
+
+        if is_test_code(file, line) {
+            continue;
+        }
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(".lock()") {
+            let at = search + pos;
+            search = at + ".lock()".len();
+
+            // Rule 1: what happens to the returned Result?
+            let follow = next_token_after(file, line, search);
+            if (follow.starts_with(".unwrap()") || follow.starts_with(".expect("))
+                && !markers.take(fi, line, "lock")
+            {
+                findings.push(Finding {
+                    lint: Lint::LockDiscipline,
+                    file: file.rel.clone(),
+                    line: line + 1,
+                    message: "`.lock()` result unwrapped without poison recovery — \
+                              use `.unwrap_or_else(|e| e.into_inner())` (the \
+                              BlockPool pattern) or justify with \
+                              `audit: allow(lock) — <why propagating is right>`"
+                        .into(),
+                });
+            }
+
+            // Rule 2: distinct receivers within one function.
+            let recv = receiver_before(file, line, at);
+            if let Some((_, receivers)) = fn_stack.last_mut() {
+                if !receivers.contains(&recv) {
+                    if !receivers.is_empty() && !markers.take(fi, line, "lock-order") {
+                        findings.push(Finding {
+                            lint: Lint::LockDiscipline,
+                            file: file.rel.clone(),
+                            line: line + 1,
+                            message: format!(
+                                "function acquires a second distinct lock (`{recv}` after \
+                                 `{}`) — review for lock-order inversion and record the \
+                                 order with `audit: allow(lock-order) — <order>`",
+                                receivers[0]
+                            ),
+                        });
+                    }
+                    receivers.push(recv);
+                }
+            }
+        }
+    }
+}
+
+/// The first non-whitespace token text after byte `from` of `line`,
+/// spilling onto following lines for rustfmt-wrapped method chains.
+fn next_token_after(file: &SourceFile, line: usize, from: usize) -> String {
+    let rest = file.scrubbed.code[line][from..].trim_start();
+    if !rest.is_empty() {
+        return rest.to_string();
+    }
+    file.scrubbed.code[line + 1..]
+        .iter()
+        .map(|l| l.trim_start())
+        .find(|l| !l.is_empty())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// The identifier chain immediately before `.lock()` (e.g. `self.inner`,
+/// `p.pool`), looking at the previous line when the chain is wrapped.
+fn receiver_before(file: &SourceFile, line: usize, at: usize) -> String {
+    let before = file.scrubbed.code[line][..at].trim_end();
+    let chain = trailing_chain(before);
+    if !chain.is_empty() {
+        return chain;
+    }
+    for l in (0..line).rev() {
+        let text = file.scrubbed.code[l].trim_end();
+        if text.is_empty() {
+            continue;
+        }
+        let chain = trailing_chain(text);
+        return if chain.is_empty() {
+            "<expr>".to_string()
+        } else {
+            chain
+        };
+    }
+    "<expr>".to_string()
+}
+
+fn trailing_chain(text: &str) -> String {
+    let tail: String = text
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+        .collect();
+    tail.chars()
+        .rev()
+        .collect::<String>()
+        .trim_matches(['.', ':'])
+        .to_string()
+}

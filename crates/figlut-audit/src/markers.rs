@@ -1,0 +1,178 @@
+//! The inline allowance grammar.
+//!
+//! A finding is suppressed by a comment of the form
+//! (backticks only delimit the example here):
+//!
+//! ```text
+//! // audit: allow(<key>) — <justification>
+//! ```
+//!
+//! on the same line as the violating code or on a comment line directly
+//! above it. Keys: `determinism`, `panic`, `lock`, `lock-order`. The
+//! justification is mandatory — an allowance without a reason is itself
+//! a finding, as is an allowance that suppresses nothing (staleness) or
+//! names an unknown key (typos must not silently disable a lint).
+
+use crate::scrub::in_regions;
+use crate::{Finding, Lint, SourceFile};
+use std::collections::BTreeMap;
+
+/// Lint family a marker key belongs to.
+pub fn key_lint(key: &str) -> Option<Lint> {
+    match key {
+        "determinism" => Some(Lint::Determinism),
+        "panic" => Some(Lint::PanicPath),
+        "lock" | "lock-order" => Some(Lint::LockDiscipline),
+        _ => None,
+    }
+}
+
+struct Marker {
+    key: String,
+    file_rel: String,
+    /// 0-based line of the marker comment itself.
+    own_line: usize,
+    used: bool,
+}
+
+/// All allowance markers of a workspace, addressed by the code line they
+/// govern.
+pub struct Markers {
+    /// `(file index, 0-based governed line) -> markers`.
+    by_site: BTreeMap<(usize, usize), Vec<Marker>>,
+    /// Grammar problems found while collecting (flushed by
+    /// [`Markers::flag_unused`]).
+    errors: Vec<Finding>,
+}
+
+/// Parse every marker in `files`. Grammar errors are recorded and
+/// reported later so collection never fails.
+pub fn collect(files: &[SourceFile]) -> Markers {
+    let mut by_site: BTreeMap<(usize, usize), Vec<Marker>> = BTreeMap::new();
+    let mut errors = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let n = file.scrubbed.code.len();
+        for line in 0..n {
+            let comment = file.scrubbed.comments[line].trim();
+            let Some(rest) = comment.strip_prefix("audit: allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                errors.push(Finding {
+                    lint: Lint::Reconcile,
+                    file: file.rel.clone(),
+                    line: line + 1,
+                    message: "unterminated allowance marker (missing `)`)".into(),
+                });
+                continue;
+            };
+            let keys: Vec<String> = rest[..close]
+                .split(',')
+                .map(|k| k.trim().to_string())
+                .filter(|k| !k.is_empty())
+                .collect();
+            let justification = rest[close + 1..]
+                .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+                .trim();
+            if justification.is_empty() {
+                errors.push(Finding {
+                    lint: keys
+                        .first()
+                        .and_then(|k| key_lint(k))
+                        .unwrap_or(Lint::Reconcile),
+                    file: file.rel.clone(),
+                    line: line + 1,
+                    message: "allowance marker lacks a justification (write \
+                              `audit: allow(<key>) — <why this is sound>`)"
+                        .into(),
+                });
+            }
+            // The governed line: this one if it has code, else the next
+            // line carrying code.
+            let governed = if !file.scrubbed.code[line].trim().is_empty() {
+                Some(line)
+            } else {
+                (line + 1..n).find(|&l| !file.scrubbed.code[l].trim().is_empty())
+            };
+            let Some(governed) = governed else {
+                errors.push(Finding {
+                    lint: keys
+                        .first()
+                        .and_then(|k| key_lint(k))
+                        .unwrap_or(Lint::Reconcile),
+                    file: file.rel.clone(),
+                    line: line + 1,
+                    message: "allowance marker governs no code line".into(),
+                });
+                continue;
+            };
+            for key in keys {
+                if key_lint(&key).is_none() {
+                    errors.push(Finding {
+                        lint: Lint::Reconcile,
+                        file: file.rel.clone(),
+                        line: line + 1,
+                        message: format!(
+                            "unknown allowance key '{key}' (known: determinism, panic, \
+                             lock, lock-order)"
+                        ),
+                    });
+                    continue;
+                }
+                by_site.entry((fi, governed)).or_default().push(Marker {
+                    key,
+                    file_rel: file.rel.clone(),
+                    own_line: line,
+                    used: false,
+                });
+            }
+        }
+    }
+    Markers { by_site, errors }
+}
+
+impl Markers {
+    /// Consume the allowance for `key` governing `line` (0-based) of
+    /// file `fi`, if present.
+    pub fn take(&mut self, fi: usize, line: usize, key: &str) -> bool {
+        if let Some(ms) = self.by_site.get_mut(&(fi, line)) {
+            for m in ms {
+                if m.key == key {
+                    m.used = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Emit grammar errors and a finding per marker that suppressed
+    /// nothing — an allowance that no longer allows anything is drift
+    /// and must be removed rather than left to rot.
+    pub fn flag_unused(self, findings: &mut Vec<Finding>) {
+        findings.extend(self.errors);
+        for ((_, _), ms) in self.by_site {
+            for m in ms {
+                if !m.used {
+                    // key_lint validated at collection time.
+                    let lint = key_lint(&m.key).unwrap_or(Lint::Reconcile);
+                    findings.push(Finding {
+                        lint,
+                        file: m.file_rel.clone(),
+                        line: m.own_line + 1,
+                        message: format!(
+                            "stale allowance `allow({})` — it suppresses nothing; remove it",
+                            m.key
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// True when `line` of `file` is test code (a `tests/` file or inside a
+/// `#[cfg(test)]` module) — several lints relax there.
+pub fn is_test_code(file: &SourceFile, line: usize) -> bool {
+    file.scope == crate::Scope::Test || in_regions(&file.test_regions, line)
+}

@@ -1,0 +1,90 @@
+//! Unsafe-discipline lint.
+//!
+//! Two rules:
+//!
+//! 1. Every line containing the `unsafe` keyword must be covered by a
+//!    `SAFETY:` comment — on the same line or within the six lines
+//!    above it (the rustc `undocumented_unsafe_blocks` convention,
+//!    enforced here without needing the nightly lint).
+//! 2. A crate whose `src/` contains no `unsafe` at all must say so in
+//!    its entry points: `#![forbid(unsafe_code)]` in `src/lib.rs`,
+//!    `src/main.rs`, and any `src/bin/*.rs` — so that introducing the
+//!    first unsafe block is a deliberate, reviewed act rather than a
+//!    drive-by.
+
+use crate::scrub::words;
+use crate::{Config, Finding, Lint, Scope, SourceFile};
+use std::collections::BTreeMap;
+
+/// How far above an `unsafe` line a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 6;
+
+/// Run the lint: per-site `SAFETY:` coverage plus per-crate
+/// `#![forbid(unsafe_code)]` coverage.
+pub fn check(_cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // crate -> does any src/ file use `unsafe`?
+    let mut crate_has_unsafe: BTreeMap<&str, bool> = BTreeMap::new();
+
+    for file in files {
+        let mut any = false;
+        for (line, code) in file.scrubbed.code.iter().enumerate() {
+            if !words(code).any(|w| w == "unsafe") {
+                continue;
+            }
+            any = true;
+            let covered = (line.saturating_sub(SAFETY_WINDOW)..=line)
+                .any(|l| file.scrubbed.comments[l].contains("SAFETY"));
+            if !covered {
+                findings.push(Finding {
+                    lint: Lint::Unsafety,
+                    file: file.rel.clone(),
+                    line: line + 1,
+                    message: "`unsafe` without a `// SAFETY:` comment (same line or the \
+                              few lines above) stating why the contract holds"
+                        .into(),
+                });
+            }
+        }
+        if file.scope == Scope::Src {
+            *crate_has_unsafe.entry(file.krate.as_str()).or_default() |= any;
+        }
+    }
+
+    for (krate, has_unsafe) in crate_has_unsafe {
+        if has_unsafe {
+            continue;
+        }
+        for file in files
+            .iter()
+            .filter(|f| f.krate == krate && f.scope == Scope::Src)
+        {
+            if !is_target_root(&file.rel) {
+                continue;
+            }
+            let declared = file.scrubbed.code.iter().any(|c| {
+                c.split_whitespace()
+                    .collect::<String>()
+                    .contains("#![forbid(unsafe_code)]")
+            });
+            if !declared {
+                findings.push(Finding {
+                    lint: Lint::Unsafety,
+                    file: file.rel.clone(),
+                    line: 0,
+                    message: format!(
+                        "crate `{krate}` has no unsafe code in src/ — declare \
+                         `#![forbid(unsafe_code)]` in this target root"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Is this src file the root of a compilation target (lib, main, or a
+/// `src/bin/*` binary)? Only target roots can carry inner attributes.
+fn is_target_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs")
+        || rel.ends_with("src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}

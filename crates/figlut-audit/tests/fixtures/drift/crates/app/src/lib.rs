@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Baseline-drift fixture: one grandfathered panic site.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,3 @@
+//! Experiment table with no smokes anywhere.
+
+pub const EXPERIMENTS: [&str; 1] = ["orphan"];

@@ -1,0 +1,2 @@
+//! Fixture bench crate root.
+pub mod experiments;

@@ -1,0 +1,6 @@
+//! Registry with a dead, undocumented counter.
+
+registry! {
+    /// Never bumped anywhere, never documented.
+    DEAD_COUNTER, bump_dead_counter, dead_counter;
+}

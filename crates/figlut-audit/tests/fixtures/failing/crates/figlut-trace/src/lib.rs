@@ -1,0 +1,2 @@
+//! Fixture trace crate root.
+pub mod counters;

@@ -1,0 +1,3 @@
+//! Experiment table: one id smoked in CI, one exempted with a reason.
+
+pub const EXPERIMENTS: [&str; 2] = ["smoked", "exempted"];

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Fixture bench crate root.
+pub mod experiments;

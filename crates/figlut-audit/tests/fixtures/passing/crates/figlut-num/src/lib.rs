@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Deterministic-crate fixture: ordered structures, no clocks, no panics.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

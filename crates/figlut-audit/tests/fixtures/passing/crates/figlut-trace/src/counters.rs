@@ -1,0 +1,6 @@
+//! Registry whose one counter is live and documented.
+
+registry! {
+    /// Bumped by `tool::tick`, documented in DESIGN.md.
+    LIVE_COUNTER, bump_live_counter, live_counter;
+}

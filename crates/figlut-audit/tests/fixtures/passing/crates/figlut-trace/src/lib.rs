@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Fixture trace crate root.
+pub mod counters;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
@@ -30,6 +31,12 @@
 //! tables: per-kind span statistics, the step-duration histogram, the
 //! admission timeline, and a per-run queue/occupancy breakdown. Malformed
 //! input exits nonzero naming the first bad line or event.
+//!
+//! `repro audit [--json] [--update-baseline]` runs the workspace static
+//! invariant checker (`figlut-audit`) over this source tree: determinism,
+//! unsafe-discipline, panic-path, lock-discipline, and counter/experiment
+//! reconciliation lints. Exit code is the bitwise OR of the failing lint
+//! families (see DESIGN.md §11); 0 means clean.
 
 use figlut_bench::{analyze_trace, run, EXPERIMENTS};
 use figlut_exec::parallel::THREADS_ENV;
@@ -37,6 +44,27 @@ use figlut_trace::{install, validate_chrome_trace, ChromeTraceSink, JsonlSink, T
 use std::path::PathBuf;
 
 fn main() {
+    // `repro audit` routes to the static invariant checker before the
+    // experiment flag parse — `--json`/`--update-baseline` are audit-only.
+    if std::env::args().nth(1).as_deref() == Some("audit") {
+        let mut json = false;
+        let mut update_baseline = false;
+        for a in std::env::args().skip(2) {
+            match a.as_str() {
+                "--json" => json = true,
+                "--update-baseline" => update_baseline = true,
+                other => {
+                    eprintln!(
+                        "error: unknown audit argument '{other}' \
+                         (try --json, --update-baseline)"
+                    );
+                    std::process::exit(64);
+                }
+            }
+        }
+        let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        std::process::exit(figlut_audit::run_cli(root, json, update_baseline));
+    }
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut threads: Option<String> = None;
@@ -165,6 +193,7 @@ fn main() {
         }
     }
     if let Some(guard) = guard {
+        // audit: allow(panic) — guard is only Some when --trace supplied a path
         let path = trace_path.expect("guard implies path");
         if let Err(e) = guard.finish() {
             eprintln!("error: cannot finish trace {}: {e}", path.display());

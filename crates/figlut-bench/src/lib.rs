@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # figlut-bench — reproduction harness for every table and figure
 //!
 //! The `repro` binary regenerates each experiment of the paper's evaluation

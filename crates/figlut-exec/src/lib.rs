@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # figlut-exec — high-throughput packed LUT-GEMM execution backend

@@ -25,14 +25,19 @@ struct CountingAlloc;
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method bumps a lock-free counter and then defers to
+// `System` with the caller's layout/pointer arguments unchanged, so
+// `System`'s allocator contract is upheld verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwards the caller's contract to `System` unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -40,6 +45,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -47,6 +53,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # figlut-gemm — bit-accurate models of the five FP-INT GEMM engines

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # figlut-lut — look-up-table machinery (the paper's functional core)

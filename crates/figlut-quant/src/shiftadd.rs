@@ -278,7 +278,7 @@ mod tests {
         assert!(alloc.average_bits <= 2.4 + 1e-9);
         assert!(alloc.average_bits > 2.0, "nothing was upgraded");
         // Mixed: at least two distinct precisions in use.
-        let distinct: std::collections::HashSet<u32> = alloc.bits.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u32> = alloc.bits.iter().copied().collect();
         assert!(distinct.len() >= 2, "allocation {:?} not mixed", alloc.bits);
     }
 

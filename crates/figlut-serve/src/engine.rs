@@ -299,6 +299,7 @@ impl<'m> BatchEngine<'m> {
                     "request {}: context exhausted ({max_seq} positions) — finish instead of decoding",
                     s.request.id
                 );
+                // audit: allow(panic) — decoding sessions are prefilled, so generated holds the prompt-final token
                 *s.generated.last().unwrap()
             })
             .collect();
@@ -339,11 +340,13 @@ impl<'m> BatchEngine<'m> {
         };
         let mut caches = caches.into_iter();
         for (i, s) in decoding.iter_mut().enumerate() {
+            // audit: allow(panic) — forward_batch returns one cache per submitted chunk, in order
             s.cache = caches.next().unwrap();
             let next = sample(logits.row(i), &s.request.sampling, &mut s.rng);
             s.generated.push(next);
         }
         if let Some(s) = prefilling {
+            // audit: allow(panic) — forward_batch returns one cache per submitted chunk, in order
             s.cache = caches.next().unwrap();
             s.prefilled = start + take;
             if s.is_prefilled() {

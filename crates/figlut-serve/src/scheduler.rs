@@ -530,6 +530,7 @@ impl PagedRt {
                 return None;
             }
         }
+        // audit: allow(panic) — the `?` on swapped.front() above proves the queue is nonempty
         let mut s = self.swapped.pop_front().expect("front checked above");
         let rows = s.restore();
         self.pending_swap_rows += rows;
@@ -569,6 +570,7 @@ impl PagedRt {
                 "block pool too small for the minimal step — \
                  pool_blocks must hold one full-context session"
             );
+            // audit: allow(panic) — the assert above guarantees running.len() > floor >= 0
             let victim = running.pop().expect("floor checked above");
             self.preempt(victim);
         }
@@ -700,6 +702,7 @@ fn apply_admission(
         AdmissionPolicy::Unbounded => {}
         AdmissionPolicy::QueueCap { depth } => {
             while pending.len() > depth {
+                // audit: allow(panic) — the loop condition pending.len() > depth proves nonempty
                 shed.push(pending.pop_back().expect("len checked"));
             }
         }
@@ -708,6 +711,7 @@ fn apply_admission(
                 q.iter().map(|r| r.prompt.len() + r.max_new).sum()
             };
             while pending.len() > 1 && load(pending) > tokens {
+                // audit: allow(panic) — the loop condition pending.len() > depth proves nonempty
                 shed.push(pending.pop_back().expect("len checked"));
             }
         }
@@ -762,6 +766,7 @@ fn restore_swapped(
             .and_then(FaultPlan::draw_restore_corruption);
         // The host image is the clean recovery source: clone it before the
         // (possibly corrupted) transfer.
+        // audit: allow(panic) — draw_restore_corruption only fires when a swapped session exists
         let backup = salt.map(|_| rt.swapped.front().expect("checked nonempty").clone());
         let Some(mut s) = rt.try_restore() else {
             return;
@@ -775,6 +780,7 @@ fn restore_swapped(
                 counters::bump_serve_swap_in_retries(1);
                 resilience.swap_in_retries += 1;
                 rt.swapped
+                    // audit: allow(panic) — backup is Some on every path where salt is Some
                     .push_front(backup.expect("cloned when the fault was drawn"));
                 return;
             }
@@ -799,6 +805,7 @@ fn maybe_pool_spike(
         if p.draw_pool_spike() {
             counters::bump_serve_pool_spikes(1);
             resilience.pool_spikes += 1;
+            // audit: allow(panic) — running.len() >= 2 was checked on entry
             let victim = running.pop().expect("len checked");
             rt.preempt(victim);
         }
@@ -1074,6 +1081,7 @@ fn serve_monolithic(
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
+            // audit: allow(panic) — the while condition just observed arrivals.front() is Some
             pending.push_back(arrivals.pop_front().unwrap());
         }
         apply_admission(
@@ -1132,6 +1140,7 @@ fn serve_monolithic(
         }
         if let Some(plan) = hooks.fault_plan.as_mut() {
             if plan.crashes_at(steps.len()) {
+                // audit: allow(panic) — deliberate fault injection — the crash-consistency tests require a real panic
                 panic!("injected crash before step {}", steps.len());
             }
             if plan.draw_step_failure() {
@@ -1173,6 +1182,7 @@ fn serve_monolithic(
             Action::Prefill => {
                 let req = pending
                     .pop_front()
+                    // audit: allow(panic) — Action::Prefill is only chosen when pending is nonempty
                     .expect("admission without a pending request");
                 if req.max_new == 0 {
                     // A zero generation budget never runs: prefilling it
@@ -1202,6 +1212,7 @@ fn serve_monolithic(
                 });
                 trace_step(
                     clock,
+                    // audit: allow(panic) — a StepRecord was pushed immediately above
                     steps.last().expect("just pushed"),
                     pending.len(),
                     running.len() + 1,
@@ -1240,6 +1251,7 @@ fn serve_monolithic(
                 });
                 trace_step(
                     clock,
+                    // audit: allow(panic) — a StepRecord was pushed immediately above
                     steps.last().expect("just pushed"),
                     pending.len(),
                     batch,
@@ -1339,6 +1351,7 @@ fn serve_chunked(
 
     loop {
         while arrivals.front().is_some_and(|r| r.arrival <= clock) {
+            // audit: allow(panic) — the while condition just observed arrivals.front() is Some
             pending.push_back(arrivals.pop_front().unwrap());
         }
         apply_admission(
@@ -1381,6 +1394,7 @@ fn serve_chunked(
                 Policy::DecodePriority => can_admit && running.is_empty(),
             };
             if admit {
+                // audit: allow(panic) — can_admit requires a nonempty pending queue
                 let req = pending.pop_front().unwrap();
                 if req.max_new == 0 {
                     // A zero generation budget never runs: prefilling it
@@ -1397,6 +1411,7 @@ fn serve_chunked(
         }
         if let Some(plan) = hooks.fault_plan.as_mut() {
             if plan.crashes_at(steps.len()) {
+                // audit: allow(panic) — deliberate fault injection — the crash-consistency tests require a real panic
                 panic!("injected crash before step {}", steps.len());
             }
             if plan.draw_step_failure() {
@@ -1465,6 +1480,7 @@ fn serve_chunked(
         });
         trace_step(
             clock,
+            // audit: allow(panic) — a StepRecord was pushed immediately above
             steps.last().expect("just pushed"),
             pending.len(),
             running.len() + usize::from(prefilling.is_some()),
@@ -1485,6 +1501,7 @@ fn serve_chunked(
         // The last chunk sampled the first token: TTFT stops here and the
         // session joins the running set (or finishes outright).
         if prefilling.as_ref().is_some_and(SessionState::is_prefilled) {
+            // audit: allow(panic) — guarded by prefilling.as_ref().is_some_and(...) above
             let mut s = prefilling.take().unwrap();
             memory.register(&s);
             s.token_ticks.push(clock);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # figlut-sim — energy / area / cycle simulator for the FIGLUT evaluation

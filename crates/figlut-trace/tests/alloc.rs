@@ -37,14 +37,19 @@ fn armed() -> bool {
     ARMED.try_with(Cell::get).unwrap_or(false)
 }
 
+// SAFETY: every method bumps a lock-free counter and then defers to
+// `System` with the caller's layout/pointer arguments unchanged, so
+// `System`'s allocator contract is upheld verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwards the caller's contract to `System` unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -52,6 +57,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if armed() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -59,6 +65,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: forwards the caller's contract to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # FIGLUT — LUT-based FP-INT GEMM, reproduced in Rust
 //!
 //! A full reproduction of *FIGLUT: An Energy-Efficient Accelerator Design
